@@ -1,0 +1,57 @@
+//! E10: the polynomial algorithm against both exhaustive baselines
+//! (wave oracle = concurrency-state graph [Tay83a]; Petri reachability
+//! [MSS89]) on the replicated-pairs family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iwa_analysis::{refined_analysis, RefinedOptions};
+use iwa_bench::families::replicated_pairs;
+use iwa_petri::net_from_sync_graph;
+use iwa_syncgraph::SyncGraph;
+use iwa_wavesim::{explore, ExploreConfig};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let graphs: Vec<(usize, SyncGraph)> = (1..=5)
+        .map(|k| (k, SyncGraph::from_program(&replicated_pairs(k, 3))))
+        .collect();
+
+    let mut g = c.benchmark_group("refined_polynomial");
+    for (k, sg) in &graphs {
+        g.bench_with_input(BenchmarkId::from_parameter(k), sg, |b, sg| {
+            b.iter(|| refined_analysis(black_box(sg), &RefinedOptions::default()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("oracle_waves");
+    g.sample_size(10);
+    for (k, sg) in &graphs {
+        g.bench_with_input(BenchmarkId::from_parameter(k), sg, |b, sg| {
+            b.iter(|| {
+                explore(
+                    black_box(sg),
+                    &ExploreConfig {
+                        max_states: 1 << 24,
+                        max_anomalies: 2,
+                        track_witnesses: false,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("petri_reachability");
+    g.sample_size(10);
+    for (k, sg) in &graphs {
+        let net = net_from_sync_graph(sg);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &net, |b, net| {
+            b.iter(|| net.explore(1 << 24).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E11: cost of the accuracy/cost ladder on a fixed random batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iwa_analysis::{naive_analysis, refined_analysis, RefinedOptions, Tier};
+use iwa_syncgraph::SyncGraph;
+use iwa_workloads::{random_balanced, BalancedConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn batch() -> Vec<SyncGraph> {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    (0..24)
+        .map(|_| {
+            SyncGraph::from_program(&random_balanced(
+                &mut rng,
+                &BalancedConfig {
+                    tasks: 4,
+                    events: 8,
+                    message_types: 2,
+                    swaps: 4,
+                },
+            ))
+        })
+        .collect()
+}
+
+fn bench_precision(c: &mut Criterion) {
+    let graphs = batch();
+    let mut g = c.benchmark_group("ladder_batch24");
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            for sg in &graphs {
+                black_box(naive_analysis(sg));
+            }
+        })
+    });
+    for (name, tier) in [
+        ("heads", Tier::Heads),
+        ("pairs", Tier::HeadPairs),
+        ("tails", Tier::HeadTails),
+    ] {
+        g.bench_with_input(BenchmarkId::new("refined", name), &tier, |b, tier| {
+            b.iter(|| {
+                for sg in &graphs {
+                    black_box(refined_analysis(
+                        sg,
+                        &RefinedOptions {
+                            tier: *tier,
+                            ..RefinedOptions::default()
+                        },
+                    ));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_precision);
+criterion_main!(benches);

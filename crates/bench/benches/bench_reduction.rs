@@ -1,0 +1,71 @@
+//! E8: building and deciding the Theorem 2/3 reductions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iwa_analysis::exact::{exact_deadlock_cycles, ConstraintSet, ExactBudget};
+use iwa_reductions::{theorem2_program, theorem3_graph};
+use iwa_sat::{solve, Cnf};
+use iwa_syncgraph::SyncGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instances() -> Vec<(usize, Cnf)> {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    [2usize, 4, 6]
+        .iter()
+        .map(|&m| (m, Cnf::random_3cnf(&mut rng, 5, m)))
+        .collect()
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpll");
+    for (m, cnf) in instances() {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &cnf, |b, cnf| {
+            b.iter(|| solve(black_box(cnf)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("theorem2_build");
+    for (m, cnf) in instances() {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &cnf, |b, cnf| {
+            b.iter(|| theorem2_program(black_box(cnf)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("theorem2_decide");
+    g.sample_size(10);
+    for (m, cnf) in instances() {
+        let sg = SyncGraph::from_program(&theorem2_program(&cnf));
+        g.bench_with_input(BenchmarkId::from_parameter(m), &sg, |b, sg| {
+            b.iter(|| {
+                exact_deadlock_cycles(
+                    black_box(sg),
+                    &ConstraintSet::c1_and_3a(),
+                    &ExactBudget::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("theorem3_decide");
+    g.sample_size(10);
+    for (m, cnf) in instances() {
+        let sg = theorem3_graph(&cnf);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &sg, |b, sg| {
+            b.iter(|| {
+                exact_deadlock_cycles(
+                    black_box(sg),
+                    &ConstraintSet::c1_and_2(),
+                    &ExactBudget::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

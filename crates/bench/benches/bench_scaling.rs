@@ -1,0 +1,53 @@
+//! E9: scaling of the polynomial analyses with program size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iwa_analysis::{naive_analysis, refined_analysis, RefinedOptions, SequenceInfo};
+use iwa_bench::families::sized_random;
+use iwa_syncgraph::{Clg, SyncGraph};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let sizes = [4usize, 8, 16, 32, 64];
+    let graphs: Vec<(usize, SyncGraph)> = sizes
+        .iter()
+        .map(|&s| {
+            let p = sized_random(0xBEEF ^ s as u64, 5, s);
+            (s, SyncGraph::from_program(&p))
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("naive");
+    for (s, sg) in &graphs {
+        g.bench_with_input(BenchmarkId::from_parameter(s), sg, |b, sg| {
+            b.iter(|| naive_analysis(black_box(sg)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("refined_heads");
+    for (s, sg) in &graphs {
+        g.bench_with_input(BenchmarkId::from_parameter(s), sg, |b, sg| {
+            b.iter(|| refined_analysis(black_box(sg), &RefinedOptions::default()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("sequence_fixpoint");
+    for (s, sg) in &graphs {
+        g.bench_with_input(BenchmarkId::from_parameter(s), sg, |b, sg| {
+            b.iter(|| SequenceInfo::compute(black_box(sg)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("clg_construction");
+    for (s, sg) in &graphs {
+        g.bench_with_input(BenchmarkId::from_parameter(s), sg, |b, sg| {
+            b.iter(|| Clg::build(black_box(sg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E6: cost of the Lemma 1 transform and of analysing its output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iwa_analysis::{refined_analysis, RefinedOptions};
+use iwa_syncgraph::SyncGraph;
+use iwa_tasklang::transforms::unroll_twice;
+use iwa_workloads::classics::pipeline_looping;
+use std::hint::black_box;
+
+fn bench_unroll(c: &mut Criterion) {
+    let mut g = c.benchmark_group("unroll_twice");
+    for stages in [2usize, 4, 8, 16] {
+        let p = pipeline_looping(stages);
+        g.bench_with_input(BenchmarkId::from_parameter(stages), &p, |b, p| {
+            b.iter(|| unroll_twice(black_box(p)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("certify_unrolled_pipeline");
+    for stages in [2usize, 4, 8] {
+        let sg = SyncGraph::from_program(&unroll_twice(&pipeline_looping(stages)));
+        g.bench_with_input(BenchmarkId::from_parameter(stages), &sg, |b, sg| {
+            b.iter(|| refined_analysis(black_box(sg), &RefinedOptions::default()))
+        });
+    }
+    g.finish();
+
+    // Nesting depth: T(P) doubles per level (§3.1.4's 2^depth bound).
+    let mut g = c.benchmark_group("unroll_nested");
+    for depth in [1usize, 3, 5, 7] {
+        let mut inner = String::from("send u.m;");
+        for _ in 0..depth {
+            inner = format!("while {{ {inner} }}");
+        }
+        let src = format!("task t {{ {inner} }} task u {{ while {{ accept m; }} }}");
+        let p = iwa_tasklang::parse(&src).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &p, |b, p| {
+            b.iter(|| unroll_twice(black_box(p)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_unroll);
+criterion_main!(benches);

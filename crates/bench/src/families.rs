@@ -1,0 +1,140 @@
+//! Parameterised workload families used by the scaling and baseline
+//! experiments. All deterministic.
+
+use iwa_tasklang::ast::{Program, ProgramBuilder};
+use iwa_workloads::{random_structured, StructuredConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `pairs` independent producer/consumer couples, each exchanging `depth`
+/// messages. The wave space is the product of the pairs' spaces —
+/// exponential in `pairs` — while the program (and its polynomial
+/// analyses) grow only linearly. The workhorse of the E10 baseline
+/// crossover.
+#[must_use]
+pub fn replicated_pairs(pairs: usize, depth: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    for k in 0..pairs {
+        let prod = b.task(&format!("prod{k}"));
+        let cons = b.task(&format!("cons{k}"));
+        let item = b.signal(cons, "item");
+        let _ = prod;
+        b.body(prod, move |t| {
+            for _ in 0..depth {
+                t.send(item);
+            }
+        });
+        b.body(cons, move |t| {
+            for _ in 0..depth {
+                t.accept(item);
+            }
+        });
+    }
+    b.build()
+}
+
+/// A deterministic random structured program of roughly `size` rendezvous
+/// across `tasks` tasks (loop-free), for the E9 scaling sweeps.
+#[must_use]
+pub fn sized_random(seed: u64, tasks: usize, size_per_task: usize) -> Program {
+    sized_random_typed(seed, tasks, size_per_task, 2)
+}
+
+/// [`sized_random`] with a configurable signal alphabet: more message
+/// types ⇒ fewer complementary pairs ⇒ *sparser* sync edges, which is the
+/// knob the E9 experiment turns to expose the `|E_CLG|` term in the
+/// paper's `O(|N_CLG|·(|N_CLG|+|E_CLG|))` bound.
+#[must_use]
+pub fn sized_random_typed(
+    seed: u64,
+    tasks: usize,
+    size_per_task: usize,
+    message_types: usize,
+) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_structured(
+        &mut rng,
+        &StructuredConfig {
+            tasks,
+            rendezvous_per_task: size_per_task,
+            branch_prob: 0.15,
+            loop_prob: 0.0,
+            message_types,
+        },
+    )
+}
+
+/// A long chain of request/response hops (client → s1 → s2 → … → sink),
+/// scaling the *diameter* rather than the width. Deadlock-free; stresses
+/// the sequence fixpoint.
+#[must_use]
+pub fn relay_chain(hops: usize) -> Program {
+    assert!(hops >= 1);
+    let mut b = ProgramBuilder::new();
+    let ids: Vec<_> = (0..=hops).map(|i| b.task(&format!("hop{i}"))).collect();
+    let fwd: Vec<_> = (1..=hops).map(|i| b.signal(ids[i], "fwd")).collect();
+    let back: Vec<_> = (0..hops).map(|i| b.signal(ids[i], "back")).collect();
+    for i in 0..=hops {
+        let send_fwd = if i < hops { Some(fwd[i]) } else { None };
+        let recv_fwd = if i > 0 { Some(fwd[i - 1]) } else { None };
+        let send_back = if i > 0 { Some(back[i - 1]) } else { None };
+        let recv_back = if i < hops { Some(back[i]) } else { None };
+        b.body(ids[i], move |t| {
+            if let Some(s) = recv_fwd {
+                t.accept(s);
+            }
+            if let Some(s) = send_fwd {
+                t.send(s);
+            }
+            if let Some(s) = recv_back {
+                t.accept(s);
+            }
+            if let Some(s) = send_back {
+                t.send(s);
+            }
+        });
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwa_syncgraph::SyncGraph;
+    use iwa_tasklang::validate::validate;
+    use iwa_wavesim::{explore, ExploreConfig, Verdict};
+
+    #[test]
+    fn replicated_pairs_scale_linearly_in_code_exponentially_in_waves() {
+        let p2 = replicated_pairs(2, 2);
+        let p3 = replicated_pairs(3, 2);
+        assert_eq!(p2.num_rendezvous(), 8);
+        assert_eq!(p3.num_rendezvous(), 12);
+        let e2 = explore(&SyncGraph::from_program(&p2), &ExploreConfig::default()).unwrap();
+        let e3 = explore(&SyncGraph::from_program(&p3), &ExploreConfig::default()).unwrap();
+        assert_eq!(e2.verdict, Verdict::AnomalyFree);
+        assert_eq!(e3.verdict, Verdict::AnomalyFree);
+        // Each pair contributes 3 lockstep positions; waves multiply:
+        // states(pairs=k, depth=2) = 3^k.
+        assert_eq!(e2.states, 9);
+        assert_eq!(e3.states, 27);
+    }
+
+    #[test]
+    fn relay_chain_is_clean_and_validates() {
+        for hops in [1, 3, 6] {
+            let p = relay_chain(hops);
+            validate(&p).unwrap();
+            let e = explore(&SyncGraph::from_program(&p), &ExploreConfig::default()).unwrap();
+            assert_eq!(e.verdict, Verdict::AnomalyFree, "hops={hops}");
+        }
+    }
+
+    #[test]
+    fn sized_random_is_deterministic() {
+        assert_eq!(
+            sized_random(5, 3, 4).to_source(),
+            sized_random(5, 3, 4).to_source()
+        );
+    }
+}

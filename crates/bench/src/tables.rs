@@ -1,0 +1,123 @@
+//! Minimal fixed-width table rendering and JSON persistence for the
+//! report binary.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A rendered experiment table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"E9"`.
+    pub id: String,
+    /// One-line description.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (stringified).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form conclusions appended under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    #[must_use]
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Table {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "column mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as fixed-width text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, "{:>width$}  ", c, width = widths[i]);
+            }
+            s.trim_end().to_owned()
+        };
+        let _ = writeln!(out, "{}", line(&self.columns, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Persist as JSON under `dir/<id>.json`.
+    pub fn save_json(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id.to_lowercase()));
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("serializable"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0", "demo", &["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        t.note("done");
+        let s = t.render();
+        assert!(s.contains("E0 — demo"));
+        assert!(s.contains("note: done"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn row_arity_checked() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("E0", "demo", &["a"]);
+        t.row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("iwa_tables_test");
+        t.save_json(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("e0.json")).unwrap();
+        assert!(content.contains("\"id\": \"E0\""));
+    }
+}

@@ -1,0 +1,345 @@
+//! `iwa` — static infinite-wait anomaly analyzer for rendezvous programs.
+//!
+//! ```text
+//! iwa analyze <file.iwa | fixture:NAME> [--tier heads|pairs|headtails]
+//!             [--oracle] [--json] [--no-transforms]
+//! iwa graph   <file.iwa | fixture:NAME> [--clg]
+//! iwa inline  <file.iwa | fixture:NAME>
+//! iwa unroll  <file.iwa | fixture:NAME>
+//! iwa fixtures
+//! iwa help
+//! ```
+
+use iwa_analysis::{certify, CertifyOptions, RefinedOptions, StallOptions, StallVerdict, Tier};
+use iwa_syncgraph::{dot, Clg, SyncGraph};
+use iwa_tasklang::{parse, Program};
+use iwa_wavesim::{explore, ExploreConfig, Verdict};
+use serde::Serialize;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("graph") => graph(&args[1..]),
+        Some("inline") => transform(&args[1..], Transform::Inline),
+        Some("unroll") => transform(&args[1..], Transform::Unroll),
+        Some("fixtures") => {
+            for (name, p) in iwa_workloads::figures::all_figures() {
+                println!(
+                    "fixture:{name:<8}  {} tasks, {} rendezvous",
+                    p.num_tasks(),
+                    p.num_rendezvous()
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}' (try 'iwa help')")),
+    }
+}
+
+const USAGE: &str = "\
+iwa — static infinite-wait anomaly detection (Masticola & Ryder, ICPP 1990)
+
+USAGE:
+    iwa analyze <file.iwa | fixture:NAME> [OPTIONS]
+    iwa graph   <file.iwa | fixture:NAME> [--clg]
+    iwa inline  <file.iwa | fixture:NAME>   print with procedures inlined
+    iwa unroll  <file.iwa | fixture:NAME>   print the Lemma-1 unrolled form
+    iwa fixtures
+    iwa help
+
+ANALYZE OPTIONS:
+    --tier heads|pairs|headtails   refined-algorithm tier (default: heads)
+    --oracle                       also run the exhaustive wave oracle
+    --json                         machine-readable output
+    --no-transforms                skip the §5.1 stall transforms
+";
+
+fn load_program(spec: &str) -> Result<Program, String> {
+    if let Some(name) = spec.strip_prefix("fixture:") {
+        iwa_workloads::figures::all_figures()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| p)
+            .ok_or_else(|| format!("unknown fixture '{name}' (see 'iwa fixtures')"))
+    } else {
+        let src = std::fs::read_to_string(spec)
+            .map_err(|e| format!("cannot read {spec}: {e}"))?;
+        parse(&src).map_err(|e| e.to_string())
+    }
+}
+
+#[derive(Serialize)]
+struct AnalyzeReport {
+    program: String,
+    tasks: usize,
+    rendezvous: usize,
+    was_unrolled: bool,
+    naive_deadlock_free: bool,
+    refined_deadlock_free: bool,
+    refined_tier: String,
+    flagged_heads: Vec<String>,
+    stall_verdict: String,
+    warnings: Vec<String>,
+    oracle: Option<OracleReport>,
+}
+
+#[derive(Serialize)]
+struct OracleReport {
+    verdict: String,
+    states: usize,
+    can_terminate: bool,
+    deadlock: bool,
+    stall: bool,
+    /// Rendezvous schedule leading to the first anomaly, human-readable.
+    witness: Vec<String>,
+    /// The first stuck wave, rendered.
+    stuck_wave: Option<String>,
+}
+
+fn analyze(args: &[String]) -> Result<ExitCode, String> {
+    let mut spec = None;
+    let mut tier = Tier::Heads;
+    let mut want_oracle = false;
+    let mut json = false;
+    let mut transforms = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tier" => {
+                tier = match it.next().map(String::as_str) {
+                    Some("heads") => Tier::Heads,
+                    Some("pairs") => Tier::HeadPairs,
+                    Some("headtails") => Tier::HeadTails,
+                    other => return Err(format!("bad --tier {other:?}")),
+                };
+            }
+            "--oracle" => want_oracle = true,
+            "--json" => json = true,
+            "--no-transforms" => transforms = false,
+            other if spec.is_none() && !other.starts_with("--") => {
+                spec = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let spec = spec.ok_or("missing program (file path or fixture:NAME)")?;
+    let program = load_program(&spec)?;
+
+    let opts = CertifyOptions {
+        refined: RefinedOptions {
+            tier,
+            ..RefinedOptions::default()
+        },
+        stall: StallOptions {
+            apply_transforms: transforms,
+            ..StallOptions::default()
+        },
+    };
+    let cert = certify(&program, &opts).map_err(|e| e.to_string())?;
+
+    // Downstream graph consumers need the inlined form.
+    let program_inlined = iwa_tasklang::transforms::inline_procs(&program)
+        .map_err(|e| e.to_string())?;
+    let sg = SyncGraph::from_program(&program_inlined);
+    let oracle = if want_oracle {
+        let e = explore(&sg, &ExploreConfig::default()).map_err(|e| e.to_string())?;
+        let witness = e
+            .witnesses
+            .first()
+            .map(|steps| steps.iter().map(|s| s.render(&sg)).collect())
+            .unwrap_or_default();
+        let stuck_wave = e.anomalies.first().map(|(w, _)| w.render(&sg));
+        Some(OracleReport {
+            verdict: match e.verdict {
+                Verdict::AnomalyFree => "anomaly-free".into(),
+                Verdict::Anomalous => "anomalous".into(),
+            },
+            states: e.states,
+            can_terminate: e.can_terminate,
+            deadlock: e.has_deadlock(),
+            stall: e.has_stall(),
+            witness,
+            stuck_wave,
+        })
+    } else {
+        None
+    };
+
+    // Describe flagged heads in source terms.
+    let analysed_sg = if cert.was_unrolled {
+        SyncGraph::from_program(&iwa_tasklang::transforms::unroll_twice(&program_inlined))
+    } else {
+        sg
+    };
+    let flagged: Vec<String> = cert
+        .refined
+        .flagged
+        .iter()
+        .map(|f| {
+            let d = analysed_sg.node(f.head);
+            let name = d
+                .label
+                .clone()
+                .unwrap_or_else(|| format!("node {}", f.head));
+            format!(
+                "{} at {} ({}{})",
+                analysed_sg.symbols.task_name(d.task),
+                name,
+                analysed_sg.symbols.signal_name(d.rendezvous.signal),
+                d.rendezvous.sign
+            )
+        })
+        .collect();
+
+    let report = AnalyzeReport {
+        program: spec.clone(),
+        tasks: program.num_tasks(),
+        rendezvous: program.num_rendezvous(),
+        was_unrolled: cert.was_unrolled,
+        naive_deadlock_free: cert.naive.deadlock_free,
+        refined_deadlock_free: cert.refined.deadlock_free,
+        refined_tier: format!("{tier:?}"),
+        flagged_heads: flagged,
+        stall_verdict: match &cert.stall.verdict {
+            StallVerdict::StallFree => "stall-free".into(),
+            StallVerdict::PossibleStall { signal, sends, accepts } => format!(
+                "possible stall on {} ({sends} sends vs {accepts} accepts)",
+                program.symbols.signal_name(*signal)
+            ),
+            StallVerdict::Unknown { reason } => format!("unknown ({reason})"),
+        },
+        warnings: cert.warnings.iter().map(|w| format!("{w:?}")).collect(),
+        oracle,
+    };
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print_human(&report);
+    }
+    let clean = report.refined_deadlock_free
+        && report.stall_verdict == "stall-free";
+    Ok(if clean { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn print_human(r: &AnalyzeReport) {
+    println!("program      : {}", r.program);
+    println!("size         : {} tasks, {} rendezvous", r.tasks, r.rendezvous);
+    if r.was_unrolled {
+        println!("transform    : loops unrolled twice (Lemma 1)");
+    }
+    println!(
+        "naive  (§3.1): {}",
+        if r.naive_deadlock_free {
+            "deadlock-free"
+        } else {
+            "potential deadlock"
+        }
+    );
+    println!(
+        "refined(§4.2): {} [tier {}]",
+        if r.refined_deadlock_free {
+            "deadlock-free"
+        } else {
+            "potential deadlock"
+        },
+        r.refined_tier
+    );
+    for f in &r.flagged_heads {
+        println!("    flagged head: {f}");
+    }
+    println!("stall  (§5)  : {}", r.stall_verdict);
+    for w in &r.warnings {
+        println!("warning      : {w}");
+    }
+    if let Some(o) = &r.oracle {
+        println!(
+            "oracle       : {} ({} states{}{}{})",
+            o.verdict,
+            o.states,
+            if o.deadlock { ", deadlock" } else { "" },
+            if o.stall { ", stall" } else { "" },
+            if o.can_terminate { ", can terminate" } else { "" },
+        );
+        if let Some(wave) = &o.stuck_wave {
+            println!("    stuck wave : {wave}");
+            if o.witness.is_empty() {
+                println!("    schedule   : stuck from the start");
+            } else {
+                for (i, s) in o.witness.iter().enumerate() {
+                    println!("    schedule {:>2}: {s}", i + 1);
+                }
+            }
+        }
+    }
+}
+
+enum Transform {
+    Inline,
+    Unroll,
+}
+
+fn transform(args: &[String], which: Transform) -> Result<ExitCode, String> {
+    let spec = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing program (file path or fixture:NAME)")?;
+    let program = load_program(spec)?;
+    let out = match which {
+        Transform::Inline => {
+            iwa_tasklang::transforms::inline_procs(&program).map_err(|e| e.to_string())?
+        }
+        Transform::Unroll => {
+            let inlined = iwa_tasklang::transforms::inline_procs(&program)
+                .map_err(|e| e.to_string())?;
+            iwa_tasklang::transforms::unroll_twice(&inlined)
+        }
+    };
+    print!("{}", out.to_source());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn graph(args: &[String]) -> Result<ExitCode, String> {
+    let mut spec = None;
+    let mut want_clg = false;
+    for a in args {
+        match a.as_str() {
+            "--clg" => want_clg = true,
+            other if spec.is_none() && !other.starts_with("--") => {
+                spec = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let spec = spec.ok_or("missing program (file path or fixture:NAME)")?;
+    let program = load_program(&spec)?;
+    let program = iwa_tasklang::transforms::inline_procs(&program)
+        .map_err(|e| e.to_string())?;
+    let sg = SyncGraph::from_program(&program);
+    if want_clg {
+        let clg = Clg::build(&sg);
+        print!("{}", dot::clg_dot(&sg, &clg));
+    } else {
+        print!("{}", dot::sync_graph_dot(&sg));
+    }
+    Ok(ExitCode::SUCCESS)
+}

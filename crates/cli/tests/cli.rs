@@ -1,0 +1,118 @@
+//! End-to-end tests of the `iwa` binary.
+
+use std::process::Command;
+
+fn iwa(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_iwa"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (out, _, code) = iwa(&["help"]);
+    assert_eq!(code, Some(0));
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn fixtures_are_listed() {
+    let (out, _, code) = iwa(&["fixtures"]);
+    assert_eq!(code, Some(0));
+    assert!(out.contains("fixture:fig1"));
+    assert!(out.contains("fixture:fig2b"));
+}
+
+#[test]
+fn analyzing_a_clean_fixture_exits_zero() {
+    // lemma2 is deadlock-flagged at base tier, but the pair tier plus the
+    // balanced counts make it fully clean.
+    let (out, _, code) = iwa(&["analyze", "fixture:lemma2", "--tier", "pairs"]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("deadlock-free"));
+    assert!(out.contains("stall-free"));
+}
+
+#[test]
+fn analyzing_a_deadlock_exits_nonzero_and_names_heads() {
+    let (out, _, code) = iwa(&["analyze", "fixture:fig2b", "--oracle"]);
+    assert_eq!(code, Some(1));
+    assert!(out.contains("potential deadlock"));
+    assert!(out.contains("flagged head"));
+    assert!(out.contains("oracle"));
+    assert!(out.contains("deadlock"));
+}
+
+#[test]
+fn json_output_is_valid_json() {
+    let (out, _, code) = iwa(&["analyze", "fixture:fig2b", "--json"]);
+    assert_eq!(code, Some(1));
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+    assert_eq!(v["refined_deadlock_free"], serde_json::Value::Bool(false));
+    assert_eq!(v["tasks"], 2);
+}
+
+#[test]
+fn graph_outputs_dot() {
+    let (out, _, code) = iwa(&["graph", "fixture:fig1"]);
+    assert_eq!(code, Some(0));
+    assert!(out.starts_with("digraph sync_graph"));
+    let (out, _, _) = iwa(&["graph", "fixture:fig1", "--clg"]);
+    assert!(out.starts_with("digraph clg"));
+}
+
+#[test]
+fn file_input_works() {
+    let dir = std::env::temp_dir().join("iwa_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prog.iwa");
+    std::fs::write(&path, "task a { send b.m; } task b { accept m; }").unwrap();
+    let (out, err, code) = iwa(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("deadlock-free"));
+}
+
+#[test]
+fn unknown_fixture_is_a_clean_error() {
+    let (_, err, code) = iwa(&["analyze", "fixture:nope"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("unknown fixture"));
+}
+
+#[test]
+fn parse_errors_are_reported_with_position() {
+    let dir = std::env::temp_dir().join("iwa_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.iwa");
+    std::fs::write(&path, "task a { explode; }").unwrap();
+    let (_, err, code) = iwa(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("parse error"));
+}
+
+#[test]
+fn inline_and_unroll_print_transformed_programs() {
+    let dir = std::env::temp_dir().join("iwa_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("procs.iwa");
+    std::fs::write(
+        &path,
+        "proc hello { send b.m; } task a { while { call hello; } } task b { while { accept m; } }",
+    )
+    .unwrap();
+    let (out, _, code) = iwa(&["inline", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(out.contains("send b.m;"));
+    assert!(!out.contains("call"));
+    assert!(out.contains("while"), "inline keeps loops");
+    let (out, _, code) = iwa(&["unroll", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(!out.contains("while"), "unroll removes loops");
+    assert_eq!(out.matches("send b.m;").count(), 2, "two copies");
+}

@@ -1,0 +1,90 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors surfaced by the `iwa` crates.
+///
+/// Hand-rolled (no `thiserror`) to keep the dependency set to the
+/// pre-authorised list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IwaError {
+    /// The `.iwa` source text failed to parse.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A program violated a model assumption (§1–2 of the paper): unknown
+    /// task, self-directed send, unreachable rendezvous point, etc.
+    InvalidProgram(String),
+    /// The program still contains control-flow loops where a loop-free
+    /// program is required (apply the Lemma 1 `unroll_twice` transform
+    /// first).
+    HasLoops(String),
+    /// An exploration or enumeration exceeded its configured budget.
+    BudgetExceeded {
+        /// What was being explored.
+        what: String,
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+    /// An I/O failure (CLI, report writer). Stored as a string so the error
+    /// stays `Clone + Eq`.
+    Io(String),
+}
+
+impl fmt::Display for IwaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IwaError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            IwaError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+            IwaError::HasLoops(msg) => write!(f, "program has control-flow loops: {msg}"),
+            IwaError::BudgetExceeded { what, limit } => {
+                write!(f, "budget exceeded while {what} (limit {limit})")
+            }
+            IwaError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IwaError {}
+
+impl From<std::io::Error> for IwaError {
+    fn from(e: std::io::Error) -> Self {
+        IwaError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_each_variant() {
+        let p = IwaError::Parse {
+            line: 3,
+            col: 7,
+            message: "expected '{'".into(),
+        };
+        assert_eq!(p.to_string(), "parse error at 3:7: expected '{'");
+        assert!(IwaError::InvalidProgram("x".into()).to_string().contains("invalid"));
+        assert!(IwaError::HasLoops("t".into()).to_string().contains("loops"));
+        let b = IwaError::BudgetExceeded {
+            what: "exploring waves".into(),
+            limit: 10,
+        };
+        assert!(b.to_string().contains("limit 10"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: IwaError = io.into();
+        assert!(matches!(e, IwaError::Io(_)));
+    }
+}

@@ -1,0 +1,238 @@
+//! Budget-bounded enumeration of simple (elementary) cycles.
+//!
+//! Exact deadlock-cycle checking is NP-hard (paper, Theorems 2–3), so the
+//! workspace uses enumeration only as *ground truth on small graphs*: the
+//! `iwa-analysis::exact` checker walks every simple cycle of a CLG and tests
+//! the paper's constraints 2/3a on its head nodes, and the Theorem 2/3
+//! validation harness compares cycle existence against SAT. Every search is
+//! budgeted: exceeding the budget is reported, never silently truncated.
+//!
+//! Each simple cycle is enumerated exactly once, rooted at its
+//! minimum-indexed node (the classic rooted-DFS scheme).
+
+use crate::{BitSet, DiGraph};
+
+/// Why enumeration stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CycleBudget {
+    /// All simple cycles were enumerated.
+    Complete,
+    /// The cycle-count cap was reached; more cycles may exist.
+    TruncatedCycles,
+    /// The DFS step cap was reached; more cycles may exist.
+    TruncatedSteps,
+}
+
+/// Result of a bounded cycle enumeration.
+#[derive(Clone, Debug)]
+pub struct CycleEnumeration {
+    /// The cycles found, each as a node sequence (first node is the
+    /// minimum-indexed node of the cycle; no repeated nodes; the closing
+    /// edge back to the first node is implicit).
+    pub cycles: Vec<Vec<usize>>,
+    /// Whether the search was exhaustive.
+    pub budget: CycleBudget,
+    /// Number of DFS steps spent.
+    pub steps: usize,
+}
+
+/// Enumerate simple cycles of `g`, stopping after `max_cycles` cycles or
+/// `max_steps` DFS edge-steps.
+///
+/// A visitor variant is available as [`for_each_cycle`] when cycles should
+/// be filtered on the fly without materialising all of them.
+#[must_use]
+pub fn enumerate_cycles<L>(
+    g: &DiGraph<L>,
+    max_cycles: usize,
+    max_steps: usize,
+) -> CycleEnumeration {
+    let mut cycles = Vec::new();
+    let (budget, steps) = for_each_cycle(g, max_cycles, max_steps, |cycle| {
+        cycles.push(cycle.to_vec());
+        true
+    });
+    CycleEnumeration {
+        cycles,
+        budget,
+        steps,
+    }
+}
+
+/// Visit each simple cycle of `g` (as a node path, minimum node first).
+///
+/// `visit` returns `false` to stop early (counted as a cycle-budget
+/// truncation). Returns the stop reason and the number of DFS steps used.
+pub fn for_each_cycle<L>(
+    g: &DiGraph<L>,
+    max_cycles: usize,
+    max_steps: usize,
+    mut visit: impl FnMut(&[usize]) -> bool,
+) -> (CycleBudget, usize) {
+    let n = g.num_nodes();
+    let mut steps = 0usize;
+    let mut found = 0usize;
+    let mut on_path = BitSet::new(n);
+
+    for root in 0..n {
+        // DFS restricted to nodes >= root; cycles through smaller nodes were
+        // enumerated from their own (smaller) roots.
+        let mut path: Vec<usize> = vec![root];
+        on_path.clear();
+        on_path.insert(root);
+        // Frame: next successor index per path element.
+        let mut frame: Vec<usize> = vec![0];
+
+        while let Some(&u) = path.last() {
+            let next = frame.last_mut().expect("frame stack in sync");
+            if *next < g.out_degree(u) {
+                let (v, _) = g.successors(u)[*next];
+                *next += 1;
+                steps += 1;
+                if steps >= max_steps {
+                    return (CycleBudget::TruncatedSteps, steps);
+                }
+                let v = v as usize;
+                if v < root {
+                    continue;
+                }
+                if v == root {
+                    found += 1;
+                    if !visit(&path) || found >= max_cycles {
+                        return (CycleBudget::TruncatedCycles, steps);
+                    }
+                    continue;
+                }
+                if !on_path.contains(v) {
+                    on_path.insert(v);
+                    path.push(v);
+                    frame.push(0);
+                }
+            } else {
+                on_path.remove(u);
+                path.pop();
+                frame.pop();
+            }
+        }
+    }
+    (CycleBudget::Complete, steps)
+}
+
+/// Count simple cycles up to the given budgets (convenience wrapper).
+#[must_use]
+pub fn count_cycles<L>(g: &DiGraph<L>, max_cycles: usize, max_steps: usize) -> (usize, CycleBudget) {
+    let e = enumerate_cycles(g, max_cycles, max_steps);
+    (e.cycles.len(), e.budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIG: usize = 1 << 20;
+
+    #[test]
+    fn triangle_has_one_cycle() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let e = enumerate_cycles(&g, BIG, BIG);
+        assert_eq!(e.budget, CycleBudget::Complete);
+        assert_eq!(e.cycles, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node() {
+        // 0-1-2 and 0-3-4
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+        let e = enumerate_cycles(&g, BIG, BIG);
+        assert_eq!(e.budget, CycleBudget::Complete);
+        assert_eq!(e.cycles.len(), 2);
+    }
+
+    #[test]
+    fn complete_digraph_k3_has_five_cycles() {
+        // K3 with all 6 arcs: cycles = three 2-cycles + two 3-cycles.
+        let g = DiGraph::from_edges(
+            3,
+            &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)],
+        );
+        let e = enumerate_cycles(&g, BIG, BIG);
+        assert_eq!(e.budget, CycleBudget::Complete);
+        assert_eq!(e.cycles.len(), 5);
+    }
+
+    #[test]
+    fn self_loops_count() {
+        let mut g: DiGraph<()> = DiGraph::with_nodes(2);
+        g.add_arc(0, 0);
+        g.add_arc(0, 1);
+        let e = enumerate_cycles(&g, BIG, BIG);
+        assert_eq!(e.cycles, vec![vec![0]]);
+    }
+
+    #[test]
+    fn dag_has_no_cycles() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let (count, budget) = count_cycles(&g, BIG, BIG);
+        assert_eq!(count, 0);
+        assert_eq!(budget, CycleBudget::Complete);
+    }
+
+    #[test]
+    fn cycle_budget_truncates() {
+        let g = DiGraph::from_edges(
+            3,
+            &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)],
+        );
+        let e = enumerate_cycles(&g, 2, BIG);
+        assert_eq!(e.budget, CycleBudget::TruncatedCycles);
+        assert_eq!(e.cycles.len(), 2);
+        let e2 = enumerate_cycles(&g, BIG, 3);
+        assert_eq!(e2.budget, CycleBudget::TruncatedSteps);
+    }
+
+    #[test]
+    fn visitor_can_stop_early() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let mut seen = 0;
+        let (budget, _) = for_each_cycle(&g, BIG, BIG, |_| {
+            seen += 1;
+            false
+        });
+        assert_eq!(seen, 1);
+        assert_eq!(budget, CycleBudget::TruncatedCycles);
+    }
+
+    #[test]
+    fn every_reported_cycle_is_a_real_simple_cycle() {
+        // Randomish fixed graph; verify each cycle's edges exist and nodes
+        // are distinct.
+        let g = DiGraph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 2),
+                (4, 5),
+                (5, 4),
+                (5, 0),
+            ],
+        );
+        let e = enumerate_cycles(&g, BIG, BIG);
+        assert_eq!(e.budget, CycleBudget::Complete);
+        assert!(!e.cycles.is_empty());
+        for cycle in &e.cycles {
+            let mut sorted = cycle.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), cycle.len(), "repeated node in {cycle:?}");
+            for w in cycle.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "missing edge in {cycle:?}");
+            }
+            assert!(g.has_edge(*cycle.last().unwrap(), cycle[0]));
+            assert_eq!(cycle[0], *cycle.iter().min().unwrap());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Iterative depth-first traversal utilities.
+//!
+//! All traversals are iterative (explicit stack) so that the deep CLGs built
+//! from large generated programs cannot overflow the call stack.
+
+use crate::{BitSet, DiGraph};
+
+/// The orders produced by a depth-first traversal.
+#[derive(Clone, Debug)]
+pub struct DfsOrders {
+    /// Nodes in the order they were first discovered.
+    pub preorder: Vec<usize>,
+    /// Nodes in the order they were finished (all descendants done).
+    pub postorder: Vec<usize>,
+    /// `discovered[v]` iff `v` was reached.
+    pub discovered: BitSet,
+}
+
+/// Depth-first traversal from `start`, recording pre- and post-order.
+#[must_use]
+pub fn dfs<L>(g: &DiGraph<L>, start: usize) -> DfsOrders {
+    dfs_multi(g, std::iter::once(start))
+}
+
+/// Depth-first traversal from several roots (in the given order); nodes
+/// reachable from an earlier root are not revisited from a later one.
+#[must_use]
+pub fn dfs_multi<L>(g: &DiGraph<L>, starts: impl IntoIterator<Item = usize>) -> DfsOrders {
+    let n = g.num_nodes();
+    let mut discovered = BitSet::new(n);
+    let mut preorder = Vec::new();
+    let mut postorder = Vec::new();
+    // Stack frames: (node, index of next successor to visit).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in starts {
+        if !discovered.insert(root) {
+            continue;
+        }
+        preorder.push(root);
+        stack.push((root, 0));
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            if *next < g.out_degree(u) {
+                let (v, _) = g.successors(u)[*next];
+                *next += 1;
+                let v = v as usize;
+                if discovered.insert(v) {
+                    preorder.push(v);
+                    stack.push((v, 0));
+                }
+            } else {
+                postorder.push(u);
+                stack.pop();
+            }
+        }
+    }
+    DfsOrders {
+        preorder,
+        postorder,
+        discovered,
+    }
+}
+
+/// Reverse postorder (the canonical forward-dataflow iteration order) over
+/// nodes reachable from `start`.
+#[must_use]
+pub fn reverse_postorder<L>(g: &DiGraph<L>, start: usize) -> Vec<usize> {
+    let mut po = dfs(g, start).postorder;
+    po.reverse();
+    po
+}
+
+/// Does the subgraph reachable from `start` contain a cycle?
+///
+/// Uses the classic three-colour scheme: a back edge to a grey (on-stack)
+/// node witnesses a cycle. This is the primitive behind the paper's *naive*
+/// deadlock check ("a depth-first traversal … will find a cycle if one
+/// exists", §3.1).
+#[must_use]
+pub fn has_cycle_from<L>(g: &DiGraph<L>, start: usize) -> bool {
+    let n = g.num_nodes();
+    let mut discovered = BitSet::new(n);
+    let mut on_stack = BitSet::new(n);
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    if !discovered.insert(start) {
+        return false;
+    }
+    on_stack.insert(start);
+    stack.push((start, 0));
+    while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+        if *next < g.out_degree(u) {
+            let (v, _) = g.successors(u)[*next];
+            *next += 1;
+            let v = v as usize;
+            if on_stack.contains(v) {
+                return true;
+            }
+            if discovered.insert(v) {
+                on_stack.insert(v);
+                stack.push((v, 0));
+            }
+        } else {
+            on_stack.remove(u);
+            stack.pop();
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_on_a_diamond() {
+        // 0 → 1 → 3, 0 → 2 → 3
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let o = dfs(&g, 0);
+        assert_eq!(o.preorder[0], 0);
+        assert_eq!(*o.postorder.last().unwrap(), 0);
+        assert_eq!(o.discovered.count(), 4);
+        // postorder: 3 finishes before both 1's and 0's finish
+        let pos = |v: usize| o.postorder.iter().position(|&x| x == v).unwrap();
+        assert!(pos(3) < pos(1));
+        assert!(pos(1) < pos(0) || pos(2) < pos(0));
+    }
+
+    #[test]
+    fn rpo_starts_at_root() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        let rpo = reverse_postorder(&g, 0);
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let acyclic = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!has_cycle_from(&acyclic, 0));
+        let cyclic = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 1)]);
+        assert!(has_cycle_from(&cyclic, 0));
+        // Cycle not reachable from start is not reported.
+        let distant = DiGraph::from_edges(4, &[(0, 1), (2, 3), (3, 2)]);
+        assert!(!has_cycle_from(&distant, 0));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g: DiGraph<()> = DiGraph::with_nodes(2);
+        g.add_arc(0, 1);
+        g.add_arc(1, 1);
+        assert!(has_cycle_from(&g, 0));
+    }
+
+    #[test]
+    fn multi_root_covers_components() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let o = dfs_multi(&g, [0, 2]);
+        assert_eq!(o.discovered.count(), 4);
+    }
+}

@@ -1,0 +1,282 @@
+//! A compact directed graph with typed edge labels.
+
+use crate::BitSet;
+
+/// A directed graph over dense node indices `0..num_nodes`, with one label of
+/// type `L` per edge.
+///
+/// Parallel edges and self-loops are permitted (the CLG never produces them,
+/// but raw sync graphs built for Theorem 3 may be irregular). Both forward
+/// and reverse adjacency are maintained, since Tarjan SCC needs only forward
+/// edges but dominators and backward reachability need predecessors.
+#[derive(Clone, Debug)]
+pub struct DiGraph<L = ()> {
+    succs: Vec<Vec<(u32, L)>>,
+    preds: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl<L> Default for DiGraph<L> {
+    fn default() -> Self {
+        DiGraph {
+            succs: Vec::new(),
+            preds: Vec::new(),
+            num_edges: 0,
+        }
+    }
+}
+
+impl<L> DiGraph<L> {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        DiGraph::default()
+    }
+
+    /// An empty graph pre-sized for `n` nodes (nodes `0..n` exist).
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
+        DiGraph {
+            succs: (0..n).map(|_| Vec::new()).collect(),
+            preds: (0..n).map(|_| Vec::new()).collect(),
+            num_edges: 0,
+        }
+    }
+
+    /// Add a fresh node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        self.succs.len() - 1
+    }
+
+    /// Add the labelled edge `u → v`.
+    pub fn add_edge(&mut self, u: usize, v: usize, label: L) {
+        assert!(u < self.succs.len() && v < self.succs.len(), "edge endpoint out of range");
+        self.succs[u].push((v as u32, label));
+        self.preds[v].push(u as u32);
+        self.num_edges += 1;
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Outgoing `(target, label)` pairs of `u`, in insertion order.
+    #[must_use]
+    pub fn successors(&self, u: usize) -> &[(u32, L)] {
+        &self.succs[u]
+    }
+
+    /// Incoming sources of `u`, in insertion order.
+    #[must_use]
+    pub fn predecessors(&self, u: usize) -> &[u32] {
+        &self.preds[u]
+    }
+
+    /// Out-degree of `u`.
+    #[must_use]
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.succs[u].len()
+    }
+
+    /// In-degree of `u`.
+    #[must_use]
+    pub fn in_degree(&self, u: usize) -> usize {
+        self.preds[u].len()
+    }
+
+    /// Iterate all edges as `(u, v, &label)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, &L)> {
+        self.succs.iter().enumerate().flat_map(|(u, out)| {
+            out.iter().map(move |(v, l)| (u, *v as usize, l))
+        })
+    }
+
+    /// Does the edge `u → v` exist (with any label)?
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.succs[u].iter().any(|(t, _)| *t as usize == v)
+    }
+
+    /// Build the node-and-edge-filtered subgraph over the *same* node
+    /// indices: nodes outside `keep_node` lose all incident edges, and edges
+    /// failing `keep_edge(u, v, label)` are dropped.
+    ///
+    /// Keeping indices stable (rather than compacting) lets callers reuse
+    /// side tables; the refined algorithm (paper §4.2) calls this once per
+    /// hypothesised head node.
+    #[must_use]
+    pub fn filtered(
+        &self,
+        keep_node: impl Fn(usize) -> bool,
+        mut keep_edge: impl FnMut(usize, usize, &L) -> bool,
+    ) -> DiGraph<L>
+    where
+        L: Clone,
+    {
+        let mut g = DiGraph::with_nodes(self.num_nodes());
+        for (u, v, l) in self.edges() {
+            if keep_node(u) && keep_node(v) && keep_edge(u, v, l) {
+                g.add_edge(u, v, l.clone());
+            }
+        }
+        g
+    }
+
+    /// The reverse graph (labels preserved).
+    #[must_use]
+    pub fn reversed(&self) -> DiGraph<L>
+    where
+        L: Clone,
+    {
+        let mut g = DiGraph::with_nodes(self.num_nodes());
+        for (u, v, l) in self.edges() {
+            g.add_edge(v, u, l.clone());
+        }
+        g
+    }
+
+    /// Forward reachability from `start` (inclusive), honouring `enabled`
+    /// edges only.
+    #[must_use]
+    pub fn reachable_from_filtered(
+        &self,
+        start: usize,
+        mut enabled: impl FnMut(usize, usize, &L) -> bool,
+    ) -> BitSet {
+        let mut seen = BitSet::new(self.num_nodes());
+        let mut stack = vec![start];
+        seen.insert(start);
+        while let Some(u) = stack.pop() {
+            for (v, l) in self.successors(u) {
+                let v = *v as usize;
+                if enabled(u, v, l) && seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Forward reachability from `start` (inclusive).
+    #[must_use]
+    pub fn reachable_from(&self, start: usize) -> BitSet {
+        self.reachable_from_filtered(start, |_, _, _| true)
+    }
+
+    /// Forward reachability from every node in `starts` (inclusive).
+    #[must_use]
+    pub fn reachable_from_set(&self, starts: &BitSet) -> BitSet {
+        let mut seen = BitSet::new(self.num_nodes());
+        let mut stack: Vec<usize> = starts.iter().collect();
+        for &s in &stack {
+            seen.insert(s);
+        }
+        while let Some(u) = stack.pop() {
+            for (v, _) in self.successors(u) {
+                let v = *v as usize;
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl DiGraph<()> {
+    /// Convenience: add an unlabelled edge.
+    pub fn add_arc(&mut self, u: usize, v: usize) {
+        self.add_edge(u, v, ());
+    }
+
+    /// Build an unlabelled graph from an edge list over `n` nodes.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = DiGraph::with_nodes(n);
+        for &(u, v) in edges {
+            g.add_arc(u, v);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g: DiGraph<char> = DiGraph::with_nodes(3);
+        let d = g.add_node();
+        g.add_edge(0, 1, 'a');
+        g.add_edge(1, 2, 'b');
+        g.add_edge(2, d, 'c');
+        g.add_edge(0, d, 'd');
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.predecessors(2), &[1]);
+    }
+
+    #[test]
+    fn reachability_basic() {
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let r = g.reachable_from(0);
+        assert_eq!(r.to_vec(), vec![0, 1, 2]);
+        let r2 = g.reachable_from(3);
+        assert_eq!(r2.to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    fn reachability_with_edge_filter() {
+        let mut g: DiGraph<bool> = DiGraph::with_nodes(3);
+        g.add_edge(0, 1, true);
+        g.add_edge(1, 2, false);
+        let r = g.reachable_from_filtered(0, |_, _, &ok| ok);
+        assert_eq!(r.to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn reachable_from_set_unions_sources() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let starts: BitSet = [0usize, 2].into_iter().collect();
+        // Universe mismatch is fine: reachable_from_set reads indices only.
+        let mut s = BitSet::new(6);
+        for i in starts.iter() {
+            s.insert(i);
+        }
+        let r = g.reachable_from_set(&s);
+        assert_eq!(r.to_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn filtered_drops_nodes_and_edges() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let f = g.filtered(|n| n != 2, |_, _, _| true);
+        assert_eq!(f.num_edges(), 2); // 0→1 and 3→0 survive
+        assert!(f.has_edge(0, 1));
+        assert!(f.has_edge(3, 0));
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let r = g.reversed();
+        assert!(r.has_edge(1, 0));
+        assert!(r.has_edge(2, 1));
+        assert!(!r.has_edge(0, 1));
+    }
+}

@@ -1,0 +1,33 @@
+//! From-scratch graph algorithms used throughout the `iwa` workspace.
+//!
+//! The reproduced paper is itself a graph-algorithms paper (depth-first
+//! search for cycles, strongly connected components, control-flow dominance,
+//! reachability), so rather than pulling in an external graph library this
+//! crate implements the needed substrate directly:
+//!
+//! * [`DiGraph`] — a compact adjacency-list directed graph with typed edge
+//!   labels (the CLG tags its edges `Internal`/`Control`/`Sync`);
+//! * [`BitSet`] / [`BitMatrix`] — dense bit collections backing reachability
+//!   and the `precedes` relation of the ordering dataflow;
+//! * [`dfs`] — iterative depth-first traversals with edge filtering;
+//! * [`scc`] — iterative Tarjan strongly-connected components;
+//! * [`dominators`] — Cooper–Harvey–Kennedy dominator trees;
+//! * [`topo`] — Kahn topological sort / acyclicity;
+//! * [`cycles`] — budget-bounded simple-cycle enumeration (Johnson-style),
+//!   used only by the *exact* exponential checker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod cycles;
+pub mod dfs;
+pub mod digraph;
+pub mod dominators;
+pub mod scc;
+pub mod topo;
+
+pub use bitset::{BitMatrix, BitSet};
+pub use digraph::DiGraph;
+pub use dominators::Dominators;
+pub use scc::Scc;

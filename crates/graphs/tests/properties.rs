@@ -1,0 +1,128 @@
+//! Property-based tests pitting the graph algorithms against brute force.
+
+use iwa_graphs::dfs::has_cycle_from;
+use iwa_graphs::cycles::{enumerate_cycles, CycleBudget};
+use iwa_graphs::topo::is_acyclic;
+use iwa_graphs::{BitSet, DiGraph, Dominators, Scc};
+use proptest::prelude::*;
+
+/// Strategy: a random digraph with up to `n` nodes and arbitrary edges.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = DiGraph<()>> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::btree_set((0..n, 0..n), 0..(n * 3)).prop_map(move |edges| {
+            // A *simple* digraph: parallel edges would make node-sequence
+            // cycle identity ambiguous (and never arise in CLGs).
+            let mut g = DiGraph::with_nodes(n);
+            for (u, v) in edges {
+                g.add_arc(u, v);
+            }
+            g
+        })
+    })
+}
+
+/// Brute-force reachability matrix by repeated DFS.
+fn reach_matrix(g: &DiGraph<()>) -> Vec<BitSet> {
+    (0..g.num_nodes()).map(|v| g.reachable_from(v)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tarjan components == mutual-reachability equivalence classes.
+    #[test]
+    fn scc_matches_mutual_reachability(g in arb_graph(12)) {
+        let scc = Scc::compute(&g);
+        let reach = reach_matrix(&g);
+        for u in 0..g.num_nodes() {
+            for v in 0..g.num_nodes() {
+                let mutual = reach[u].contains(v) && reach[v].contains(u);
+                prop_assert_eq!(
+                    scc.same_component(u, v),
+                    mutual,
+                    "nodes {} and {}", u, v
+                );
+            }
+        }
+    }
+
+    /// A graph has a cycle reachable from node 0 iff some reachable node sits
+    /// in a non-trivial SCC.
+    #[test]
+    fn cycle_from_matches_scc(g in arb_graph(12)) {
+        let scc = Scc::compute(&g);
+        let reachable = g.reachable_from(0);
+        let via_scc = reachable
+            .iter()
+            .any(|v| scc.in_nontrivial_component(&g, v));
+        prop_assert_eq!(has_cycle_from(&g, 0), via_scc);
+    }
+
+    /// Kahn acyclicity agrees with "no non-trivial SCC and no self-loop".
+    #[test]
+    fn topo_agrees_with_scc(g in arb_graph(12)) {
+        let scc = Scc::compute(&g);
+        let any_cycle = (0..g.num_nodes()).any(|v| scc.in_nontrivial_component(&g, v));
+        prop_assert_eq!(is_acyclic(&g), !any_cycle);
+    }
+
+    /// Dominance: `a` dominates `b` iff removing `a` makes `b` unreachable
+    /// from the entry (for a != b, both reachable).
+    #[test]
+    fn dominators_match_removal_definition(g in arb_graph(10)) {
+        let entry = 0usize;
+        let dom = Dominators::compute(&g, entry);
+        let reachable = g.reachable_from(entry);
+        for a in 0..g.num_nodes() {
+            if a == entry || !reachable.contains(a) {
+                continue;
+            }
+            // Reachability with `a` deleted.
+            let without_a =
+                g.reachable_from_filtered(entry, |u, v, _| u != a && v != a);
+            for b in 0..g.num_nodes() {
+                if !reachable.contains(b) || b == a {
+                    continue;
+                }
+                let dominated = !without_a.contains(b);
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    dominated,
+                    "a={} b={}", a, b
+                );
+            }
+        }
+    }
+
+    /// Every enumerated cycle is simple and its edges exist; count agrees
+    /// with acyclicity.
+    #[test]
+    fn cycles_are_simple_and_complete(g in arb_graph(8)) {
+        let e = enumerate_cycles(&g, 1 << 16, 1 << 20);
+        prop_assert_eq!(e.budget, CycleBudget::Complete);
+        prop_assert_eq!(e.cycles.is_empty(), is_acyclic(&g));
+        for cycle in &e.cycles {
+            let mut sorted = cycle.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), cycle.len());
+            for w in cycle.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+            prop_assert!(g.has_edge(*cycle.last().unwrap(), cycle[0]));
+        }
+    }
+
+    /// No duplicate cycles are emitted (set of node-sets with rotation
+    /// canonicalisation must be unique).
+    #[test]
+    fn cycles_are_unique(g in arb_graph(7)) {
+        let e = enumerate_cycles(&g, 1 << 16, 1 << 20);
+        prop_assert_eq!(e.budget, CycleBudget::Complete);
+        let mut canon: Vec<Vec<usize>> = e.cycles.to_vec();
+        let before = canon.len();
+        canon.sort();
+        canon.dedup();
+        prop_assert_eq!(canon.len(), before);
+    }
+}

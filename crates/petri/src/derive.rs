@@ -1,0 +1,194 @@
+//! Deriving a place/transition net from a sync graph.
+//!
+//! Following the \[MSS89\] recipe adapted to our model:
+//!
+//! * a **start place** per task (one initial token each);
+//! * a place per rendezvous node — marked when the task stands at that
+//!   node;
+//! * a **done place** per task (the success marking has every token on a
+//!   done place);
+//! * a τ-transition per initial branch choice (start place → first node,
+//!   or straight to done for tasks with a rendezvous-free path);
+//! * a rendezvous transition per sync edge `{r, s}` **and** per successor
+//!   choice pair — the nondeterministic branch following each rendezvous
+//!   is expanded into one transition per outcome, which is exactly where
+//!   the powerset-sized cost the paper mentions comes from.
+
+use crate::net::PetriNet;
+use iwa_core::TaskId;
+use iwa_syncgraph::{SyncGraph, B, E};
+
+/// Build the net for `sg`.
+#[must_use]
+pub fn net_from_sync_graph(sg: &SyncGraph) -> PetriNet {
+    let mut net = PetriNet::default();
+
+    // Places.
+    let start_place: Vec<usize> = (0..sg.num_tasks)
+        .map(|t| net.add_place(format!("start_{}", sg.symbols.task_name(TaskId(t as u32))), 1))
+        .collect();
+    let done_place: Vec<usize> = (0..sg.num_tasks)
+        .map(|t| net.add_place(format!("done_{}", sg.symbols.task_name(TaskId(t as u32))), 0))
+        .collect();
+    let mut at_place = vec![usize::MAX; sg.num_nodes()];
+    for n in sg.rendezvous_nodes() {
+        let d = sg.node(n);
+        let label = d
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("n{n}"));
+        at_place[n] = net.add_place(format!("at_{label}"), 0);
+    }
+    net.final_places = done_place.iter().map(|&p| p as u32).collect();
+
+    // Start transitions: one per initial option of each task.
+    for t in 0..sg.num_tasks {
+        let task = TaskId(t as u32);
+        let mut options: Vec<usize> = sg
+            .control
+            .successors(B)
+            .iter()
+            .map(|(v, ())| *v as usize)
+            .filter(|&v| sg.is_rendezvous(v) && sg.node(v).task == task)
+            .map(|v| at_place[v])
+            .collect();
+        if sg.task_skippable(task) || sg.nodes_of_task(task).is_empty() {
+            options.push(done_place[t]);
+        }
+        for (k, &target) in options.iter().enumerate() {
+            net.add_transition(
+                format!("start_{}_{k}", sg.symbols.task_name(task)),
+                &[start_place[t]],
+                &[target],
+            );
+        }
+    }
+
+    // Successor places of a rendezvous node (done place for e).
+    let succ_places = |n: usize| -> Vec<usize> {
+        sg.control
+            .successors(n)
+            .iter()
+            .map(|(v, ())| {
+                let v = *v as usize;
+                if v == E {
+                    done_place[sg.node(n).task.index()]
+                } else {
+                    at_place[v]
+                }
+            })
+            .collect()
+    };
+
+    // Rendezvous transitions: one per sync edge per successor pair.
+    for r in sg.rendezvous_nodes() {
+        for &s in sg.sync_neighbors(r) {
+            let s = s as usize;
+            if s < r {
+                continue; // undirected edge, handle once
+            }
+            for (i, &pr) in succ_places(r).iter().enumerate() {
+                for (j, &ps) in succ_places(s).iter().enumerate() {
+                    net.add_transition(
+                        format!("rv_{r}_{s}_{i}_{j}"),
+                        &[at_place[r], at_place[s]],
+                        &[pr, ps],
+                    );
+                }
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwa_tasklang::parse;
+
+    fn net_of(src: &str) -> (SyncGraph, PetriNet) {
+        let sg = SyncGraph::from_program(&parse(src).unwrap());
+        let net = net_from_sync_graph(&sg);
+        (sg, net)
+    }
+
+    #[test]
+    fn clean_exchange_net_is_deadlock_free() {
+        let (_, net) = net_of(
+            "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }",
+        );
+        let r = net.explore(10_000).unwrap();
+        assert!(r.deadlock_free);
+        assert!(r.can_terminate);
+    }
+
+    #[test]
+    fn crossed_sends_net_deadlocks() {
+        let (_, net) = net_of(
+            "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }",
+        );
+        let r = net.explore(10_000).unwrap();
+        assert!(!r.deadlock_free);
+        assert!(!r.can_terminate);
+    }
+
+    #[test]
+    fn lonely_accept_net_deadlocks_too() {
+        // The net view cannot distinguish stall from deadlock: both are
+        // dead non-final markings.
+        let (_, net) = net_of("task t1 { accept never; } task t2 { }");
+        let r = net.explore(10_000).unwrap();
+        assert!(!r.deadlock_free);
+    }
+
+    #[test]
+    fn shape_counts() {
+        let (sg, net) = net_of(
+            "task t1 { send t2.a; } task t2 { accept a; }",
+        );
+        // Places: 2 start + 2 done + 2 node places.
+        assert_eq!(net.num_places(), 6);
+        // Transitions: 2 starts + 1 sync edge × 1×1 successors.
+        assert_eq!(net.num_transitions(), 3);
+        assert_eq!(sg.num_sync_edges(), 1);
+    }
+
+    #[test]
+    fn branching_multiplies_transitions() {
+        let (_, net) = net_of(
+            "task t1 { send t2.a; if { send t2.b; } else { send t2.c; } }
+             task t2 { accept a; if { accept b; } else { accept c; } }",
+        );
+        // The rendezvous on `a` has 2×2 successor choices.
+        let rv_a: Vec<_> = net
+            .transition_names
+            .iter()
+            .filter(|n| n.starts_with("rv_") && n.ends_with("_0_0"))
+            .collect();
+        assert!(!rv_a.is_empty());
+        let r = net.explore(10_000).unwrap();
+        // Mismatched branch choices stall → dead non-final markings exist.
+        assert!(!r.deadlock_free);
+        assert!(r.can_terminate);
+    }
+
+    #[test]
+    fn net_agrees_with_wave_oracle_on_fixtures() {
+        for (src, expect_free) in [
+            ("task a { send b.x; accept y; } task b { accept x; send a.y; }", true),
+            ("task a { send b.x; accept y; } task b { send a.y; accept x; }", false),
+            (
+                "task a { send b.x; send b.x; } task b { accept x; accept x; }",
+                true,
+            ),
+        ] {
+            let (sg, net) = net_of(src);
+            let net_free = net.explore(100_000).unwrap().deadlock_free;
+            let wave = iwa_wavesim::explore(&sg, &iwa_wavesim::ExploreConfig::default())
+                .unwrap();
+            let wave_free = wave.anomaly_count == 0;
+            assert_eq!(net_free, wave_free, "disagreement on {src}");
+            assert_eq!(net_free, expect_free);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Petri-net baseline, after Murata, Shenker & Shatz \[MSS89\].
+//!
+//! The paper's related work (§6) cites a Petri-net approach to Ada
+//! deadlock detection whose cost is "clearly proportional to the size of
+//! the powerset of rendezvous statements". This crate rebuilds that
+//! pipeline as the second exponential comparator (experiment E10):
+//!
+//! * [`derive`](mod@derive) — map a sync graph to a place/transition net: a place per
+//!   "task is at rendezvous point" state plus start/done places, a
+//!   transition per rendezvous-and-branch combination;
+//! * [`net`] — markings, enabledness, firing, and exhaustive reachability
+//!   with dead-marking (deadlock) detection;
+//! * [`invariants`] — the structural side: exact-integer incidence matrix
+//!   and P/T-invariant bases via rational Gaussian elimination, with the
+//!   consistency checks \[MSS89\]'s "inconsistency" test builds on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod derive;
+pub mod invariants;
+pub mod net;
+
+pub use derive::net_from_sync_graph;
+pub use invariants::{incidence_matrix, is_p_invariant, is_t_invariant, p_invariants, t_invariants};
+pub use net::{Marking, PetriNet, ReachResult};

@@ -1,0 +1,24 @@
+//! The NP-hardness reductions of Appendix A, mechanised.
+//!
+//! * [`theorem2`] — 3-CNF → rendezvous **program** (Figure 6/7 templates):
+//!   one literal task per literal occurrence, an anti-ordering task per
+//!   top node, and one ordering task per variable. The program's sync
+//!   graph has a deadlock cycle valid under constraints 1 + 3a (in the
+//!   paper's finish-before-start reading of "sequenceable") iff the
+//!   formula is satisfiable.
+//! * [`theorem3`] — 3-CNF → **raw sync graph** (no corresponding program):
+//!   literal tasks without the ordering machinery, plus extra *untyped*
+//!   sync edges between complementary tops of the same variable. A cycle
+//!   valid under constraints 1 + 2 exists iff the formula is satisfiable.
+//!
+//! Both constructions are validated against the independent DPLL solver in
+//! `iwa-sat` (tests here, experiment E8 in the bench harness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod theorem2;
+pub mod theorem3;
+
+pub use theorem2::theorem2_program;
+pub use theorem3::theorem3_graph;

@@ -1,0 +1,188 @@
+//! Theorem 3: 3-CNF → raw sync graph.
+//!
+//! Same clause-ring skeleton as Theorem 2, **without** the ordering
+//! machinery: one task per literal occurrence, whose top node accepts a
+//! signal from the previous clause group and whose three signaling nodes
+//! (conditional branches) target the next clause group's top nodes. Then
+//! — and this is why the result is a *raw* graph corresponding to no
+//! program — an extra **untyped sync edge** is inserted between the top
+//! nodes of every positive/negative pair of tasks for the same variable.
+//!
+//! Those extra edges cannot create cycles (a cycle using one would enter
+//! and leave a top node through sync edges, violating constraint 1b, which
+//! the CLG enforces structurally); their only effect is to make
+//! complementary tops *rendezvous-able*, so constraint 2 (no two head
+//! nodes joined by a sync edge) forbids choosing both. A cycle valid under
+//! constraints 1 + 2 therefore picks one top per clause with no
+//! complementary pair — a satisfying assignment — and exists iff the
+//! formula is satisfiable.
+
+use iwa_core::{Rendezvous, Symbols, TaskId};
+use iwa_sat::Cnf;
+use iwa_syncgraph::{SyncGraph, SyncGraphBuilder, B, E};
+
+/// Build the Theorem 3 raw sync graph for `cnf`.
+///
+/// Top nodes are labelled `top_i_j`; signaling nodes `sig_i_j_k` (send to
+/// literal `k` of the next clause).
+#[must_use]
+#[allow(clippy::needless_range_loop)] // clause/literal indices name the encoding
+pub fn theorem3_graph(cnf: &Cnf) -> SyncGraph {
+    assert!(!cnf.clauses.is_empty(), "need at least one clause");
+    assert!(
+        cnf.clauses.iter().all(|c| c.0.len() == 3),
+        "theorem 3 expects exact 3-CNF"
+    );
+    let m = cnf.clauses.len();
+
+    let mut symbols = Symbols::new();
+    let mut task_ids = Vec::new();
+    for i in 0..m {
+        let row: Vec<TaskId> = (0..3)
+            .map(|j| symbols.intern_task(&format!("L_{i}_{j}")))
+            .collect();
+        task_ids.push(row);
+    }
+    let mut top_sig = Vec::new();
+    for i in 0..m {
+        let row: Vec<_> = (0..3)
+            .map(|j| symbols.intern_signal(task_ids[i][j], &format!("top_{i}_{j}")))
+            .collect();
+        top_sig.push(row);
+    }
+
+    let mut b = SyncGraphBuilder::new(symbols, 3 * m);
+    let mut top_nodes = vec![[0usize; 3]; m];
+    for i in 0..m {
+        let next = (i + 1) % m;
+        for j in 0..3 {
+            let task = task_ids[i][j];
+            let top = b.add_node(
+                task,
+                Rendezvous::accept(top_sig[i][j]),
+                Some(format!("top_{i}_{j}")),
+            );
+            top_nodes[i][j] = top;
+            b.add_control(B, top);
+            for k in 0..3 {
+                let sender = b.add_node(
+                    task,
+                    Rendezvous::send(top_sig[next][k]),
+                    Some(format!("sig_{i}_{j}_{k}")),
+                );
+                b.add_control(top, sender);
+                b.add_control(sender, E);
+            }
+        }
+    }
+    // Typed sync edges (top accepts ↔ previous-clause senders).
+    b.derive_sync_edges();
+    // Untyped edges between complementary tops of the same variable.
+    for i in 0..m {
+        for j in 0..3 {
+            let li = cnf.clauses[i].0[j];
+            for i2 in 0..m {
+                for j2 in 0..3 {
+                    if (i2, j2) <= (i, j) {
+                        continue;
+                    }
+                    let lj = cnf.clauses[i2].0[j2];
+                    if li.var == lj.var && li.positive != lj.positive {
+                        b.add_sync_edge(top_nodes[i][j], top_nodes[i2][j2]);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwa_analysis::exact::{exact_deadlock_cycles, ConstraintSet, ExactBudget};
+    use iwa_sat::{solve, Cnf};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reduction_says_sat(cnf: &Cnf) -> bool {
+        let sg = theorem3_graph(cnf);
+        let r = exact_deadlock_cycles(&sg, &ConstraintSet::c1_and_2(), &ExactBudget::default());
+        assert!(r.any() || r.complete, "inconclusive search at test sizes");
+        r.any()
+    }
+
+    #[test]
+    fn satisfiable_formula_has_a_cycle() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(&[(0, true), (1, true), (2, true)]);
+        cnf.add_clause(&[(0, false), (2, false), (3, true)]);
+        assert!(solve(&cnf).is_sat());
+        assert!(reduction_says_sat(&cnf));
+    }
+
+    #[test]
+    fn unsatisfiable_formula_has_none() {
+        let mut cnf = Cnf::new(3);
+        for bits in 0..8u32 {
+            cnf.add_clause(&[
+                (0, bits & 1 != 0),
+                (1, bits & 2 != 0),
+                (2, bits & 4 != 0),
+            ]);
+        }
+        assert!(!solve(&cnf).is_sat());
+        assert!(!reduction_says_sat(&cnf));
+    }
+
+    #[test]
+    fn graph_shape() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(&[(0, true), (1, true), (2, true)]);
+        cnf.add_clause(&[(0, false), (1, false), (2, false)]);
+        let sg = theorem3_graph(&cnf);
+        // 6 tasks × 4 nodes.
+        assert_eq!(sg.num_rendezvous(), 24);
+        // Typed: each top has 3 senders → 18 edges; untyped: 3 var pairs
+        // with one positive and one negative occurrence each → 3×1 = … each
+        // variable appears once per clause, opposite polarity: 3 extra.
+        assert_eq!(sg.num_sync_edges(), 18 + 3);
+        let t00 = sg.node_by_label("top_0_0").unwrap();
+        let t10 = sg.node_by_label("top_1_0").unwrap();
+        assert!(sg.has_sync_edge(t00, t10), "complementary tops joined");
+    }
+
+    #[test]
+    fn untyped_edges_do_not_create_cycles() {
+        // Complementary literals inside the SAME clause group: the extra
+        // edge joins two tops that are never both heads of a c1-valid
+        // cycle; constraint-1-only cycle count must equal that of the same
+        // formula without polarity clashes.
+        let mut with_clash = Cnf::new(3);
+        with_clash.add_clause(&[(0, true), (1, true), (2, true)]);
+        with_clash.add_clause(&[(0, false), (1, true), (2, true)]);
+        let g1 = theorem3_graph(&with_clash);
+        let r1 = exact_deadlock_cycles(&g1, &ConstraintSet::c1_only(), &ExactBudget::default());
+
+        let mut without = Cnf::new(4);
+        without.add_clause(&[(0, true), (1, true), (2, true)]);
+        without.add_clause(&[(3, true), (1, true), (2, true)]);
+        let g2 = theorem3_graph(&without);
+        let r2 = exact_deadlock_cycles(&g2, &ConstraintSet::c1_only(), &ExactBudget::default());
+        assert_eq!(r1.cycles.len(), r2.cycles.len());
+    }
+
+    #[test]
+    fn agrees_with_dpll_on_random_small_instances() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let clauses = 2 + trial % 3;
+            let cnf = Cnf::random_3cnf(&mut rng, 4, clauses);
+            assert_eq!(
+                reduction_says_sat(&cnf),
+                solve(&cnf).is_sat(),
+                "mismatch on {cnf}"
+            );
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! CNF formula representation and random instance generation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit {
+    /// The underlying variable.
+    pub var: Var,
+    /// `true` for the positive literal `v`, `false` for `¬v`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `v`.
+    #[must_use]
+    pub fn pos(v: Var) -> Lit {
+        Lit {
+            var: v,
+            positive: true,
+        }
+    }
+
+    /// Negative literal of `v`.
+    #[must_use]
+    pub fn neg(v: Var) -> Lit {
+        Lit {
+            var: v,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluate under a (total) assignment.
+    #[must_use]
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var.index()] == self.positive
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var.0)
+        } else {
+            write!(f, "¬x{}", self.var.0)
+        }
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Clause(pub Vec<Lit>);
+
+impl Clause {
+    /// Evaluate under a total assignment.
+    #[must_use]
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.eval(assignment))
+    }
+}
+
+/// A conjunction of clauses over variables `0..num_vars`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cnf {
+    /// Number of variables (all `Var` indices are below this).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// A formula with no clauses (trivially satisfiable).
+    #[must_use]
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Add a clause from literal descriptions `(var index, positive)`.
+    pub fn add_clause(&mut self, lits: &[(u32, bool)]) {
+        assert!(
+            lits.iter().all(|&(v, _)| (v as usize) < self.num_vars),
+            "literal variable out of range"
+        );
+        self.clauses.push(Clause(
+            lits.iter()
+                .map(|&(v, positive)| Lit {
+                    var: Var(v),
+                    positive,
+                })
+                .collect(),
+        ));
+    }
+
+    /// Evaluate under a total assignment.
+    #[must_use]
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Brute-force satisfiability by truth-table — usable for `num_vars`
+    /// ≤ ~20; the property tests pit DPLL against this.
+    #[must_use]
+    pub fn brute_force(&self) -> Option<Vec<bool>> {
+        assert!(self.num_vars <= 24, "truth table too large");
+        for bits in 0u64..(1u64 << self.num_vars) {
+            let assignment: Vec<bool> =
+                (0..self.num_vars).map(|i| bits >> i & 1 == 1).collect();
+            if self.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    /// Equisatisfiable **exact 3-CNF** form (every clause exactly three
+    /// distinct variables) — what the Theorem 2/3 constructions expect.
+    ///
+    /// * clauses longer than 3 are split with fresh chain variables
+    ///   (`(l1 ∨ l2 ∨ z) ∧ (¬z ∨ l3 ∨ …)`);
+    /// * clauses with 1–2 literals are padded with a fresh variable both
+    ///   ways (`(l1 ∨ l2 ∨ z) ∧ (l1 ∨ l2 ∨ ¬z)`);
+    /// * empty clauses become an unsatisfiable triple over fresh
+    ///   variables.
+    #[must_use]
+    pub fn to_exact_3cnf(&self) -> Cnf {
+        let mut num_vars = self.num_vars;
+        let mut fresh = || {
+            let v = num_vars as u32;
+            num_vars += 1;
+            Var(v)
+        };
+        let mut clauses: Vec<Clause> = Vec::new();
+        for clause in &self.clauses {
+            // Deduplicate repeated literals (x ∨ x ≡ x); a clause holding
+            // both x and ¬x is a tautology and drops entirely.
+            let mut lits: Vec<Lit> = Vec::new();
+            let mut tautology = false;
+            for &l in &clause.0 {
+                if lits.contains(&l.negated()) {
+                    tautology = true;
+                }
+                if !lits.contains(&l) {
+                    lits.push(l);
+                }
+            }
+            if tautology {
+                continue;
+            }
+            match lits.len() {
+                0 => {
+                    // Unsatisfiable: all eight sign patterns over three
+                    // fresh variables.
+                    let (z, a, b) = (fresh(), fresh(), fresh());
+                    for bits in 0..8u32 {
+                        clauses.push(Clause(vec![
+                            Lit {
+                                var: z,
+                                positive: bits & 1 != 0,
+                            },
+                            Lit {
+                                var: a,
+                                positive: bits & 2 != 0,
+                            },
+                            Lit {
+                                var: b,
+                                positive: bits & 4 != 0,
+                            },
+                        ]));
+                    }
+                }
+                1 | 2 => {
+                    let z = fresh();
+                    let mut with_pos = lits.clone();
+                    with_pos.push(Lit::pos(z));
+                    let mut with_neg = lits.clone();
+                    with_neg.push(Lit::neg(z));
+                    // A 1-literal clause needs two pads each way.
+                    if with_pos.len() == 2 {
+                        let z2 = fresh();
+                        for pol2 in [true, false] {
+                            for (base, _pol) in [(&with_pos, true), (&with_neg, false)] {
+                                let mut c = base.clone();
+                                c.push(Lit {
+                                    var: z2,
+                                    positive: pol2,
+                                });
+                                clauses.push(Clause(c));
+                            }
+                        }
+                    } else {
+                        clauses.push(Clause(with_pos));
+                        clauses.push(Clause(with_neg));
+                    }
+                }
+                3 => clauses.push(Clause(lits)),
+                _ => {
+                    // Chain split: (l1 l2 z1) (¬z1 l3 z2) … (¬zk l(n-1) ln).
+                    let mut rest = lits;
+                    let mut prev: Option<Var> = None;
+                    while rest.len() > 3 || (prev.is_some() && rest.len() > 2) {
+                        let z = fresh();
+                        let mut c = Vec::new();
+                        if let Some(p) = prev {
+                            c.push(Lit::neg(p));
+                            c.push(rest.remove(0));
+                        } else {
+                            c.push(rest.remove(0));
+                            c.push(rest.remove(0));
+                        }
+                        c.push(Lit::pos(z));
+                        clauses.push(Clause(c));
+                        prev = Some(z);
+                    }
+                    let mut c = Vec::new();
+                    if let Some(p) = prev {
+                        c.push(Lit::neg(p));
+                    }
+                    c.append(&mut rest);
+                    clauses.push(Clause(c));
+                }
+            }
+        }
+        // A formula that lost every clause to tautologies is trivially
+        // satisfiable; give it one satisfiable triple so downstream
+        // consumers still see exact 3-CNF.
+        if clauses.is_empty() {
+            let (a, b, c) = (fresh(), fresh(), fresh());
+            clauses.push(Clause(vec![Lit::pos(a), Lit::pos(b), Lit::pos(c)]));
+        }
+        Cnf { num_vars, clauses }
+    }
+
+    /// Generate a random 3-CNF instance with `num_clauses` clauses, each of
+    /// three distinct variables.
+    ///
+    /// # Panics
+    /// If `num_vars < 3`.
+    pub fn random_3cnf(rng: &mut impl Rng, num_vars: usize, num_clauses: usize) -> Cnf {
+        assert!(num_vars >= 3, "3-CNF needs at least 3 variables");
+        let vars: Vec<u32> = (0..num_vars as u32).collect();
+        let mut cnf = Cnf::new(num_vars);
+        for _ in 0..num_clauses {
+            let chosen: Vec<u32> = vars.choose_multiple(rng, 3).copied().collect();
+            let lits: Vec<(u32, bool)> =
+                chosen.into_iter().map(|v| (v, rng.gen_bool(0.5))).collect();
+            cnf.add_clause(&lits);
+        }
+        cnf
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .clauses
+            .iter()
+            .map(|c| {
+                let ls: Vec<String> = c.0.iter().map(Lit::to_string).collect();
+                format!("({})", ls.join(" ∨ "))
+            })
+            .collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn literal_evaluation() {
+        let a = [true, false];
+        assert!(Lit::pos(Var(0)).eval(&a));
+        assert!(!Lit::neg(Var(0)).eval(&a));
+        assert!(Lit::neg(Var(1)).eval(&a));
+        assert_eq!(Lit::pos(Var(0)).negated(), Lit::neg(Var(0)));
+    }
+
+    #[test]
+    fn formula_evaluation() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(&[(0, true), (1, true)]);
+        cnf.add_clause(&[(0, false), (1, false)]);
+        assert!(cnf.eval(&[true, false]));
+        assert!(!cnf.eval(&[true, true]));
+    }
+
+    #[test]
+    fn brute_force_finds_models_and_refutes() {
+        let mut sat = Cnf::new(3);
+        sat.add_clause(&[(0, true), (1, true), (2, true)]);
+        assert!(sat.brute_force().is_some());
+        // x ∧ ¬x
+        let mut unsat = Cnf::new(3);
+        unsat.add_clause(&[(0, true)]);
+        unsat.add_clause(&[(0, false)]);
+        assert!(unsat.brute_force().is_none());
+    }
+
+    #[test]
+    fn random_instances_have_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cnf = Cnf::random_3cnf(&mut rng, 6, 10);
+        assert_eq!(cnf.clauses.len(), 10);
+        for c in &cnf.clauses {
+            assert_eq!(c.0.len(), 3);
+            let mut vars: Vec<_> = c.0.iter().map(|l| l.var).collect();
+            vars.sort();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "distinct variables per clause");
+        }
+    }
+
+    #[test]
+    fn exact_3cnf_is_equisatisfiable() {
+        use crate::solver::solve;
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..120 {
+            // Random clauses of arbitrary width 0..6 over 6 variables.
+            let mut cnf = Cnf::new(6);
+            let clause_count = 1 + trial % 6;
+            for _ in 0..clause_count {
+                let width = rng.gen_range(0..6);
+                let lits: Vec<(u32, bool)> = (0..width)
+                    .map(|_| (rng.gen_range(0..6u32), rng.gen_bool(0.5)))
+                    .collect();
+                cnf.add_clause(&lits);
+            }
+            let three = cnf.to_exact_3cnf();
+            for c in &three.clauses {
+                assert_eq!(c.0.len(), 3);
+                let mut vars: Vec<_> = c.0.iter().map(|l| l.var).collect();
+                vars.sort();
+                vars.dedup();
+                assert_eq!(vars.len(), 3, "distinct variables per clause");
+            }
+            assert_eq!(
+                solve(&cnf).is_sat(),
+                solve(&three).is_sat(),
+                "equisatisfiability lost for {cnf} vs {three}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_3cnf_handles_degenerate_shapes() {
+        use crate::solver::solve;
+        // Empty clause ⇒ unsatisfiable.
+        let mut with_empty = Cnf::new(2);
+        with_empty.add_clause(&[(0, true)]);
+        with_empty.add_clause(&[]);
+        let t = with_empty.to_exact_3cnf();
+        assert!(!solve(&t).is_sat());
+        // Pure tautologies ⇒ satisfiable.
+        let mut taut = Cnf::new(1);
+        taut.add_clause(&[(0, true), (0, false)]);
+        let t = taut.to_exact_3cnf();
+        assert!(solve(&t).is_sat());
+        assert!(!t.clauses.is_empty());
+        // Wide clause splits.
+        let mut wide = Cnf::new(6);
+        wide.add_clause(&[(0, true), (1, true), (2, true), (3, true), (4, true), (5, true)]);
+        let t = wide.to_exact_3cnf();
+        assert!(t.clauses.len() >= 2);
+        assert!(solve(&t).is_sat());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(&[(0, true), (1, false)]);
+        assert_eq!(cnf.to_string(), "(x0 ∨ ¬x1)");
+    }
+}

@@ -1,0 +1,17 @@
+//! 3-CNF formulas and a DPLL satisfiability solver.
+//!
+//! The paper's NP-hardness proofs (Theorems 2 and 3) reduce 3-SAT to
+//! constrained deadlock-cycle detection. To *mechanise* those reductions we
+//! need an independent decision procedure for the source side of the
+//! reduction; this crate provides it. DPLL with unit propagation and the
+//! pure-literal rule is complete and instantaneous at the instance sizes
+//! the validation harness uses (n ≤ 20 variables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod solver;
+
+pub use cnf::{Clause, Cnf, Lit, Var};
+pub use solver::{solve, Solution};

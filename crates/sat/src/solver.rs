@@ -1,0 +1,234 @@
+//! DPLL with unit propagation and the pure-literal rule.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// The solver's answer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Solution {
+    /// Satisfiable, with a witnessing total assignment.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl Solution {
+    /// Is it satisfiable?
+    #[must_use]
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Solution::Sat(_))
+    }
+}
+
+/// Decide satisfiability of `cnf`.
+///
+/// ```
+/// use iwa_sat::{solve, Cnf};
+///
+/// let mut cnf = Cnf::new(2);
+/// cnf.add_clause(&[(0, true), (1, true)]);
+/// cnf.add_clause(&[(0, false)]);
+/// match solve(&cnf) {
+///     iwa_sat::Solution::Sat(model) => assert!(cnf.eval(&model)),
+///     iwa_sat::Solution::Unsat => unreachable!(),
+/// }
+/// ```
+#[must_use]
+pub fn solve(cnf: &Cnf) -> Solution {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    if dpll(cnf, &mut assignment) {
+        // Unconstrained variables default to false.
+        Solution::Sat(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        Solution::Unsat
+    }
+}
+
+/// Clause status under a partial assignment.
+enum Status {
+    Satisfied,
+    /// All literals false.
+    Conflict,
+    /// Exactly one literal unassigned, the rest false.
+    Unit(Lit),
+    Open,
+}
+
+fn clause_status(lits: &[Lit], assignment: &[Option<bool>]) -> Status {
+    let mut unassigned = None;
+    let mut unassigned_count = 0;
+    for &l in lits {
+        match assignment[l.var.index()] {
+            Some(v) if v == l.positive => return Status::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some(l);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => Status::Conflict,
+        1 => Status::Unit(unassigned.expect("counted")),
+        _ => Status::Open,
+    }
+}
+
+fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<Var> = Vec::new();
+    loop {
+        let mut propagated = false;
+        for clause in &cnf.clauses {
+            match clause_status(&clause.0, assignment) {
+                Status::Conflict => {
+                    for v in trail {
+                        assignment[v.index()] = None;
+                    }
+                    return false;
+                }
+                Status::Unit(l) => {
+                    assignment[l.var.index()] = Some(l.positive);
+                    trail.push(l.var);
+                    propagated = true;
+                }
+                _ => {}
+            }
+        }
+        if !propagated {
+            break;
+        }
+    }
+
+    // Pure-literal elimination.
+    let mut seen_pos = vec![false; cnf.num_vars];
+    let mut seen_neg = vec![false; cnf.num_vars];
+    for clause in &cnf.clauses {
+        if matches!(clause_status(&clause.0, assignment), Status::Satisfied) {
+            continue;
+        }
+        for &l in &clause.0 {
+            if assignment[l.var.index()].is_none() {
+                if l.positive {
+                    seen_pos[l.var.index()] = true;
+                } else {
+                    seen_neg[l.var.index()] = true;
+                }
+            }
+        }
+    }
+    for v in 0..cnf.num_vars {
+        if assignment[v].is_none() && (seen_pos[v] != seen_neg[v]) {
+            assignment[v] = Some(seen_pos[v]);
+            trail.push(Var(v as u32));
+        }
+    }
+
+    // Pick a branching variable: first unassigned in an unsatisfied clause.
+    let mut branch = None;
+    'outer: for clause in &cnf.clauses {
+        if matches!(clause_status(&clause.0, assignment), Status::Satisfied) {
+            continue;
+        }
+        for &l in &clause.0 {
+            if assignment[l.var.index()].is_none() {
+                branch = Some(l.var);
+                break 'outer;
+            }
+        }
+    }
+    let Some(v) = branch else {
+        // Every clause satisfied (or no clause mentions an unassigned var
+        // and none conflicts — all satisfied).
+        let all_sat = cnf
+            .clauses
+            .iter()
+            .all(|c| matches!(clause_status(&c.0, assignment), Status::Satisfied));
+        if all_sat {
+            return true;
+        }
+        for v in trail {
+            assignment[v.index()] = None;
+        }
+        return false;
+    };
+
+    for value in [true, false] {
+        assignment[v.index()] = Some(value);
+        if dpll(cnf, assignment) {
+            return true;
+        }
+        assignment[v.index()] = None;
+    }
+    for v in trail {
+        assignment[v.index()] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_cases() {
+        let empty = Cnf::new(3);
+        assert!(solve(&empty).is_sat());
+        let mut unsat = Cnf::new(1);
+        unsat.add_clause(&[(0, true)]);
+        unsat.add_clause(&[(0, false)]);
+        assert_eq!(solve(&unsat), Solution::Unsat);
+    }
+
+    #[test]
+    fn sat_models_actually_satisfy() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(&[(0, true), (1, false), (2, true)]);
+        cnf.add_clause(&[(1, true), (2, false), (3, true)]);
+        cnf.add_clause(&[(0, false), (3, false), (2, true)]);
+        match solve(&cnf) {
+            Solution::Sat(model) => assert!(cnf.eval(&model)),
+            Solution::Unsat => panic!("formula is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2) forces all true.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(&[(0, true)]);
+        cnf.add_clause(&[(0, false), (1, true)]);
+        cnf.add_clause(&[(1, false), (2, true)]);
+        match solve(&cnf) {
+            Solution::Sat(m) => assert_eq!(m, vec![true, true, true]),
+            Solution::Unsat => panic!(),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // Two pigeons, one hole: p0 ∧ p1 ∧ (¬p0 ∨ ¬p1).
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(&[(0, true)]);
+        cnf.add_clause(&[(1, true)]);
+        cnf.add_clause(&[(0, false), (1, false)]);
+        assert_eq!(solve(&cnf), Solution::Unsat);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..200 {
+            // Span the phase transition (ratio ≈ 4.3) to see both outcomes.
+            let clauses = 3 + trial % 40;
+            let cnf = Cnf::random_3cnf(&mut rng, 7, clauses);
+            let expect = cnf.brute_force().is_some();
+            let got = solve(&cnf);
+            assert_eq!(got.is_sat(), expect, "mismatch on {cnf}");
+            if let Solution::Sat(model) = got {
+                assert!(cnf.eval(&model), "model check failed on {cnf}");
+            }
+        }
+    }
+}

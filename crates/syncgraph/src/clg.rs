@@ -1,0 +1,230 @@
+//! The cycle location graph (paper §3.1).
+//!
+//! Construction, verbatim from the paper's six steps:
+//!
+//! 1. create distinguished nodes `b` and `e`;
+//! 2. for each sync-graph node `r` (other than `b`/`e`) create `r_i`
+//!    (incoming sync edges only) and `r_o` (outgoing sync edges only);
+//! 3. create the internal edge `(r_o, r_i)`;
+//! 4. for each control edge `(b, r)` create `(b, r_o)`; for `(r, e)` create
+//!    `(r_i, e)`;
+//! 5. for each control edge `(r, s)` with `r ≠ b`, `s ≠ e`, create
+//!    `(r_i, s_o)`;
+//! 6. for each sync edge `{r, s}` create directed `(r_o, s_i)` and
+//!    `(s_o, r_i)`.
+//!
+//! The effect: any path entering a node via a sync edge arrives at an `_i`
+//! node whose only exits are control edges — constraint 1b is enforced
+//! structurally. Edges keep their provenance ([`ClgEdge`]) because the
+//! refined algorithm must be able to *skip sync edges* at marked nodes.
+
+use crate::graph::{SyncGraph, B, E, FIRST_RV};
+use iwa_graphs::DiGraph;
+
+/// Edge provenance in the CLG.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClgEdge {
+    /// The `(r_o, r_i)` pass-through edge of one sync-graph node.
+    Internal,
+    /// Derived from a control-flow edge of the sync graph.
+    Control,
+    /// Derived from (one direction of) a sync edge.
+    Sync,
+}
+
+/// The cycle location graph derived from a [`SyncGraph`].
+#[derive(Clone, Debug)]
+pub struct Clg {
+    /// The directed graph. Node indices: `b` = 0, `e` = 1, then
+    /// `r_o`/`r_i` pairs (see [`Clg::out_node`]/[`Clg::in_node`]).
+    pub graph: DiGraph<ClgEdge>,
+    num_rendezvous: usize,
+}
+
+impl Clg {
+    /// Build the CLG of `sg`.
+    #[must_use]
+    pub fn build(sg: &SyncGraph) -> Clg {
+        let nrv = sg.num_rendezvous();
+        let mut graph: DiGraph<ClgEdge> = DiGraph::with_nodes(2 + 2 * nrv);
+        let clg = Clg {
+            graph: DiGraph::new(),
+            num_rendezvous: nrv,
+        };
+        // Step 3: internal edges.
+        for r in sg.rendezvous_nodes() {
+            graph.add_edge(clg.out_node(r), clg.in_node(r), ClgEdge::Internal);
+        }
+        // Steps 4–5: control edges.
+        for (u, v, ()) in sg.control.edges() {
+            match (u, v) {
+                (B, E) => graph.add_edge(B, E, ClgEdge::Control),
+                (B, v) => graph.add_edge(B, clg.out_node(v), ClgEdge::Control),
+                (u, E) => graph.add_edge(clg.in_node(u), E, ClgEdge::Control),
+                (u, v) => graph.add_edge(clg.in_node(u), clg.out_node(v), ClgEdge::Control),
+            }
+        }
+        // Step 6: sync edges, both directions.
+        for r in sg.rendezvous_nodes() {
+            for &s in sg.sync_neighbors(r) {
+                let s = s as usize;
+                // Each undirected edge is seen twice (once from each side);
+                // emit only from the lower index to avoid duplicates.
+                if r < s {
+                    graph.add_edge(clg.out_node(r), clg.in_node(s), ClgEdge::Sync);
+                    graph.add_edge(clg.out_node(s), clg.in_node(r), ClgEdge::Sync);
+                }
+            }
+        }
+        Clg {
+            graph,
+            num_rendezvous: nrv,
+        }
+    }
+
+    /// The `r_o` (sync-out) CLG node of sync-graph node `r`.
+    ///
+    /// # Panics
+    /// If `r` is `b`/`e`.
+    #[must_use]
+    pub fn out_node(&self, r: usize) -> usize {
+        assert!(r >= FIRST_RV, "b/e have no split nodes");
+        2 + 2 * (r - FIRST_RV)
+    }
+
+    /// The `r_i` (sync-in) CLG node of sync-graph node `r`.
+    #[must_use]
+    pub fn in_node(&self, r: usize) -> usize {
+        self.out_node(r) + 1
+    }
+
+    /// Map a CLG node back to its sync-graph node (`b`/`e` map to
+    /// themselves).
+    #[must_use]
+    pub fn sync_node_of(&self, clg_node: usize) -> usize {
+        if clg_node < 2 {
+            clg_node
+        } else {
+            FIRST_RV + (clg_node - 2) / 2
+        }
+    }
+
+    /// Is `clg_node` an `_i` node?
+    #[must_use]
+    pub fn is_in_node(&self, clg_node: usize) -> bool {
+        clg_node >= 2 && (clg_node - 2) % 2 == 1
+    }
+
+    /// Number of CLG nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        2 + 2 * self.num_rendezvous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwa_graphs::dfs::has_cycle_from;
+    use iwa_tasklang::parse;
+
+    /// Figure 4(a): four tasks whose sync edges form a cycle that crosses no
+    /// control edge — spurious, and broken by the CLG.
+    ///
+    /// Shape: tasks w1/w2 each send one signal; tasks a1/a2 each accept
+    /// both signals in sequence, creating sync edges r—s, s—t, t—u, u—r in
+    /// a ring (two accepts of the same type per accepting task would fold;
+    /// instead we use four distinct signals in a ring of four tasks).
+    fn fig4a_like() -> SyncGraph {
+        // Ring: t0 sends m1 to t1, accepts m0; t1 accepts m1, sends m2 to
+        // t2 … designed so all sync edges exist but any cycle through them
+        // would need to leave a node the way it entered.
+        let p = parse(
+            "task p {
+                send q.m1 as r;
+             }
+             task q {
+                accept m1 as s;
+                accept m2 as t;
+             }
+             task x {
+                send q.m2 as u;
+             }",
+        )
+        .unwrap();
+        SyncGraph::from_program(&p)
+    }
+
+    #[test]
+    fn structure_counts() {
+        let sg = fig4a_like();
+        let clg = Clg::build(&sg);
+        assert_eq!(clg.num_nodes(), 2 + 2 * sg.num_rendezvous());
+        // Edges: 1 internal per rendezvous + control + 2 per sync edge.
+        let internal = sg.num_rendezvous();
+        let control = sg.control.num_edges();
+        let sync = 2 * sg.num_sync_edges();
+        assert_eq!(clg.graph.num_edges(), internal + control + sync);
+    }
+
+    #[test]
+    fn node_mapping_roundtrips() {
+        let sg = fig4a_like();
+        let clg = Clg::build(&sg);
+        for r in sg.rendezvous_nodes() {
+            assert_eq!(clg.sync_node_of(clg.out_node(r)), r);
+            assert_eq!(clg.sync_node_of(clg.in_node(r)), r);
+            assert!(clg.is_in_node(clg.in_node(r)));
+            assert!(!clg.is_in_node(clg.out_node(r)));
+        }
+        assert_eq!(clg.sync_node_of(B), B);
+        assert_eq!(clg.sync_node_of(E), E);
+    }
+
+    #[test]
+    fn in_nodes_have_no_outgoing_sync_edges() {
+        let sg = fig4a_like();
+        let clg = Clg::build(&sg);
+        for (u, _v, lbl) in clg.graph.edges() {
+            if *lbl == ClgEdge::Sync {
+                assert!(!clg.is_in_node(u), "sync edge leaves an _i node");
+            }
+        }
+    }
+
+    #[test]
+    fn out_nodes_receive_no_sync_edges() {
+        let sg = fig4a_like();
+        let clg = Clg::build(&sg);
+        for (_u, v, lbl) in clg.graph.edges() {
+            if *lbl == ClgEdge::Sync {
+                assert!(clg.is_in_node(v), "sync edge enters an _o node");
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_deadlock_keeps_its_cycle() {
+        // The classic two-task crossed deadlock (paper Fig. 2(b) flavour):
+        // t1: send t2.a; accept b   /   t2: send t1.b; accept a
+        let p = parse(
+            "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }",
+        )
+        .unwrap();
+        let sg = SyncGraph::from_program(&p);
+        let clg = Clg::build(&sg);
+        assert!(has_cycle_from(&clg.graph, B), "deadlock cycle must survive");
+    }
+
+    #[test]
+    fn non_deadlocking_exchange_is_acyclic() {
+        // t1: send a; accept b   /   t2: accept a; send b — compatible order.
+        let p = parse(
+            "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }",
+        )
+        .unwrap();
+        let sg = SyncGraph::from_program(&p);
+        let clg = Clg::build(&sg);
+        assert!(!has_cycle_from(&clg.graph, B));
+    }
+}

@@ -1,0 +1,571 @@
+//! Per-task control-flow graphs over rendezvous points.
+//!
+//! The sync graph (paper §2) needs, per task, the control-flow relation
+//! *"there is a control flow path between r and s which includes no other
+//! rendezvous points"*. This module computes exactly that: each task body is
+//! first lowered to a micro-CFG containing rendezvous nodes plus structural
+//! ε-nodes (forks, joins, loop heads), then the ε-nodes are contracted away,
+//! leaving a graph whose nodes are `entry`, `exit`, and the task's
+//! rendezvous statements.
+
+use crate::ast::{Cond, Program, Stmt, Task};
+use iwa_core::{Rendezvous, TaskId};
+use iwa_graphs::DiGraph;
+
+/// Index of the distinguished entry node in every [`TaskCfg`].
+pub const ENTRY: usize = 0;
+/// Index of the distinguished exit node in every [`TaskCfg`].
+pub const EXIT: usize = 1;
+/// First index used for rendezvous nodes.
+pub const FIRST_RV: usize = 2;
+
+/// One guard enclosing a statement: an encapsulated condition variable and
+/// the polarity of the branch taken (`then` = `true`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Guard {
+    /// The encapsulated variable's name.
+    pub var: String,
+    /// `true` for the then-branch / loop body, `false` for the else-branch.
+    pub polarity: bool,
+}
+
+/// Metadata of one rendezvous node in a [`TaskCfg`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RvInfo {
+    /// The rendezvous point type `(t, m, s)`.
+    pub rendezvous: Rendezvous,
+    /// Source label (`as r`), if any.
+    pub label: Option<String>,
+    /// Condition variable carried by a send.
+    pub carrying: Option<String>,
+    /// Condition variable bound by an accept.
+    pub binding: Option<String>,
+    /// Encapsulated-variable guards lexically enclosing the statement
+    /// (innermost last). Opaque (`Cond::Unknown`) guards do not appear.
+    pub guards: Vec<Guard>,
+}
+
+/// The control-flow graph of one task, restricted to rendezvous points.
+///
+/// Node indices: [`ENTRY`] (= the task-local view of the program's `b`),
+/// [`EXIT`] (= `e`), then rendezvous nodes from [`FIRST_RV`] upward in
+/// syntactic order.
+#[derive(Clone, Debug)]
+pub struct TaskCfg {
+    /// Which task this is.
+    pub task: TaskId,
+    /// The contracted graph.
+    pub graph: DiGraph<()>,
+    /// Metadata per node; `None` for `ENTRY`/`EXIT`.
+    pub info: Vec<Option<RvInfo>>,
+}
+
+impl TaskCfg {
+    /// Build the rendezvous CFG of `task`.
+    #[must_use]
+    pub fn build(task: &Task) -> TaskCfg {
+        Lowering::lower(task)
+    }
+
+    /// Number of rendezvous nodes.
+    #[must_use]
+    pub fn num_rendezvous(&self) -> usize {
+        self.graph.num_nodes() - FIRST_RV
+    }
+
+    /// Iterate rendezvous node indices.
+    pub fn rendezvous_nodes(&self) -> impl Iterator<Item = usize> {
+        FIRST_RV..self.graph.num_nodes()
+    }
+
+    /// The metadata of rendezvous node `n`.
+    ///
+    /// # Panics
+    /// If `n` is `ENTRY`/`EXIT`.
+    #[must_use]
+    pub fn rv(&self, n: usize) -> &RvInfo {
+        self.info[n].as_ref().expect("not a rendezvous node")
+    }
+
+    /// First rendezvous points: control successors of `ENTRY` (may include
+    /// `EXIT` when some path has no rendezvous at all).
+    #[must_use]
+    pub fn first_nodes(&self) -> Vec<usize> {
+        self.graph
+            .successors(ENTRY)
+            .iter()
+            .map(|(v, ())| *v as usize)
+            .collect()
+    }
+
+    /// Find a rendezvous node by its source label.
+    #[must_use]
+    pub fn node_by_label(&self, label: &str) -> Option<usize> {
+        self.rendezvous_nodes()
+            .find(|&n| self.rv(n).label.as_deref() == Some(label))
+    }
+}
+
+/// The CFGs of all tasks of a program.
+#[derive(Clone, Debug)]
+pub struct ProgramCfg {
+    /// One CFG per task, indexed by `TaskId`.
+    pub tasks: Vec<TaskCfg>,
+}
+
+impl ProgramCfg {
+    /// Build CFGs for every task of `p`.
+    #[must_use]
+    pub fn build(p: &Program) -> ProgramCfg {
+        ProgramCfg {
+            tasks: p.tasks.iter().map(TaskCfg::build).collect(),
+        }
+    }
+
+    /// Locate a labelled rendezvous anywhere in the program.
+    #[must_use]
+    pub fn node_by_label(&self, label: &str) -> Option<(TaskId, usize)> {
+        self.tasks.iter().find_map(|cfg| {
+            cfg.node_by_label(label).map(|n| (cfg.task, n))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: AST → micro-CFG → contracted rendezvous CFG.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MicroKind {
+    Eps,
+    Entry,
+    Exit,
+    /// Index into `rv_infos`.
+    Rv(usize),
+}
+
+struct Lowering {
+    micro: DiGraph<()>,
+    kinds: Vec<MicroKind>,
+    rv_infos: Vec<RvInfo>,
+    guards: Vec<Guard>,
+}
+
+impl Lowering {
+    fn lower(task: &Task) -> TaskCfg {
+        let mut lw = Lowering {
+            micro: DiGraph::new(),
+            kinds: Vec::new(),
+            rv_infos: Vec::new(),
+            guards: Vec::new(),
+        };
+        let entry = lw.node(MicroKind::Entry);
+        let exit = lw.node(MicroKind::Exit);
+        let (bin, bout) = lw.wire_block(&task.body);
+        lw.micro.add_arc(entry, bin);
+        lw.micro.add_arc(bout, exit);
+        lw.contract(task.id, entry, exit)
+    }
+
+    fn node(&mut self, kind: MicroKind) -> usize {
+        let n = self.micro.add_node();
+        self.kinds.push(kind);
+        n
+    }
+
+    /// Wire a statement block; returns its (in, out) micro nodes.
+    fn wire_block(&mut self, stmts: &[Stmt]) -> (usize, usize) {
+        if stmts.is_empty() {
+            let n = self.node(MicroKind::Eps);
+            return (n, n);
+        }
+        let mut first = None;
+        let mut prev_out = None;
+        for s in stmts {
+            let (sin, sout) = self.wire_stmt(s);
+            if let Some(po) = prev_out {
+                self.micro.add_arc(po, sin);
+            }
+            first.get_or_insert(sin);
+            prev_out = Some(sout);
+        }
+        (first.unwrap(), prev_out.unwrap())
+    }
+
+    fn push_guard(&mut self, cond: &Cond, polarity: bool) -> bool {
+        if let Cond::Var(v) = cond {
+            self.guards.push(Guard {
+                var: v.clone(),
+                polarity,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    fn wire_stmt(&mut self, s: &Stmt) -> (usize, usize) {
+        match s {
+            Stmt::Send {
+                signal,
+                carrying,
+                label,
+            } => {
+                let info = RvInfo {
+                    rendezvous: Rendezvous::send(*signal),
+                    label: label.clone(),
+                    carrying: carrying.clone(),
+                    binding: None,
+                    guards: self.guards.clone(),
+                };
+                let idx = self.rv_infos.len();
+                self.rv_infos.push(info);
+                let n = self.node(MicroKind::Rv(idx));
+                (n, n)
+            }
+            Stmt::Accept {
+                signal,
+                binding,
+                label,
+            } => {
+                let info = RvInfo {
+                    rendezvous: Rendezvous::accept(*signal),
+                    label: label.clone(),
+                    carrying: None,
+                    binding: binding.clone(),
+                    guards: self.guards.clone(),
+                };
+                let idx = self.rv_infos.len();
+                self.rv_infos.push(info);
+                let n = self.node(MicroKind::Rv(idx));
+                (n, n)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let fork = self.node(MicroKind::Eps);
+                let join = self.node(MicroKind::Eps);
+                let pushed = self.push_guard(cond, true);
+                let (ti, to) = self.wire_block(then_branch);
+                if pushed {
+                    self.guards.pop();
+                }
+                let pushed = self.push_guard(cond, false);
+                let (ei, eo) = self.wire_block(else_branch);
+                if pushed {
+                    self.guards.pop();
+                }
+                self.micro.add_arc(fork, ti);
+                self.micro.add_arc(to, join);
+                self.micro.add_arc(fork, ei);
+                self.micro.add_arc(eo, join);
+                (fork, join)
+            }
+            Stmt::While { cond, body } => {
+                let head = self.node(MicroKind::Eps);
+                let exit = self.node(MicroKind::Eps);
+                let pushed = self.push_guard(cond, true);
+                let (bi, bo) = self.wire_block(body);
+                if pushed {
+                    self.guards.pop();
+                }
+                self.micro.add_arc(head, bi);
+                self.micro.add_arc(bo, head);
+                self.micro.add_arc(head, exit);
+                (head, exit)
+            }
+            Stmt::Repeat { body, cond } => {
+                let head = self.node(MicroKind::Eps);
+                let exit = self.node(MicroKind::Eps);
+                let pushed = self.push_guard(cond, true);
+                let (bi, bo) = self.wire_block(body);
+                if pushed {
+                    self.guards.pop();
+                }
+                self.micro.add_arc(head, bi);
+                self.micro.add_arc(bo, exit);
+                self.micro.add_arc(bo, bi);
+                (head, exit)
+            }
+            Stmt::Call { .. } => {
+                // CFGs are built after `inline_procs`; treat a leftover
+                // call site as transparent (no rendezvous of its own).
+                let n = self.node(MicroKind::Eps);
+                (n, n)
+            }
+        }
+    }
+
+    /// Contract ε-nodes: final graph has `ENTRY`, `EXIT`, and one node per
+    /// rendezvous, with an edge wherever a micro path crosses no other
+    /// rendezvous.
+    fn contract(self, task: TaskId, entry: usize, exit: usize) -> TaskCfg {
+        let nrv = self.rv_infos.len();
+        let mut graph = DiGraph::with_nodes(FIRST_RV + nrv);
+        let mut info: Vec<Option<RvInfo>> = vec![None, None];
+        info.extend(self.rv_infos.iter().cloned().map(Some));
+
+        // Map micro rendezvous node → final node index.
+        let final_of = |kind: MicroKind| -> Option<usize> {
+            match kind {
+                MicroKind::Rv(i) => Some(FIRST_RV + i),
+                MicroKind::Entry => Some(ENTRY),
+                MicroKind::Exit => Some(EXIT),
+                MicroKind::Eps => None,
+            }
+        };
+
+        // From each source (entry or rendezvous micro node), flood through
+        // ε-nodes; stop at rendezvous/exit nodes and record an edge.
+        let mut targets_seen = std::collections::HashSet::new();
+        for src_micro in 0..self.micro.num_nodes() {
+            let src_final = match self.kinds[src_micro] {
+                MicroKind::Entry => ENTRY,
+                MicroKind::Rv(i) => FIRST_RV + i,
+                _ => continue,
+            };
+            targets_seen.clear();
+            let mut visited = vec![false; self.micro.num_nodes()];
+            let mut stack: Vec<usize> = self.micro.successors(src_micro)
+                .iter()
+                .map(|(v, ())| *v as usize)
+                .collect();
+            while let Some(m) = stack.pop() {
+                if visited[m] {
+                    continue;
+                }
+                visited[m] = true;
+                match final_of(self.kinds[m]) {
+                    Some(dst_final) if dst_final != ENTRY => {
+                        if targets_seen.insert(dst_final) {
+                            graph.add_edge(src_final, dst_final, ());
+                        }
+                    }
+                    _ => {
+                        for (v, ()) in self.micro.successors(m) {
+                            stack.push(*v as usize);
+                        }
+                    }
+                }
+            }
+        }
+        let _ = (entry, exit);
+        TaskCfg { task, graph, info }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ProgramBuilder;
+    use iwa_core::Sign;
+
+    /// Helper: build a one-task program (plus a sink task to receive sends).
+    fn cfg_of(build: impl FnOnce(&mut crate::ast::TaskBuilder, iwa_core::SignalId)) -> TaskCfg {
+        let mut b = ProgramBuilder::new();
+        let main = b.task("main");
+        let sink = b.task("sink");
+        let sig = b.signal(sink, "m");
+        b.body(main, |t| build(t, sig));
+        b.body(sink, |t| {
+            t.accept(sig);
+        });
+        let p = b.build();
+        ProgramCfg::build(&p).tasks[main.index()].clone()
+    }
+
+    #[test]
+    fn straight_line_chains() {
+        let cfg = cfg_of(|t, sig| {
+            t.send(sig).send(sig).send(sig);
+        });
+        assert_eq!(cfg.num_rendezvous(), 3);
+        assert_eq!(cfg.first_nodes(), vec![FIRST_RV]);
+        assert!(cfg.graph.has_edge(FIRST_RV, FIRST_RV + 1));
+        assert!(cfg.graph.has_edge(FIRST_RV + 1, FIRST_RV + 2));
+        assert!(cfg.graph.has_edge(FIRST_RV + 2, EXIT));
+        assert!(!cfg.graph.has_edge(FIRST_RV, FIRST_RV + 2));
+    }
+
+    #[test]
+    fn empty_task_connects_entry_to_exit() {
+        let cfg = cfg_of(|_, _| {});
+        assert_eq!(cfg.num_rendezvous(), 0);
+        assert!(cfg.graph.has_edge(ENTRY, EXIT));
+    }
+
+    #[test]
+    fn conditional_creates_diamond() {
+        let cfg = cfg_of(|t, sig| {
+            t.if_else(
+                |t| {
+                    t.send_as(sig, "a");
+                },
+                |t| {
+                    t.send_as(sig, "b");
+                },
+            );
+            t.send_as(sig, "c");
+        });
+        let a = cfg.node_by_label("a").unwrap();
+        let b = cfg.node_by_label("b").unwrap();
+        let c = cfg.node_by_label("c").unwrap();
+        assert!(cfg.graph.has_edge(ENTRY, a));
+        assert!(cfg.graph.has_edge(ENTRY, b));
+        assert!(cfg.graph.has_edge(a, c));
+        assert!(cfg.graph.has_edge(b, c));
+        assert!(!cfg.graph.has_edge(a, b));
+        assert!(cfg.graph.has_edge(c, EXIT));
+    }
+
+    #[test]
+    fn empty_else_branch_skips_past() {
+        let cfg = cfg_of(|t, sig| {
+            t.send_as(sig, "pre");
+            t.if_else(
+                |t| {
+                    t.send_as(sig, "inner");
+                },
+                |_| {},
+            );
+            t.send_as(sig, "post");
+        });
+        let pre = cfg.node_by_label("pre").unwrap();
+        let inner = cfg.node_by_label("inner").unwrap();
+        let post = cfg.node_by_label("post").unwrap();
+        assert!(cfg.graph.has_edge(pre, inner));
+        assert!(cfg.graph.has_edge(pre, post)); // skipping the conditional
+        assert!(cfg.graph.has_edge(inner, post));
+    }
+
+    #[test]
+    fn while_loop_allows_zero_and_many() {
+        let cfg = cfg_of(|t, sig| {
+            t.send_as(sig, "pre");
+            t.while_loop(|t| {
+                t.send_as(sig, "body");
+            });
+            t.send_as(sig, "post");
+        });
+        let pre = cfg.node_by_label("pre").unwrap();
+        let body = cfg.node_by_label("body").unwrap();
+        let post = cfg.node_by_label("post").unwrap();
+        assert!(cfg.graph.has_edge(pre, body));
+        assert!(cfg.graph.has_edge(pre, post)); // zero iterations
+        assert!(cfg.graph.has_edge(body, body)); // next iteration
+        assert!(cfg.graph.has_edge(body, post)); // loop exit
+    }
+
+    #[test]
+    fn repeat_loop_requires_one_iteration() {
+        let cfg = cfg_of(|t, sig| {
+            t.send_as(sig, "pre");
+            t.repeat_loop(|t| {
+                t.send_as(sig, "body");
+            });
+            t.send_as(sig, "post");
+        });
+        let pre = cfg.node_by_label("pre").unwrap();
+        let body = cfg.node_by_label("body").unwrap();
+        let post = cfg.node_by_label("post").unwrap();
+        assert!(cfg.graph.has_edge(pre, body));
+        assert!(!cfg.graph.has_edge(pre, post)); // cannot skip a repeat loop
+        assert!(cfg.graph.has_edge(body, body));
+        assert!(cfg.graph.has_edge(body, post));
+    }
+
+    #[test]
+    fn empty_while_is_transparent() {
+        let cfg = cfg_of(|t, sig| {
+            t.send_as(sig, "pre");
+            t.while_loop(|_| {});
+            t.send_as(sig, "post");
+        });
+        let pre = cfg.node_by_label("pre").unwrap();
+        let post = cfg.node_by_label("post").unwrap();
+        assert!(cfg.graph.has_edge(pre, post));
+    }
+
+    #[test]
+    fn guards_record_enclosing_encapsulated_vars() {
+        let mut b = ProgramBuilder::new();
+        let main = b.task("main");
+        let sink = b.task("sink");
+        let sig = b.signal(sink, "m");
+        b.body(main, |t| {
+            t.if_cond(
+                Cond::Var("v".into()),
+                |t| {
+                    t.send_as(sig, "pos");
+                },
+                |t| {
+                    t.send_as(sig, "neg");
+                },
+            );
+        });
+        b.body(sink, |t| {
+            t.accept(sig);
+        });
+        let p = b.build();
+        let cfg = &ProgramCfg::build(&p).tasks[main.index()];
+        let pos = cfg.node_by_label("pos").unwrap();
+        let neg = cfg.node_by_label("neg").unwrap();
+        assert_eq!(
+            cfg.rv(pos).guards,
+            vec![Guard {
+                var: "v".into(),
+                polarity: true
+            }]
+        );
+        assert_eq!(
+            cfg.rv(neg).guards,
+            vec![Guard {
+                var: "v".into(),
+                polarity: false
+            }]
+        );
+    }
+
+    #[test]
+    fn signs_recorded() {
+        let mut b = ProgramBuilder::new();
+        let main = b.task("main");
+        let other = b.task("other");
+        let to_other = b.signal(other, "x");
+        let to_main = b.signal(main, "y");
+        b.body(main, |t| {
+            t.send(to_other).accept(to_main);
+        });
+        b.body(other, |t| {
+            t.accept(to_other).send(to_main);
+        });
+        let p = b.build();
+        let cfg = &ProgramCfg::build(&p).tasks[main.index()];
+        assert_eq!(cfg.rv(FIRST_RV).rendezvous.sign, Sign::Plus);
+        assert_eq!(cfg.rv(FIRST_RV + 1).rendezvous.sign, Sign::Minus);
+    }
+
+    #[test]
+    fn nested_loops_wire_through() {
+        let cfg = cfg_of(|t, sig| {
+            t.while_loop(|t| {
+                t.send_as(sig, "outer");
+                t.while_loop(|t| {
+                    t.send_as(sig, "inner");
+                });
+            });
+        });
+        let outer = cfg.node_by_label("outer").unwrap();
+        let inner = cfg.node_by_label("inner").unwrap();
+        assert!(cfg.graph.has_edge(ENTRY, outer));
+        assert!(cfg.graph.has_edge(ENTRY, EXIT)); // zero outer iterations
+        assert!(cfg.graph.has_edge(outer, inner));
+        assert!(cfg.graph.has_edge(inner, inner));
+        assert!(cfg.graph.has_edge(inner, outer)); // next outer iteration
+        assert!(cfg.graph.has_edge(outer, outer)); // skip inner loop entirely
+        assert!(cfg.graph.has_edge(inner, EXIT));
+        assert!(cfg.graph.has_edge(outer, EXIT));
+    }
+}

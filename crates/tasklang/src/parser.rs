@@ -1,0 +1,556 @@
+//! Recursive-descent parser for the `.iwa` DSL.
+//!
+//! Grammar (whitespace-insensitive, `//` line comments):
+//!
+//! ```text
+//! program := (taskdecl | procdecl)*
+//! taskdecl := "task" IDENT "{" stmt* "}"
+//! procdecl := "proc" IDENT "{" stmt* "}"
+//! stmt := "send" IDENT "." IDENT ["carrying" IDENT] ["as" IDENT] ";"
+//!       | "accept" IDENT ["binding" IDENT] ["as" IDENT] ";"
+//!       | "call" IDENT ";"
+//!       | "if" [cond] "{" stmt* "}" ["else" "{" stmt* "}"]
+//!       | "while" [cond] "{" stmt* "}"
+//!       | "repeat" [cond] "{" stmt* "}"
+//! cond := "(" IDENT ")"
+//! ```
+//!
+//! `send consumer.item` calls entry `item` of task `consumer`; `accept item`
+//! accepts that entry inside `consumer`'s own declaration. A parenthesised
+//! condition names an *encapsulated boolean variable* (§5.1); without one
+//! the branch is opaque. `as r` attaches the source label the paper's
+//! figures use to name rendezvous points.
+
+use crate::ast::{Cond, Procedure, Program, Stmt, Task};
+use iwa_core::{IwaError, Symbols, TaskId};
+use std::collections::HashSet;
+
+/// Parse `.iwa` source text into a [`Program`].
+///
+/// All referenced tasks must be declared somewhere in the same source;
+/// forward references are fine.
+///
+/// ```
+/// let p = iwa_tasklang::parse(r"
+///     task ping { send pong.serve; }
+///     task pong { accept serve; }
+/// ").unwrap();
+/// assert_eq!(p.num_tasks(), 2);
+/// ```
+pub fn parse(src: &str) -> Result<Program, IwaError> {
+    let tokens = lex(src)?;
+    Parser {
+        tokens,
+        pos: 0,
+        symbols: Symbols::new(),
+        declared: HashSet::new(),
+        referenced: Vec::new(),
+    }
+    .program()
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Dot,
+    Semi,
+    Eof,
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, IwaError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        let bump = |c: char, line: &mut usize, col: &mut usize| {
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        };
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+            }
+            '/' => {
+                chars.next();
+                bump('/', &mut line, &mut col);
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        bump(c, &mut line, &mut col);
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(IwaError::Parse {
+                        line: tline,
+                        col: tcol,
+                        message: "unexpected '/' (comments are '//')".into(),
+                    });
+                }
+            }
+            '{' | '}' | '(' | ')' | '.' | ';' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '.' => Tok::Dot,
+                    _ => Tok::Semi,
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                        bump(c, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(ident),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(IwaError::Parse {
+                    line: tline,
+                    col: tcol,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    symbols: Symbols,
+    declared: HashSet<TaskId>,
+    /// `(task, line, col)` of every task mention, re-checked at the end.
+    referenced: Vec<(TaskId, usize, usize)>,
+}
+
+/// Whose body are we parsing? Procedures may not `accept`.
+#[derive(Clone, Copy)]
+enum Ctx {
+    Task(TaskId),
+    Proc,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Spanned {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, at: &Spanned, message: impl Into<String>) -> IwaError {
+        IwaError::Parse {
+            line: at.line,
+            col: at.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<Spanned, IwaError> {
+        let t = self.advance();
+        if &t.tok == want {
+            Ok(t)
+        } else {
+            Err(self.err(&t, format!("expected {what}, found {:?}", t.tok)))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Spanned), IwaError> {
+        let t = self.advance();
+        match &t.tok {
+            Tok::Ident(s) => Ok((s.clone(), t.clone())),
+            other => Err(self.err(&t, format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// Is the next token the keyword `kw`?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(mut self) -> Result<Program, IwaError> {
+        // Pre-pass: intern tasks in *declaration* order, so task ids are
+        // stable under print → parse round-trips even when a body
+        // forward-references a later task.
+        {
+            let mut depth = 0usize;
+            let mut i = 0;
+            while i < self.tokens.len() {
+                match &self.tokens[i].tok {
+                    Tok::LBrace => depth += 1,
+                    Tok::RBrace => depth = depth.saturating_sub(1),
+                    Tok::Ident(kw) if depth == 0 && kw == "task" => {
+                        if let Some(Spanned {
+                            tok: Tok::Ident(name),
+                            ..
+                        }) = self.tokens.get(i + 1)
+                        {
+                            self.symbols.intern_task(name);
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        // Bodies keyed by task id; tasks may be referenced before declared.
+        let mut bodies: Vec<Option<Vec<Stmt>>> = Vec::new();
+        let mut procs: Vec<Procedure> = Vec::new();
+        loop {
+            if self.peek().tok == Tok::Eof {
+                break;
+            }
+            let kw = self.advance();
+            match &kw.tok {
+                Tok::Ident(s) if s == "task" => {
+                    let (name, at) = self.ident("task name")?;
+                    let id = self.symbols.intern_task(&name);
+                    if !self.declared.insert(id) {
+                        return Err(self.err(&at, format!("task '{name}' declared twice")));
+                    }
+                    self.expect(&Tok::LBrace, "'{'")?;
+                    let body = self.block(Ctx::Task(id))?;
+                    while bodies.len() <= id.index() {
+                        bodies.push(None);
+                    }
+                    bodies[id.index()] = Some(body);
+                }
+                Tok::Ident(s) if s == "proc" => {
+                    let (name, at) = self.ident("procedure name")?;
+                    if procs.iter().any(|p| p.name == name) {
+                        return Err(
+                            self.err(&at, format!("proc '{name}' declared twice"))
+                        );
+                    }
+                    self.expect(&Tok::LBrace, "'{'")?;
+                    let body = self.block(Ctx::Proc)?;
+                    procs.push(Procedure { name, body });
+                }
+                _ => return Err(self.err(&kw, "expected 'task' or 'proc'")),
+            }
+        }
+        // Verify referenced tasks were declared.
+        for (id, line, col) in &self.referenced {
+            if !self.declared.contains(id) {
+                return Err(IwaError::Parse {
+                    line: *line,
+                    col: *col,
+                    message: format!(
+                        "task '{}' is referenced but never declared",
+                        self.symbols.task_name(*id)
+                    ),
+                });
+            }
+        }
+        let tasks = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| Task {
+                id: TaskId(i as u32),
+                body: b.unwrap_or_default(),
+            })
+            .collect();
+        Ok(Program {
+            symbols: self.symbols,
+            tasks,
+            procs,
+        })
+    }
+
+    /// Parse statements until the matching `}` (consumed).
+    fn block(&mut self, ctx: Ctx) -> Result<Vec<Stmt>, IwaError> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.peek().tok == Tok::RBrace {
+                self.advance();
+                return Ok(stmts);
+            }
+            if self.peek().tok == Tok::Eof {
+                let t = self.peek().clone();
+                return Err(self.err(&t, "unexpected end of input (missing '}')"));
+            }
+            stmts.push(self.stmt(ctx)?);
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, IwaError> {
+        if self.peek().tok == Tok::LParen {
+            self.advance();
+            let (v, _) = self.ident("condition variable")?;
+            self.expect(&Tok::RParen, "')'")?;
+            Ok(Cond::Var(v))
+        } else {
+            Ok(Cond::Unknown)
+        }
+    }
+
+    fn stmt(&mut self, ctx: Ctx) -> Result<Stmt, IwaError> {
+        let t = self.advance();
+        let kw = match &t.tok {
+            Tok::Ident(s) => s.clone(),
+            other => return Err(self.err(&t, format!("expected a statement, found {other:?}"))),
+        };
+        match kw.as_str() {
+            "send" => {
+                let (task_name, at) = self.ident("target task")?;
+                let target = self.symbols.intern_task(&task_name);
+                self.referenced.push((target, at.line, at.col));
+                self.expect(&Tok::Dot, "'.'")?;
+                let (msg, _) = self.ident("message name")?;
+                let signal = self.symbols.intern_signal(target, &msg);
+                let carrying = if self.eat_kw("carrying") {
+                    Some(self.ident("carried variable")?.0)
+                } else {
+                    None
+                };
+                let label = if self.eat_kw("as") {
+                    Some(self.ident("label")?.0)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Send {
+                    signal,
+                    carrying,
+                    label,
+                })
+            }
+            "accept" => {
+                let Ctx::Task(current) = ctx else {
+                    return Err(self.err(
+                        &t,
+                        "accept statements are not allowed in procedures (Ada: \
+                         accepts belong to the owning task's body)",
+                    ));
+                };
+                let (msg, _) = self.ident("message name")?;
+                let signal = self.symbols.intern_signal(current, &msg);
+                let binding = if self.eat_kw("binding") {
+                    Some(self.ident("bound variable")?.0)
+                } else {
+                    None
+                };
+                let label = if self.eat_kw("as") {
+                    Some(self.ident("label")?.0)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Accept {
+                    signal,
+                    binding,
+                    label,
+                })
+            }
+            "call" => {
+                let (proc, _) = self.ident("procedure name")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Call { proc })
+            }
+            "if" => {
+                let cond = self.cond()?;
+                self.expect(&Tok::LBrace, "'{'")?;
+                let then_branch = self.block(ctx)?;
+                let else_branch = if self.eat_kw("else") {
+                    self.expect(&Tok::LBrace, "'{'")?;
+                    self.block(ctx)?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            "while" => {
+                let cond = self.cond()?;
+                self.expect(&Tok::LBrace, "'{'")?;
+                let body = self.block(ctx)?;
+                Ok(Stmt::While { cond, body })
+            }
+            "repeat" => {
+                let cond = self.cond()?;
+                self.expect(&Tok::LBrace, "'{'")?;
+                let body = self.block(ctx)?;
+                Ok(Stmt::Repeat { body, cond })
+            }
+            other => Err(self.err(
+                &t,
+                format!(
+                    "unknown statement keyword '{other}' (expected send/accept/call/if/while/repeat)"
+                ),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_program() {
+        let p = parse("task a { send b.m; } task b { accept m; }").unwrap();
+        assert_eq!(p.num_tasks(), 2);
+        assert_eq!(p.num_rendezvous(), 2);
+        assert!(p.is_straight_line());
+    }
+
+    #[test]
+    fn forward_reference_is_fine() {
+        let p = parse("task first { send second.go; } task second { accept go; }").unwrap();
+        assert_eq!(p.symbols.task_name(p.tasks[1].id), "second");
+    }
+
+    #[test]
+    fn undeclared_task_is_an_error() {
+        let e = parse("task a { send ghost.m; }").unwrap_err();
+        assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_task_is_an_error() {
+        let e = parse("task a { } task a { }").unwrap_err();
+        assert!(e.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn full_syntax_round_trip() {
+        let src = r"
+            // producer/consumer with all constructs
+            task producer {
+                while {
+                    send consumer.item carrying flag as p1;
+                }
+            }
+            task consumer {
+                repeat {
+                    accept item binding flag as c1;
+                    if (flag) {
+                        accept item;
+                    } else {
+                        send producer.ack;
+                    }
+                }
+            }
+            task producer_helper { accept ack; }
+        ";
+        // `send producer.ack` declares signal ack on producer, so the accept
+        // must live in producer; adjust: use a dedicated task instead.
+        let src = src.replace("send producer.ack;", "send producer_helper.ack;");
+        let p = parse(&src).unwrap();
+        let printed = p.to_source();
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p2.to_source(), printed, "print→parse→print is stable");
+        assert_eq!(p.num_rendezvous(), p2.num_rendezvous());
+        assert!(!p.is_loop_free());
+    }
+
+    #[test]
+    fn labels_and_conditions_survive() {
+        let p = parse(
+            "task a { if (v) { send b.m as inner; } } task b { accept m; }",
+        )
+        .unwrap();
+        match &p.tasks[0].body[0] {
+            Stmt::If { cond, then_branch, .. } => {
+                assert_eq!(cond, &Cond::Var("v".into()));
+                assert_eq!(then_branch[0].label(), Some("inner"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse("// header\ntask a { // inline\n }").unwrap();
+        assert_eq!(p.num_tasks(), 1);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse("task a {\n  send b,m;\n} task b {}").unwrap_err();
+        match e {
+            IwaError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_cannot_start_statements() {
+        let e = parse("task a { explode; }").unwrap_err();
+        assert!(e.to_string().contains("unknown statement keyword"));
+    }
+
+    #[test]
+    fn empty_source_is_an_empty_program() {
+        let p = parse("").unwrap();
+        assert_eq!(p.num_tasks(), 0);
+    }
+}

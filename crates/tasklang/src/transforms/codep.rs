@@ -1,0 +1,429 @@
+//! Figure 5(d): factoring co-dependent conditional rendezvous.
+//!
+//! > *"… we know that node `r` in task `T` is executed iff a complementary
+//! > node `r'` is executed in task `T'`. Thus, `r` and `r'` can be factored
+//! > out of the count of nodes. … A simple example is shown in Figure 5(d).
+//! > Here, a boolean variable `v` is passed from task `T` to `T'` by the
+//! > rendezvous of `s` with `s'`."*
+//!
+//! The paper proposes **encapsulated boolean expressions** to sidestep
+//! expression unification: conditions are opaque single-assignment booleans
+//! that may be *communicated* between tasks but never modified. Under that
+//! discipline, co-dependence is pure value flow, which this module tracks:
+//!
+//! 1. every `send … carrying x` / `accept … binding y` pair over a signal
+//!    with a *unique* send and accept site unifies `x ~ y` (union–find);
+//! 2. a signal whose unique send and unique accept are guarded by
+//!    equivalent condition stacks (same depth, pairwise-equivalent
+//!    variables, same polarities) is **co-dependent**: in any execution that
+//!    reaches both conditionals, the two sides execute together;
+//! 3. [`factor_codependent`] hoists each such pair one guard level per pass,
+//!    to a fixpoint, after which the stall balance check (Lemma 3/4) can
+//!    count them unconditionally.
+//!
+//! Approximation note (paper §5.1 makes the same one): the inference assumes
+//! the guarding conditionals themselves are reached whenever relevant — the
+//! transform preserves *stall counting*, not arbitrary semantics, and is
+//! used only by the stall analysis.
+
+use crate::ast::{Cond, Program, Stmt, Task};
+use crate::cfg::{Guard, ProgramCfg};
+use iwa_core::{Sign, SignalId, TaskId};
+use std::collections::HashMap;
+
+/// A task-qualified condition variable.
+type VarKey = (TaskId, String);
+
+/// Union–find over task-qualified variable names.
+#[derive(Default)]
+struct VarUnion {
+    parent: HashMap<VarKey, VarKey>,
+}
+
+impl VarUnion {
+    fn find(&mut self, k: &VarKey) -> VarKey {
+        let p = match self.parent.get(k) {
+            None => return k.clone(),
+            Some(p) => p.clone(),
+        };
+        if &p == k {
+            return p;
+        }
+        let root = self.find(&p);
+        self.parent.insert(k.clone(), root.clone());
+        root
+    }
+
+    fn union(&mut self, a: &VarKey, b: &VarKey) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    fn same(&mut self, a: &VarKey, b: &VarKey) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// One rendezvous occurrence, as needed by the co-dependence inference.
+struct Occurrence {
+    task: TaskId,
+    guards: Vec<Guard>,
+    carrying: Option<String>,
+    binding: Option<String>,
+}
+
+/// Signals whose (unique) send and accept are provably co-dependent.
+///
+/// Returns each co-dependent signal together with the guard depth at which
+/// the two sides match (0 = both unconditional — trivially balanced and not
+/// reported).
+#[must_use]
+pub fn codependent_pairs(p: &Program) -> Vec<SignalId> {
+    Inference::build(p).codependent()
+}
+
+/// Hoist every co-dependent pair out of its conditionals, one guard level
+/// per pass, until none remain. Bodies are otherwise untouched.
+#[must_use]
+pub fn factor_codependent(p: &Program) -> Program {
+    let mut current = p.clone();
+    loop {
+        let targets = Inference::build(&current).codependent();
+        if targets.is_empty() {
+            return current;
+        }
+        let mut changed = false;
+        let tasks = current
+            .tasks
+            .iter()
+            .map(|t| Task {
+                id: t.id,
+                body: hoist_block(&t.body, &targets, &mut changed),
+            })
+            .collect();
+        current = Program {
+            symbols: current.symbols.clone(),
+            tasks,
+            procs: current.procs.clone(),
+        };
+        if !changed {
+            // Eligible signals whose statements are not in hoistable
+            // position (e.g. buried under an opaque conditional): stop
+            // rather than loop forever.
+            return current;
+        }
+    }
+}
+
+struct Inference {
+    union: VarUnion,
+    /// (sends, accepts) occurrence lists per signal.
+    occs: HashMap<SignalId, (Vec<Occurrence>, Vec<Occurrence>)>,
+    /// How many accepts bind each variable (single-assignment check).
+    bind_counts: HashMap<VarKey, usize>,
+}
+
+impl Inference {
+    fn build(p: &Program) -> Inference {
+        let cfgs = ProgramCfg::build(p);
+        let mut occs: HashMap<SignalId, (Vec<Occurrence>, Vec<Occurrence>)> = HashMap::new();
+        let mut bind_counts: HashMap<VarKey, usize> = HashMap::new();
+        for cfg in &cfgs.tasks {
+            for n in cfg.rendezvous_nodes() {
+                let rv = cfg.rv(n);
+                let occ = Occurrence {
+                    task: cfg.task,
+                    guards: rv.guards.clone(),
+                    carrying: rv.carrying.clone(),
+                    binding: rv.binding.clone(),
+                };
+                let entry = occs.entry(rv.rendezvous.signal).or_default();
+                match rv.rendezvous.sign {
+                    Sign::Plus => entry.0.push(occ),
+                    Sign::Minus => {
+                        if let Some(b) = &rv.binding {
+                            *bind_counts.entry((cfg.task, b.clone())).or_default() += 1;
+                        }
+                        entry.1.push(occ);
+                    }
+                }
+            }
+        }
+
+        let mut union = VarUnion::default();
+        // Unify carried/bound variables across unique-site signals.
+        for (sends, accepts) in occs.values() {
+            if sends.len() != 1 || accepts.len() != 1 {
+                continue;
+            }
+            if let (Some(x), Some(y)) = (&sends[0].carrying, &accepts[0].binding) {
+                let src = (sends[0].task, x.clone());
+                let dst = (accepts[0].task, y.clone());
+                if bind_counts.get(&dst).copied().unwrap_or(0) <= 1 {
+                    union.union(&src, &dst);
+                }
+            }
+        }
+        Inference {
+            union,
+            occs,
+            bind_counts,
+        }
+    }
+
+    fn codependent(mut self) -> Vec<SignalId> {
+        let mut out = Vec::new();
+        let mut signals: Vec<_> = self.occs.keys().copied().collect();
+        signals.sort();
+        let union = &mut self.union;
+        let bind_counts = &self.bind_counts;
+        // A guard variable bound by more than one accept has ambiguous
+        // value flow; refuse to reason about it.
+        let multibound_ok = |task: TaskId, var: &str| {
+            bind_counts.get(&(task, var.to_owned())).copied().unwrap_or(0) <= 1
+        };
+        for sig in signals {
+            let (sends, accepts) = &self.occs[&sig];
+            if sends.len() != 1 || accepts.len() != 1 {
+                continue;
+            }
+            let (s, a) = (&sends[0], &accepts[0]);
+            if s.task == a.task || s.guards.is_empty() || s.guards.len() != a.guards.len() {
+                continue;
+            }
+            let all_match = s.guards.iter().zip(&a.guards).all(|(gs, ga)| {
+                gs.polarity == ga.polarity
+                    && multibound_ok(s.task, &gs.var)
+                    && multibound_ok(a.task, &ga.var)
+                    && union.same(&(s.task, gs.var.clone()), &(a.task, ga.var.clone()))
+            });
+            if all_match {
+                out.push(sig);
+            }
+        }
+        out
+    }
+}
+
+/// Move factorable rendezvous (direct children of an encapsulated-variable
+/// conditional) to just after that conditional.
+fn hoist_block(block: &[Stmt], targets: &[SignalId], changed: &mut bool) -> Vec<Stmt> {
+    let is_target = |s: &Stmt| s.rendezvous().is_some_and(|r| targets.contains(&r.signal));
+    let mut out = Vec::with_capacity(block.len());
+    for s in block {
+        match s {
+            Stmt::If {
+                cond: cond @ Cond::Var(_),
+                then_branch,
+                else_branch,
+            } => {
+                let mut tb = hoist_block(then_branch, targets, changed);
+                let mut eb = hoist_block(else_branch, targets, changed);
+                let mut hoisted = Vec::new();
+                tb.retain(|s| {
+                    if is_target(s) {
+                        hoisted.push(s.clone());
+                        *changed = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                eb.retain(|s| {
+                    if is_target(s) {
+                        hoisted.push(s.clone());
+                        *changed = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if tb.is_empty() && eb.is_empty() {
+                    out.extend(hoisted);
+                } else {
+                    out.push(Stmt::If {
+                        cond: cond.clone(),
+                        then_branch: tb,
+                        else_branch: eb,
+                    });
+                    out.extend(hoisted);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_branch: hoist_block(then_branch, targets, changed),
+                else_branch: hoist_block(else_branch, targets, changed),
+            }),
+            Stmt::While { cond, body } => out.push(Stmt::While {
+                cond: cond.clone(),
+                body: hoist_block(body, targets, changed),
+            }),
+            Stmt::Repeat { body, cond } => out.push(Stmt::Repeat {
+                body: hoist_block(body, targets, changed),
+                cond: cond.clone(),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// The Figure 5(d) program: task T passes `v` to T' over signal `s`;
+    /// both then guard a complementary rendezvous pair on `v`.
+    fn figure_5d() -> Program {
+        parse(
+            "task t {
+                send u.s carrying v;
+                if (v) {
+                    send u.r;
+                }
+             }
+             task u {
+                accept s binding w;
+                if (w) {
+                    accept r;
+                }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure_5d_pair_is_codependent() {
+        let p = figure_5d();
+        let pairs = codependent_pairs(&p);
+        let sig_r = p.symbols.signal(p.symbols.task("u").unwrap(), "r").unwrap();
+        assert_eq!(pairs, vec![sig_r]);
+    }
+
+    #[test]
+    fn figure_5d_factors_to_unconditional() {
+        let p = figure_5d();
+        let f = factor_codependent(&p);
+        assert!(f.is_straight_line(), "got:\n{}", f.to_source());
+        assert_eq!(f.num_rendezvous(), 4);
+    }
+
+    #[test]
+    fn opposite_polarity_is_not_codependent() {
+        let p = parse(
+            "task t {
+                send u.s carrying v;
+                if (v) { send u.r; }
+             }
+             task u {
+                accept s binding w;
+                if (w) { } else { accept r; }
+             }",
+        )
+        .unwrap();
+        assert!(codependent_pairs(&p).is_empty());
+    }
+
+    #[test]
+    fn unrelated_variables_are_not_codependent() {
+        let p = parse(
+            "task t {
+                if (v) { send u.r; }
+             }
+             task u {
+                if (w) { accept r; }
+             }",
+        )
+        .unwrap();
+        assert!(codependent_pairs(&p).is_empty());
+    }
+
+    #[test]
+    fn multiple_senders_block_unification() {
+        // Signal s has two send sites, so w's provenance is ambiguous.
+        let p = parse(
+            "task t {
+                send u.s carrying v;
+                send u.s carrying x;
+                if (v) { send u.r; }
+             }
+             task u {
+                accept s binding w;
+                accept s;
+                if (w) { accept r; }
+             }",
+        )
+        .unwrap();
+        assert!(codependent_pairs(&p).is_empty());
+    }
+
+    #[test]
+    fn multiple_rendezvous_sites_block_factoring() {
+        // Signal r has two accept sites; the unique-site premise fails.
+        let p = parse(
+            "task t {
+                send u.s carrying v;
+                if (v) { send u.r; }
+             }
+             task u {
+                accept s binding w;
+                if (w) { accept r; }
+                accept r;
+             }",
+        )
+        .unwrap();
+        assert!(codependent_pairs(&p).is_empty());
+        let f = factor_codependent(&p);
+        assert_eq!(f.to_source(), p.to_source());
+    }
+
+    #[test]
+    fn chained_provenance_unifies_through_two_hops() {
+        // v flows t → u (as w) → x (as y); guards on v and y match.
+        let p = parse(
+            "task t {
+                send u.s1 carrying v;
+                if (v) { send x.r; }
+             }
+             task u {
+                accept s1 binding w;
+                send x.s2 carrying w;
+             }
+             task x {
+                accept s2 binding y;
+                if (y) { accept r; }
+             }",
+        )
+        .unwrap();
+        let sig_r = p.symbols.signal(p.symbols.task("x").unwrap(), "r").unwrap();
+        assert_eq!(codependent_pairs(&p), vec![sig_r]);
+        let f = factor_codependent(&p);
+        assert!(f.is_straight_line(), "got:\n{}", f.to_source());
+    }
+
+    #[test]
+    fn nested_matching_guards_hoist_fully() {
+        let p = parse(
+            "task t {
+                send u.s carrying v;
+                send u.s2 carrying p;
+                if (v) { if (p) { send u.r; } }
+             }
+             task u {
+                accept s binding w;
+                accept s2 binding q;
+                if (w) { if (q) { accept r; } }
+             }",
+        )
+        .unwrap();
+        let f = factor_codependent(&p);
+        assert!(f.is_straight_line(), "got:\n{}", f.to_source());
+    }
+}

@@ -1,0 +1,302 @@
+//! Interprocedural analysis by call-site inlining.
+//!
+//! The paper defers an interprocedural model to later work (*"our model
+//! assumes that all rendezvous occur in the main procedure of the task; we
+//! hope to extend this model to an interprocedural one"*). This transform
+//! supplies the standard first-order realisation: every `call p;` is
+//! replaced by `p`'s (recursively inlined) body, after which the whole
+//! intraprocedural pipeline applies unchanged.
+//!
+//! Prerequisites (checked here, and by `validate`):
+//! * every called procedure exists;
+//! * the call graph is acyclic (no recursion — unbounded call stacks are
+//!   out of the static model, like unbounded loops);
+//! * procedures contain no `accept` (Ada: accepts belong to the owning
+//!   task's body). Sends are fine — a procedure can call any entry.
+//!
+//! Labels inside an inlined body get a `@<n>` call-site suffix so labelled
+//! rendezvous stay uniquely addressable across expansions.
+
+use crate::ast::{Procedure, Program, Stmt, Task};
+use iwa_core::IwaError;
+use std::collections::HashMap;
+
+/// Replace every call site with the callee's body. No-op for programs
+/// without calls.
+///
+/// ```
+/// let p = iwa_tasklang::parse(
+///     "proc hello { send server.hi; }
+///      task client { call hello; }
+///      task server { accept hi; }",
+/// ).unwrap();
+/// let q = iwa_tasklang::transforms::inline_procs(&p).unwrap();
+/// assert!(!q.has_calls());
+/// assert_eq!(q.num_rendezvous(), 2);
+/// ```
+pub fn inline_procs(p: &Program) -> Result<Program, IwaError> {
+    if !p.has_calls() {
+        return Ok(Program {
+            symbols: p.symbols.clone(),
+            tasks: p.tasks.clone(),
+            procs: Vec::new(),
+        });
+    }
+    let by_name: HashMap<&str, &Procedure> =
+        p.procs.iter().map(|pr| (pr.name.as_str(), pr)).collect();
+
+    // Detect call cycles with a DFS over procedure bodies.
+    let mut state: HashMap<&str, u8> = HashMap::new(); // 1 = visiting, 2 = done
+    fn visit<'a>(
+        name: &'a str,
+        by_name: &HashMap<&'a str, &'a Procedure>,
+        state: &mut HashMap<&'a str, u8>,
+    ) -> Result<(), IwaError> {
+        match state.get(name) {
+            Some(1) => {
+                return Err(IwaError::InvalidProgram(format!(
+                    "recursive procedure '{name}' (the static model needs an acyclic call graph)"
+                )))
+            }
+            Some(2) => return Ok(()),
+            _ => {}
+        }
+        state.insert(name, 1);
+        let proc = by_name.get(name).ok_or_else(|| {
+            IwaError::InvalidProgram(format!("call of undeclared procedure '{name}'"))
+        })?;
+        let mut callees = Vec::new();
+        collect_callees(&proc.body, &mut callees);
+        for c in callees {
+            // Tie the callee's lifetime to the map's.
+            let key = by_name
+                .get_key_value(c.as_str())
+                .map(|(k, _)| *k)
+                .ok_or_else(|| {
+                    IwaError::InvalidProgram(format!("call of undeclared procedure '{c}'"))
+                })?;
+            visit(key, by_name, state)?;
+        }
+        state.insert(name, 2);
+        Ok(())
+    }
+    for pr in &p.procs {
+        visit(&pr.name, &by_name, &mut state)?;
+    }
+
+    let mut counter = 0usize;
+    let tasks = p
+        .tasks
+        .iter()
+        .map(|t| {
+            Ok(Task {
+                id: t.id,
+                body: inline_block(&t.body, &by_name, None, &mut counter)?,
+            })
+        })
+        .collect::<Result<Vec<_>, IwaError>>()?;
+    Ok(Program {
+        symbols: p.symbols.clone(),
+        tasks,
+        procs: Vec::new(),
+    })
+}
+
+fn collect_callees(block: &[Stmt], out: &mut Vec<String>) {
+    for s in block {
+        match s {
+            Stmt::Call { proc } => out.push(proc.clone()),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_callees(then_branch, out);
+                collect_callees(else_branch, out);
+            }
+            Stmt::While { body, .. } | Stmt::Repeat { body, .. } => {
+                collect_callees(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn inline_block(
+    block: &[Stmt],
+    by_name: &HashMap<&str, &Procedure>,
+    suffix: Option<usize>,
+    counter: &mut usize,
+) -> Result<Vec<Stmt>, IwaError> {
+    let mut out = Vec::with_capacity(block.len());
+    for s in block {
+        match s {
+            Stmt::Call { proc } => {
+                let body = by_name
+                    .get(proc.as_str())
+                    .ok_or_else(|| {
+                        IwaError::InvalidProgram(format!(
+                            "call of undeclared procedure '{proc}'"
+                        ))
+                    })?
+                    .body
+                    .clone();
+                *counter += 1;
+                let site = *counter;
+                out.extend(inline_block(&body, by_name, Some(site), counter)?);
+            }
+            Stmt::Send {
+                signal,
+                carrying,
+                label,
+            } => out.push(Stmt::Send {
+                signal: *signal,
+                carrying: carrying.clone(),
+                label: suffixed(label, suffix),
+            }),
+            Stmt::Accept {
+                signal,
+                binding,
+                label,
+            } => out.push(Stmt::Accept {
+                signal: *signal,
+                binding: binding.clone(),
+                label: suffixed(label, suffix),
+            }),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then_branch: inline_block(then_branch, by_name, suffix, counter)?,
+                else_branch: inline_block(else_branch, by_name, suffix, counter)?,
+            }),
+            Stmt::While { cond, body } => out.push(Stmt::While {
+                cond: cond.clone(),
+                body: inline_block(body, by_name, suffix, counter)?,
+            }),
+            Stmt::Repeat { body, cond } => out.push(Stmt::Repeat {
+                body: inline_block(body, by_name, suffix, counter)?,
+                cond: cond.clone(),
+            }),
+        }
+    }
+    Ok(out)
+}
+
+fn suffixed(label: &Option<String>, suffix: Option<usize>) -> Option<String> {
+    match (label, suffix) {
+        (Some(l), Some(k)) => Some(format!("{l}@{k}")),
+        (Some(l), None) => Some(l.clone()),
+        (None, _) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn simple_call_expands() {
+        let p = parse(
+            "proc handshake { send server.hello as h; }
+             task client { call handshake; call handshake; }
+             task server { accept hello; accept hello; }",
+        )
+        .unwrap();
+        assert!(p.has_calls());
+        let q = inline_procs(&p).unwrap();
+        assert!(!q.has_calls());
+        assert!(q.procs.is_empty());
+        assert_eq!(q.num_rendezvous(), 4);
+        // Labels got distinct call-site suffixes.
+        let labels: Vec<_> = q.tasks[0]
+            .body
+            .iter()
+            .filter_map(|s| s.label().map(str::to_owned))
+            .collect();
+        assert_eq!(labels, ["h@1", "h@2"]);
+    }
+
+    #[test]
+    fn nested_calls_expand_transitively() {
+        let p = parse(
+            "proc inner { send sink.m; }
+             proc outer { call inner; call inner; }
+             task t { call outer; }
+             task sink { accept m; accept m; }",
+        )
+        .unwrap();
+        let q = inline_procs(&p).unwrap();
+        assert_eq!(q.num_rendezvous(), 4);
+        assert!(q.tasks[0].body.iter().all(|s| s.rendezvous().is_some()));
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let p = parse(
+            "proc a { call b; }
+             proc b { call a; }
+             task t { call a; }",
+        )
+        .unwrap();
+        let e = inline_procs(&p).unwrap_err();
+        assert!(e.to_string().contains("recursive"));
+    }
+
+    #[test]
+    fn self_recursion_is_rejected() {
+        let p = parse("proc a { call a; } task t { call a; }").unwrap();
+        assert!(inline_procs(&p).is_err());
+    }
+
+    #[test]
+    fn undeclared_procedure_is_rejected() {
+        let p = parse("task t { call ghost; }").unwrap();
+        let e = inline_procs(&p).unwrap_err();
+        assert!(e.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn calls_inside_structures_expand() {
+        let p = parse(
+            "proc ping { send u.x; }
+             task t { if { call ping; } else { while { call ping; } } }
+             task u { while { accept x; } }",
+        )
+        .unwrap();
+        let q = inline_procs(&p).unwrap();
+        assert!(!q.has_calls());
+        assert_eq!(q.num_rendezvous(), 3);
+    }
+
+    #[test]
+    fn no_calls_is_a_cheap_copy() {
+        let p = parse("task a { send b.m; } task b { accept m; }").unwrap();
+        let q = inline_procs(&p).unwrap();
+        assert_eq!(p.to_source(), q.to_source());
+    }
+
+    #[test]
+    fn accepts_in_procs_rejected_at_parse_time() {
+        let e = parse("proc bad { accept m; } task t { call bad; }").unwrap_err();
+        assert!(e.to_string().contains("not allowed in procedures"));
+    }
+
+    #[test]
+    fn proc_roundtrips_through_the_printer() {
+        let p = parse(
+            "proc h { send server.hello; }
+             task client { call h; }
+             task server { accept hello; }",
+        )
+        .unwrap();
+        let printed = p.to_source();
+        assert!(printed.starts_with("proc h {"));
+        assert!(printed.contains("call h;"));
+        let q = parse(&printed).unwrap();
+        assert_eq!(q.to_source(), printed);
+    }
+}

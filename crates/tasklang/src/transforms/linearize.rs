@@ -1,0 +1,80 @@
+//! Linearised executions `P_E` (paper §3.1.3).
+//!
+//! > *"Consider a specific execution `E` of a program `P`. We can form a
+//! > corresponding linearized version `P_E` of `P`, which contains no
+//! > conditional branches, but which executes nodes in the same order
+//! > (within each task) as `E`."*
+//!
+//! The wave simulator records, per task, the sequence of rendezvous points
+//! it executed; this module turns such traces back into straight-line
+//! programs, which is how the Lemma 1 tests compare `T(P)` against actual
+//! executions.
+
+use crate::ast::Program;
+use iwa_core::Rendezvous;
+
+/// One task's linearised body: rendezvous in execution order, with the
+/// original source labels when known.
+pub type TaskTrace = Vec<(Rendezvous, Option<String>)>;
+
+/// Build the straight-line program `P_E` for an execution trace of `p`.
+///
+/// `traces` must hold one entry per task of `p`, in task-id order. The
+/// returned program shares `p`'s symbol table, so signals keep their
+/// meaning.
+#[must_use]
+pub fn linearize(p: &Program, traces: Vec<TaskTrace>) -> Program {
+    assert_eq!(
+        traces.len(),
+        p.num_tasks(),
+        "one trace per task is required"
+    );
+    Program::from_straight_lines(p.symbols.clone(), traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn traces_become_straight_line_bodies() {
+        let p = parse(
+            "task a { while { send b.m as s; } } task b { while { accept m as r; } }",
+        )
+        .unwrap();
+        let sig = p.symbols.signal(p.symbols.task("b").unwrap(), "m").unwrap();
+        // Execution where the loop ran twice.
+        let pe = linearize(
+            &p,
+            vec![
+                vec![
+                    (Rendezvous::send(sig), Some("s".into())),
+                    (Rendezvous::send(sig), Some("s".into())),
+                ],
+                vec![
+                    (Rendezvous::accept(sig), Some("r".into())),
+                    (Rendezvous::accept(sig), Some("r".into())),
+                ],
+            ],
+        );
+        assert!(pe.is_straight_line());
+        assert_eq!(pe.num_rendezvous(), 4);
+        assert_eq!(pe.symbols.num_signals(), p.symbols.num_signals());
+    }
+
+    #[test]
+    fn empty_traces_yield_silent_tasks() {
+        let p = parse("task a { } task b { }").unwrap();
+        let pe = linearize(&p, vec![vec![], vec![]]);
+        assert_eq!(pe.num_rendezvous(), 0);
+        assert_eq!(pe.num_tasks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per task")]
+    fn trace_arity_is_checked() {
+        let p = parse("task a { } task b { }").unwrap();
+        let _ = linearize(&p, vec![vec![]]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Figure 5(b)→(c): merging rendezvous common to both conditional arms.
+//!
+//! > *"… we might know that node `r` is always executed on one side of the
+//! > branch and node `r'` of the same type is always executed on the other
+//! > side of the branch. Thus, both nodes may effectively be combined into
+//! > one node `r''` which is unconditionally executed. The transformation
+//! > should maintain relative node ordering … conditionals are 'split' to
+//! > maintain these relations, and eliminated if all nodes are moved out of
+//! > the conditional."*
+//!
+//! We implement the tractable core of this inference: matching **prefixes**
+//! and **suffixes** of the two arms. A rendezvous of the same signal type
+//! and sign heading both arms hoists to before the `if`; one ending both
+//! arms hoists to after it (that is the "split"); a conditional whose arms
+//! empty out disappears. The pass runs to a fixpoint, so merges can cascade
+//! through nesting.
+
+use crate::ast::{Program, Stmt, Task};
+
+/// Apply the branch-merge transform until no more rendezvous can be hoisted.
+#[must_use]
+pub fn merge_branch_rendezvous(p: &Program) -> Program {
+    Program {
+        symbols: p.symbols.clone(),
+        procs: p.procs.clone(),
+        tasks: p
+            .tasks
+            .iter()
+            .map(|t| {
+                let mut body = t.body.clone();
+                loop {
+                    let (next, changed) = pass_block(&body);
+                    body = next;
+                    if !changed {
+                        break;
+                    }
+                }
+                Task { id: t.id, body }
+            })
+            .collect(),
+    }
+}
+
+/// Two rendezvous statements are mergeable when they are the *same node
+/// type*: equal signal, equal sign, and equal condition-variable traffic
+/// (merging sends carrying different variables would change dataflow).
+fn mergeable(a: &Stmt, b: &Stmt) -> bool {
+    match (a, b) {
+        (
+            Stmt::Send {
+                signal: s1,
+                carrying: c1,
+                ..
+            },
+            Stmt::Send {
+                signal: s2,
+                carrying: c2,
+                ..
+            },
+        ) => s1 == s2 && c1 == c2,
+        (
+            Stmt::Accept {
+                signal: s1,
+                binding: b1,
+                ..
+            },
+            Stmt::Accept {
+                signal: s2,
+                binding: b2,
+                ..
+            },
+        ) => s1 == s2 && b1 == b2,
+        _ => false,
+    }
+}
+
+/// One bottom-up pass over a block; returns the rewritten block and whether
+/// anything changed.
+fn pass_block(block: &[Stmt]) -> (Vec<Stmt>, bool) {
+    let mut out = Vec::with_capacity(block.len());
+    let mut changed = false;
+    for s in block {
+        match s {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let (mut tb, c1) = pass_block(then_branch);
+                let (mut eb, c2) = pass_block(else_branch);
+                changed |= c1 || c2;
+
+                // Hoist matching prefixes out the front…
+                let mut prefix = Vec::new();
+                while !tb.is_empty() && !eb.is_empty() && mergeable(&tb[0], &eb[0]) {
+                    prefix.push(tb.remove(0));
+                    eb.remove(0);
+                    changed = true;
+                }
+                // …and matching suffixes out the back.
+                let mut suffix = Vec::new();
+                while !tb.is_empty()
+                    && !eb.is_empty()
+                    && mergeable(tb.last().unwrap(), eb.last().unwrap())
+                {
+                    suffix.insert(0, tb.pop().unwrap());
+                    eb.pop();
+                    changed = true;
+                }
+
+                out.extend(prefix);
+                if tb.is_empty() && eb.is_empty() {
+                    // The conditional merged away entirely.
+                    changed = true;
+                } else {
+                    out.push(Stmt::If {
+                        cond: cond.clone(),
+                        then_branch: tb,
+                        else_branch: eb,
+                    });
+                }
+                out.extend(suffix);
+            }
+            Stmt::While { cond, body } => {
+                let (b, c) = pass_block(body);
+                changed |= c;
+                out.push(Stmt::While {
+                    cond: cond.clone(),
+                    body: b,
+                });
+            }
+            Stmt::Repeat { body, cond } => {
+                let (b, c) = pass_block(body);
+                changed |= c;
+                out.push(Stmt::Repeat {
+                    body: b,
+                    cond: cond.clone(),
+                });
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    (out, changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn figure_5b_to_5c_prefix_merge() {
+        // Both arms start by sending the same signal: the send hoists out
+        // and the conditional keeps only the differing parts.
+        let p = parse(
+            "task t {
+                if {
+                    send u.x;
+                    send u.y;
+                } else {
+                    send u.x;
+                }
+             }
+             task u { accept x; accept y; }",
+        )
+        .unwrap();
+        let m = merge_branch_rendezvous(&p);
+        let src = m.to_source();
+        // One unconditional send u.x, then a conditional containing only y.
+        let body = &m.tasks[0].body;
+        assert!(matches!(&body[0], Stmt::Send { .. }));
+        match &body[1] {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assert_eq!(then_branch.len(), 1);
+                assert!(else_branch.is_empty());
+            }
+            other => panic!("expected residual conditional, got {other:?}\n{src}"),
+        }
+    }
+
+    #[test]
+    fn identical_arms_eliminate_the_conditional() {
+        let p = parse(
+            "task t { if { send u.x; } else { send u.x; } } task u { accept x; }",
+        )
+        .unwrap();
+        let m = merge_branch_rendezvous(&p);
+        assert_eq!(m.tasks[0].body.len(), 1);
+        assert!(matches!(&m.tasks[0].body[0], Stmt::Send { .. }));
+        assert!(m.is_straight_line());
+    }
+
+    #[test]
+    fn suffix_merges_after_the_conditional() {
+        let p = parse(
+            "task t {
+                if {
+                    send u.a;
+                    send u.z;
+                } else {
+                    send u.b;
+                    send u.z;
+                }
+             }
+             task u { accept a; accept b; accept z; }",
+        )
+        .unwrap();
+        let m = merge_branch_rendezvous(&p);
+        let body = &m.tasks[0].body;
+        assert_eq!(body.len(), 2);
+        assert!(matches!(&body[0], Stmt::If { .. }));
+        assert!(matches!(&body[1], Stmt::Send { .. }), "z moved after the if");
+    }
+
+    #[test]
+    fn different_signals_do_not_merge() {
+        let p = parse(
+            "task t { if { send u.a; } else { send u.b; } } task u { accept a; accept b; }",
+        )
+        .unwrap();
+        let m = merge_branch_rendezvous(&p);
+        assert_eq!(p.to_source(), m.to_source());
+    }
+
+    #[test]
+    fn carried_variables_must_match() {
+        let p = parse(
+            "task t { if { send u.a carrying v; } else { send u.a carrying w; } }
+             task u { accept a; }",
+        )
+        .unwrap();
+        let m = merge_branch_rendezvous(&p);
+        assert_eq!(p.to_source(), m.to_source());
+    }
+
+    #[test]
+    fn merge_cascades_through_nesting() {
+        // The inner conditional merges away, which then lets the outer one
+        // merge too.
+        let p = parse(
+            "task t {
+                if {
+                    if { send u.x; } else { send u.x; }
+                } else {
+                    send u.x;
+                }
+             }
+             task u { accept x; }",
+        )
+        .unwrap();
+        let m = merge_branch_rendezvous(&p);
+        assert!(m.is_straight_line(), "got:\n{}", m.to_source());
+        assert_eq!(m.num_rendezvous(), 2); // the merged send + task u's accept
+    }
+
+    #[test]
+    fn loops_are_transformed_inside() {
+        let p = parse(
+            "task t { while { if { send u.x; } else { send u.x; } } } task u { accept x; }",
+        )
+        .unwrap();
+        let m = merge_branch_rendezvous(&p);
+        match &m.tasks[0].body[0] {
+            Stmt::While { body, .. } => {
+                assert_eq!(body.len(), 1);
+                assert!(matches!(&body[0], Stmt::Send { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

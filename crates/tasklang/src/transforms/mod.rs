@@ -1,0 +1,26 @@
+//! Anomaly-preserving source transforms (paper §3.1.3–3.1.4 and §5.1).
+//!
+//! * [`unroll_twice`] — Lemma 1: recursively unroll every loop twice,
+//!   innermost-out, yielding a loop-free program whose sync graph contains
+//!   exactly the deadlock cycles of the original's linearised executions.
+//! * [`linearize`] — build the straight-line program `P_E` corresponding to
+//!   one recorded execution.
+//! * [`inline_procs`] — the paper's deferred *interprocedural model*,
+//!   realised by call-site inlining over an acyclic call graph.
+//! * [`merge_branch_rendezvous`] — Figure 5(b)→(c): rendezvous performed on
+//!   *both* sides of a conditional are hoisted out of it.
+//! * [`factor_codependent`] — Figure 5(d): complementary rendezvous guarded
+//!   by the *same* encapsulated condition in two tasks are hoisted out of
+//!   their conditionals.
+
+mod codep;
+mod inline;
+mod linearize;
+mod merge;
+mod unroll;
+
+pub use codep::{codependent_pairs, factor_codependent};
+pub use inline::inline_procs;
+pub use linearize::linearize;
+pub use merge::merge_branch_rendezvous;
+pub use unroll::unroll_twice;

@@ -1,0 +1,249 @@
+//! Lemma 1: the double-unrolling transform `T(P)`.
+//!
+//! > *"Consider the transform `T(P)` which unrolls each loop in `P` twice
+//! > (recursively, from innermost to outermost nest levels). The sync graph
+//! > of program `T(P)` will contain all deadlock cycles present in any
+//! > linearized execution of `P` … Thus, `T` is anomaly preserving and
+//! > precise."*
+//!
+//! Two copies of each loop body suffice because a deadlock cycle enters and
+//! exits a task's control flow at one point each; whatever the placement of
+//! the entry (`r_in`) and exit (`r_out`) relative to the loop, two unrolled
+//! copies provide a control path between nodes of the corresponding types
+//! (the four cases in the paper's proof). The unrolled copies keep the
+//! loop's optionality: a `while` body may be skipped entirely, a `repeat`
+//! body runs at least once.
+
+use crate::ast::{Program, Stmt, Task};
+#[cfg(test)]
+use crate::ast::Cond;
+
+/// Apply Lemma 1's transform: every `while`/`repeat` is replaced by two
+/// conditional copies of its (recursively unrolled) body. The result is
+/// loop-free.
+///
+/// Labels in the second copy are suffixed with `~2` so that labelled
+/// rendezvous stay uniquely addressable in tests and diagnostics.
+/// ```
+/// let p = iwa_tasklang::parse(
+///     "task a { while { send b.m; } } task b { while { accept m; } }",
+/// ).unwrap();
+/// let t = iwa_tasklang::transforms::unroll_twice(&p);
+/// assert!(t.is_loop_free());
+/// assert_eq!(t.num_rendezvous(), 4); // two copies per loop body
+/// ```
+#[must_use]
+pub fn unroll_twice(p: &Program) -> Program {
+    // Inline procedures first when present: calls may hide loops.
+    let base;
+    let p = if p.has_calls() {
+        base = super::inline_procs(p).expect("validated program");
+        &base
+    } else {
+        p
+    };
+    Program {
+        symbols: p.symbols.clone(),
+        tasks: p
+            .tasks
+            .iter()
+            .map(|t| Task {
+                id: t.id,
+                body: unroll_block(&t.body),
+            })
+            .collect(),
+        procs: Vec::new(),
+    }
+}
+
+fn unroll_block(block: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(block.len());
+    for s in block {
+        unroll_stmt(s, &mut out);
+    }
+    out
+}
+
+fn unroll_stmt(s: &Stmt, out: &mut Vec<Stmt>) {
+    match s {
+        Stmt::Send { .. } | Stmt::Accept { .. } | Stmt::Call { .. } => out.push(s.clone()),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => out.push(Stmt::If {
+            cond: cond.clone(),
+            then_branch: unroll_block(then_branch),
+            else_branch: unroll_block(else_branch),
+        }),
+        Stmt::While { cond, body } => {
+            // while c { B }  ⇒  if c { B₁ ; if c { B₂ } }
+            let b1 = unroll_block(body);
+            let b2 = relabel(&b1);
+            let mut then_branch = b1;
+            then_branch.push(Stmt::If {
+                cond: cond.clone(),
+                then_branch: b2,
+                else_branch: Vec::new(),
+            });
+            out.push(Stmt::If {
+                cond: cond.clone(),
+                then_branch,
+                else_branch: Vec::new(),
+            });
+        }
+        Stmt::Repeat { body, cond } => {
+            // repeat { B } c  ⇒  B₁ ; if c { B₂ }
+            let b1 = unroll_block(body);
+            let b2 = relabel(&b1);
+            out.extend(b1);
+            out.push(Stmt::If {
+                cond: cond.clone(),
+                then_branch: b2,
+                else_branch: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Deep-copy a block, suffixing every rendezvous label with `~2`.
+fn relabel(block: &[Stmt]) -> Vec<Stmt> {
+    block.iter().map(relabel_stmt).collect()
+}
+
+fn relabel_stmt(s: &Stmt) -> Stmt {
+    let bump = |l: &Option<String>| l.as_ref().map(|l| format!("{l}~2"));
+    match s {
+        Stmt::Send {
+            signal,
+            carrying,
+            label,
+        } => Stmt::Send {
+            signal: *signal,
+            carrying: carrying.clone(),
+            label: bump(label),
+        },
+        Stmt::Accept {
+            signal,
+            binding,
+            label,
+        } => Stmt::Accept {
+            signal: *signal,
+            binding: binding.clone(),
+            label: bump(label),
+        },
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            cond: cond.clone(),
+            then_branch: relabel(then_branch),
+            else_branch: relabel(else_branch),
+        },
+        Stmt::While { cond, body } => Stmt::While {
+            cond: cond.clone(),
+            body: relabel(body),
+        },
+        Stmt::Repeat { body, cond } => Stmt::Repeat {
+            body: relabel(body),
+            cond: cond.clone(),
+        },
+        Stmt::Call { .. } => s.clone(),
+    }
+}
+
+/// Does the transform preserve the encapsulated condition of the loop on
+/// both copies? (Exposed for tests; always true by construction.)
+#[cfg(test)]
+#[must_use]
+fn preserves_condition(original: &Cond, unrolled: &Stmt) -> bool {
+    match unrolled {
+        Stmt::If { cond, .. } => cond == original,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::ProgramCfg;
+    use crate::parser::parse;
+
+    #[test]
+    fn result_is_loop_free() {
+        let p = parse(
+            "task a { while { send b.m; repeat { send b.m; } } } task b { while { accept m; } }",
+        )
+        .unwrap();
+        let u = unroll_twice(&p);
+        assert!(u.is_loop_free());
+        assert!(!p.is_loop_free(), "original still has loops");
+    }
+
+    #[test]
+    fn while_unrolls_to_two_optional_copies() {
+        let p = parse("task a { while { send b.m as x; } } task b { accept m; accept m; }")
+            .unwrap();
+        let u = unroll_twice(&p);
+        // Expect: if { x ; if { x~2 } }
+        let cfgs = ProgramCfg::build(&u);
+        let cfg = &cfgs.tasks[0];
+        let x1 = cfg.node_by_label("x").expect("first copy");
+        let x2 = cfg.node_by_label("x~2").expect("second copy");
+        assert!(cfg.graph.has_edge(crate::cfg::ENTRY, x1));
+        assert!(cfg.graph.has_edge(crate::cfg::ENTRY, crate::cfg::EXIT)); // 0 iters
+        assert!(cfg.graph.has_edge(x1, x2)); // 2 iters
+        assert!(cfg.graph.has_edge(x1, crate::cfg::EXIT)); // 1 iter
+        assert!(cfg.graph.has_edge(x2, crate::cfg::EXIT));
+        assert!(!cfg.graph.has_edge(x2, x1), "no back edge remains");
+    }
+
+    #[test]
+    fn repeat_unrolls_to_mandatory_then_optional() {
+        let p = parse("task a { repeat { send b.m as x; } } task b { accept m; accept m; }")
+            .unwrap();
+        let u = unroll_twice(&p);
+        let cfgs = ProgramCfg::build(&u);
+        let cfg = &cfgs.tasks[0];
+        let x1 = cfg.node_by_label("x").unwrap();
+        let x2 = cfg.node_by_label("x~2").unwrap();
+        assert!(cfg.graph.has_edge(crate::cfg::ENTRY, x1));
+        assert!(
+            !cfg.graph.has_edge(crate::cfg::ENTRY, crate::cfg::EXIT),
+            "repeat cannot be skipped"
+        );
+        assert!(cfg.graph.has_edge(x1, x2));
+        assert!(cfg.graph.has_edge(x1, crate::cfg::EXIT));
+    }
+
+    #[test]
+    fn nested_loops_unroll_inner_first_to_four_copies() {
+        let p = parse("task a { while { while { send b.m as x; } } } task b { accept m; }")
+            .unwrap();
+        let u = unroll_twice(&p);
+        assert!(u.is_loop_free());
+        // Inner loop contributes 2 copies; the outer loop duplicates them:
+        // 4 sends in task a, plus task b's single accept.
+        assert_eq!(u.num_rendezvous(), 5);
+        let cfg = &ProgramCfg::build(&u).tasks[0];
+        for label in ["x", "x~2", "x~2~2"] {
+            assert!(cfg.node_by_label(label).is_some(), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn encapsulated_loop_conditions_survive() {
+        let p = parse("task a { while (v) { send b.m; } } task b { accept m; }").unwrap();
+        let u = unroll_twice(&p);
+        assert!(preserves_condition(&Cond::Var("v".into()), &u.tasks[0].body[0]));
+    }
+
+    #[test]
+    fn loop_free_programs_pass_through_unchanged() {
+        let p = parse("task a { send b.m; if { send b.m; } } task b { accept m; accept m; }")
+            .unwrap();
+        let u = unroll_twice(&p);
+        assert_eq!(p.to_source(), u.to_source());
+    }
+}

@@ -1,0 +1,484 @@
+//! Exhaustive exploration of `NextWavesSet*(W_INIT)`.
+//!
+//! The wave space is finite (one slot per task ranging over the task's
+//! nodes plus "done"), so the closure is a plain memoised BFS. Its size is
+//! the product of per-task node counts in the worst case — exactly the
+//! exponential blow-up the paper attributes to concurrency-state methods
+//! (\[Tay83a\], §6) and the reason the polynomial algorithms exist. Budgets
+//! make the blow-up observable instead of fatal.
+
+use crate::classify::{classify, AnomalyReport};
+use crate::wave::{Wave, DONE};
+use iwa_core::{IwaError, TaskId};
+use iwa_syncgraph::{SyncGraph, B, E};
+use std::collections::{HashSet, VecDeque};
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Maximum number of distinct waves to visit.
+    pub max_states: usize,
+    /// Maximum number of anomalous waves to retain in full (the count keeps
+    /// increasing past this).
+    pub max_anomalies: usize,
+    /// Record predecessor links so each retained anomaly carries a
+    /// [`witness schedule`](Exploration::witnesses) — the rendezvous
+    /// sequence from an initial wave to the stuck one. Costs one map entry
+    /// per visited wave.
+    pub track_witnesses: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 1 << 20,
+            max_anomalies: 64,
+            track_witnesses: true,
+        }
+    }
+}
+
+/// One rendezvous in a witness schedule: the two sync-graph nodes that
+/// fired together.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WitnessStep {
+    /// One side of the rendezvous (sync-graph node index).
+    pub a: usize,
+    /// The other side.
+    pub b: usize,
+}
+
+impl WitnessStep {
+    /// Human-readable rendering against the graph's symbols.
+    #[must_use]
+    pub fn render(&self, sg: &SyncGraph) -> String {
+        let name = |n: usize| {
+            let d = sg.node(n);
+            let label = d
+                .label
+                .clone()
+                .unwrap_or_else(|| {
+                    format!("{}{}", sg.symbols.signal_name(d.rendezvous.signal), d.rendezvous.sign)
+                });
+            format!("{}:{}", sg.symbols.task_name(d.task), label)
+        };
+        format!("{} ⇄ {}", name(self.a), name(self.b))
+    }
+}
+
+/// What the exhaustive oracle decided.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Every reachable wave can advance or is fully terminated, i.e. the
+    /// program has **no infinite wait anomaly**.
+    AnomalyFree,
+    /// At least one reachable wave is anomalous.
+    Anomalous,
+}
+
+/// Result of an exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// The overall verdict.
+    pub verdict: Verdict,
+    /// Number of distinct waves visited.
+    pub states: usize,
+    /// Number of wave transitions (rendezvous firings, counting branch
+    /// choices separately).
+    pub transitions: usize,
+    /// Whether some execution terminates with every task done.
+    pub can_terminate: bool,
+    /// Retained anomalous waves with their classification (up to
+    /// `max_anomalies`).
+    pub anomalies: Vec<(Wave, AnomalyReport)>,
+    /// For each retained anomaly (when witness tracking is on): the
+    /// rendezvous schedule leading from an initial wave to it. Replaying
+    /// the steps through [`next_waves`] reproduces the stuck wave.
+    pub witnesses: Vec<Vec<WitnessStep>>,
+    /// Total number of anomalous waves encountered.
+    pub anomaly_count: usize,
+}
+
+impl Exploration {
+    /// Did any anomalous wave contain a (cyclic) deadlocked set?
+    #[must_use]
+    pub fn has_deadlock(&self) -> bool {
+        self.anomalies.iter().any(|(_, r)| !r.deadlock_set.is_empty())
+    }
+
+    /// Did any anomalous wave contain a stall node?
+    #[must_use]
+    pub fn has_stall(&self) -> bool {
+        self.anomalies.iter().any(|(_, r)| !r.stall_nodes.is_empty())
+    }
+}
+
+/// The initial waves: every combination of per-task first rendezvous points
+/// (the nondeterministic choice models conditional branches out of `b`),
+/// with [`DONE`] as an extra option for tasks that may finish without
+/// synchronising.
+pub fn initial_waves(sg: &SyncGraph) -> Result<Vec<Wave>, IwaError> {
+    let mut options: Vec<Vec<u32>> = Vec::with_capacity(sg.num_tasks);
+    for t in 0..sg.num_tasks {
+        let task = TaskId(t as u32);
+        let mut opts: Vec<u32> = sg
+            .control
+            .successors(B)
+            .iter()
+            .map(|(v, ())| *v as usize)
+            .filter(|&v| v != E && sg.is_rendezvous(v) && sg.node(v).task == task)
+            .map(|v| v as u32)
+            .collect();
+        if sg.task_skippable(task) || sg.nodes_of_task(task).is_empty() {
+            opts.push(DONE);
+        }
+        if opts.is_empty() {
+            return Err(IwaError::InvalidProgram(format!(
+                "task {} has rendezvous nodes but none reachable from b",
+                sg.symbols.task_name(task)
+            )));
+        }
+        options.push(opts);
+    }
+    // Cartesian product.
+    let mut waves = vec![Vec::new()];
+    for opts in &options {
+        let mut next = Vec::with_capacity(waves.len() * opts.len());
+        for w in &waves {
+            for &o in opts {
+                let mut w2 = w.clone();
+                w2.push(o);
+                next.push(w2);
+            }
+        }
+        waves = next;
+    }
+    Ok(waves.into_iter().map(Wave).collect())
+}
+
+/// Successor slots of a rendezvous node: its control successors, with `e`
+/// mapped to [`DONE`].
+fn successor_slots(sg: &SyncGraph, node: usize) -> Vec<u32> {
+    sg.control
+        .successors(node)
+        .iter()
+        .map(|(v, ())| {
+            let v = *v as usize;
+            if v == E {
+                DONE
+            } else {
+                debug_assert!(
+                    sg.is_rendezvous(v) && sg.node(v).task == sg.node(node).task,
+                    "control successors stay within the task"
+                );
+                v as u32
+            }
+        })
+        .collect()
+}
+
+/// `NextWaves(W)`: all waves derivable by one rendezvous.
+#[must_use]
+pub fn next_waves(sg: &SyncGraph, w: &Wave) -> Vec<Wave> {
+    next_waves_with_steps(sg, w).into_iter().map(|(w, _)| w).collect()
+}
+
+/// [`next_waves`] annotated with the rendezvous that produced each wave.
+#[must_use]
+pub fn next_waves_with_steps(sg: &SyncGraph, w: &Wave) -> Vec<(Wave, WitnessStep)> {
+    let mut out = Vec::new();
+    for (i, j) in w.ready_pairs(sg) {
+        let node_i = w.0[i] as usize;
+        let node_j = w.0[j] as usize;
+        let step = WitnessStep {
+            a: node_i,
+            b: node_j,
+        };
+        for &si in &successor_slots(sg, node_i) {
+            for &sj in &successor_slots(sg, node_j) {
+                let mut w2 = w.clone();
+                w2.0[i] = si;
+                w2.0[j] = sj;
+                out.push((w2, step));
+            }
+        }
+    }
+    out
+}
+
+/// Exhaustively explore the reachable wave space.
+///
+/// Errors with [`IwaError::BudgetExceeded`] when `max_states` is hit, so a
+/// truncated exploration can never masquerade as a certification.
+/// ```
+/// use iwa_wavesim::{explore, ExploreConfig};
+///
+/// let p = iwa_tasklang::parse(
+///     "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }",
+/// ).unwrap();
+/// let sg = iwa_syncgraph::SyncGraph::from_program(&p);
+/// let e = explore(&sg, &ExploreConfig::default()).unwrap();
+/// assert!(e.has_deadlock());
+/// assert!(!e.can_terminate);
+/// ```
+pub fn explore(sg: &SyncGraph, config: &ExploreConfig) -> Result<Exploration, IwaError> {
+    let mut visited: HashSet<Wave> = HashSet::new();
+    let mut queue: VecDeque<Wave> = VecDeque::new();
+    // Predecessor links for witness reconstruction: wave → (parent, step).
+    let mut parents: std::collections::HashMap<Wave, (Wave, WitnessStep)> =
+        std::collections::HashMap::new();
+    let mut initial: HashSet<Wave> = HashSet::new();
+    for w in initial_waves(sg)? {
+        if visited.insert(w.clone()) {
+            if config.track_witnesses {
+                initial.insert(w.clone());
+            }
+            queue.push_back(w);
+        }
+    }
+    let mut transitions = 0usize;
+    let mut can_terminate = false;
+    let mut anomalies = Vec::new();
+    let mut witnesses = Vec::new();
+    let mut anomaly_count = 0usize;
+
+    while let Some(w) = queue.pop_front() {
+        if visited.len() > config.max_states {
+            return Err(IwaError::BudgetExceeded {
+                what: "exploring execution waves".into(),
+                limit: config.max_states,
+            });
+        }
+        if w.all_done() {
+            can_terminate = true;
+            continue;
+        }
+        let succs = next_waves_with_steps(sg, &w);
+        if succs.is_empty() {
+            // No rendezvous can fire and not all tasks are done.
+            anomaly_count += 1;
+            if anomalies.len() < config.max_anomalies {
+                let report = classify(sg, &w);
+                if config.track_witnesses {
+                    // Walk the parent chain back to an initial wave.
+                    let mut steps = Vec::new();
+                    let mut cur = w.clone();
+                    while !initial.contains(&cur) {
+                        let (prev, step) = parents
+                            .get(&cur)
+                            .expect("every visited non-initial wave has a parent")
+                            .clone();
+                        steps.push(step);
+                        cur = prev;
+                    }
+                    steps.reverse();
+                    witnesses.push(steps);
+                }
+                anomalies.push((w, report));
+            }
+            continue;
+        }
+        for (s, step) in succs {
+            transitions += 1;
+            if visited.insert(s.clone()) {
+                if config.track_witnesses {
+                    parents.insert(s.clone(), (w.clone(), step));
+                }
+                queue.push_back(s);
+            }
+        }
+    }
+
+    Ok(Exploration {
+        verdict: if anomaly_count == 0 {
+            Verdict::AnomalyFree
+        } else {
+            Verdict::Anomalous
+        },
+        states: visited.len(),
+        transitions,
+        can_terminate,
+        anomalies,
+        witnesses,
+        anomaly_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwa_tasklang::parse;
+
+    fn explore_src(src: &str) -> Exploration {
+        let p = parse(src).unwrap();
+        let sg = SyncGraph::from_program(&p);
+        explore(&sg, &ExploreConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn compatible_exchange_is_anomaly_free() {
+        let e = explore_src(
+            "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }",
+        );
+        assert_eq!(e.verdict, Verdict::AnomalyFree);
+        assert!(e.can_terminate);
+        assert_eq!(e.anomaly_count, 0);
+    }
+
+    #[test]
+    fn crossed_sends_deadlock() {
+        let e = explore_src(
+            "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }",
+        );
+        assert_eq!(e.verdict, Verdict::Anomalous);
+        assert!(e.has_deadlock());
+        assert!(!e.can_terminate);
+    }
+
+    #[test]
+    fn missing_partner_stalls() {
+        // Paper Fig 2(a) flavour: an accept no one ever signals.
+        let e = explore_src("task t1 { accept never; } task t2 { }");
+        assert_eq!(e.verdict, Verdict::Anomalous);
+        assert!(e.has_stall());
+        assert!(!e.has_deadlock());
+    }
+
+    #[test]
+    fn branch_choices_multiply_initial_waves() {
+        let p = parse(
+            "task t1 { if { send t2.a; } else { send t2.b; } }
+             task t2 { if { accept a; } else { accept b; } }",
+        )
+        .unwrap();
+        let sg = SyncGraph::from_program(&p);
+        let init = initial_waves(&sg).unwrap();
+        assert_eq!(init.len(), 4);
+        // Two of the four initial waves are mismatched (a vs accept b …):
+        // the program *can* stall.
+        let e = explore(&sg, &ExploreConfig::default()).unwrap();
+        assert_eq!(e.verdict, Verdict::Anomalous);
+        assert!(e.can_terminate, "the matched branches do complete");
+        assert!(e.has_stall());
+    }
+
+    #[test]
+    fn loops_terminate_exploration() {
+        // Unbounded loop on both sides: wave space is finite even though
+        // executions are not.
+        let e = explore_src(
+            "task t1 { while { send t2.a; } } task t2 { while { accept a; } }",
+        );
+        // One side may exit its loop while the other keeps waiting: stall
+        // is possible, but the state space stays tiny.
+        assert!(e.states <= 16);
+        assert!(e.can_terminate);
+    }
+
+    #[test]
+    fn witnesses_replay_to_their_anomalies() {
+        // Philosophers-style: a deadlock a few steps in; the witness must
+        // replay through next_waves to the recorded stuck wave.
+        let p = parse(
+            "task f1 { accept take; accept put; }
+             task f2 { accept take; accept put; }
+             task p1 { send f1.take; send f2.take; send f1.put; send f2.put; }
+             task p2 { send f2.take; send f1.take; send f2.put; send f1.put; }",
+        )
+        .unwrap();
+        let sg = SyncGraph::from_program(&p);
+        let e = explore(&sg, &ExploreConfig::default()).unwrap();
+        assert!(!e.anomalies.is_empty());
+        assert_eq!(e.anomalies.len(), e.witnesses.len());
+        for ((stuck, _), steps) in e.anomalies.iter().zip(&e.witnesses) {
+            // Replay: starting from some initial wave, each step must be
+            // realisable and the final wave must equal the stuck one.
+            let mut frontier: Vec<Wave> = initial_waves(&sg).unwrap();
+            for step in steps {
+                let mut next = Vec::new();
+                for w in &frontier {
+                    for (s, st) in next_waves_with_steps(&sg, w) {
+                        if st == *step {
+                            next.push(s);
+                        }
+                    }
+                }
+                assert!(!next.is_empty(), "witness step not realisable");
+                frontier = next;
+            }
+            assert!(
+                frontier.contains(stuck),
+                "witness does not reach the stuck wave"
+            );
+            // Rendering names tasks.
+            if let Some(first) = steps.first() {
+                assert!(first.render(&sg).contains('⇄'));
+            }
+        }
+    }
+
+    #[test]
+    fn witness_tracking_can_be_disabled() {
+        let p = parse("task t1 { accept never; } task t2 { }").unwrap();
+        let sg = SyncGraph::from_program(&p);
+        let e = explore(
+            &sg,
+            &ExploreConfig {
+                track_witnesses: false,
+                ..ExploreConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(e.witnesses.is_empty());
+        assert_eq!(e.anomaly_count, 1);
+    }
+
+    #[test]
+    fn immediate_deadlocks_have_empty_witnesses() {
+        let p = parse(
+            "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }",
+        )
+        .unwrap();
+        let sg = SyncGraph::from_program(&p);
+        let e = explore(&sg, &ExploreConfig::default()).unwrap();
+        assert_eq!(e.witnesses.len(), 1);
+        assert!(e.witnesses[0].is_empty(), "stuck from the very first wave");
+    }
+
+    #[test]
+    fn budget_is_honoured() {
+        let p = parse(
+            "task t1 { send t2.a; send t2.a; send t2.a; }
+             task t2 { accept a; accept a; accept a; }",
+        )
+        .unwrap();
+        let sg = SyncGraph::from_program(&p);
+        let e = explore(
+            &sg,
+            &ExploreConfig {
+                max_states: 2,
+                max_anomalies: 4,
+                track_witnesses: false,
+            },
+        );
+        assert!(matches!(e, Err(IwaError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn self_send_is_detected_as_anomalous() {
+        let e = explore_src("task t { send t.m; accept m; }");
+        assert_eq!(e.verdict, Verdict::Anomalous);
+    }
+
+    #[test]
+    fn three_task_cycle_deadlocks() {
+        // Classic circular wait across three tasks.
+        let e = explore_src(
+            "task a { send b.x; accept z; }
+             task b { send c.y; accept x; }
+             task c { send a.z; accept y; }",
+        );
+        assert!(e.has_deadlock());
+        assert!(!e.can_terminate);
+    }
+}

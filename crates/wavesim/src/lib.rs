@@ -1,0 +1,39 @@
+//! Execution-wave semantics (paper §2) and the exhaustive oracle.
+//!
+//! An **execution wave** holds, per task, the next rendezvous point to be
+//! executed (or "done"). Waves advance when two READY nodes joined by a sync
+//! edge rendezvous; `NextWavesSet*` — the transitive closure of the
+//! wave-successor relation from the initial waves — is the set of all
+//! synchronisation states the program can reach.
+//!
+//! This crate implements that semantics three ways:
+//!
+//! * [`explore`](fn@explore) — exhaustive memoised closure over the (finite) wave
+//!   space: the **precise but exponential** decision procedure. This is
+//!   simultaneously the ground-truth oracle the polynomial algorithms are
+//!   judged against and the Taylor-style concurrency-state-graph baseline
+//!   \[Tay83a\] the paper cites (experiment E10);
+//! * [`classify`](fn@classify) — the paper's anomaly taxonomy on a single wave: stall
+//!   nodes, the (maximal) deadlocked set `D`, and transitive coupling
+//!   (Theorem 1);
+//! * [`simulate`](fn@simulate) — Monte-Carlo random executions with per-task traces,
+//!   used to build the linearised programs `P_E` of §3.1.3;
+//! * [`interp`](mod@interp) — a **data-aware** Monte-Carlo interpreter over the AST
+//!   (condition valuations, carried booleans), the referee for the
+//!   §5.1-powered condition-aware analyses that the data-blind wave
+//!   semantics cannot judge.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod explore;
+pub mod interp;
+pub mod sim;
+pub mod wave;
+
+pub use classify::{classify, AnomalyReport};
+pub use explore::{explore, ExploreConfig, Exploration, Verdict, WitnessStep};
+pub use interp::{run_data_aware, Interp, InterpOutcome, InterpRun};
+pub use sim::{simulate, SimOutcome, Trace};
+pub use wave::{Wave, DONE};

@@ -1,0 +1,552 @@
+//! Classic rendezvous programs — the workloads the paper's introduction
+//! motivates (parallel programs a static analyser would meet), each in a
+//! correct and, where instructive, a deliberately broken variant.
+
+use iwa_tasklang::ast::{Program, ProgramBuilder};
+
+/// Dining philosophers, one round, **left-first** (deadlocking) protocol.
+///
+/// Each fork is a task that serves two `accept take; accept put` rounds
+/// (it has two neighbouring philosophers); each philosopher sends `take`
+/// to the left fork, `take` to the right fork, then `put` to both. All
+/// philosophers grabbing their left fork simultaneously is the classic
+/// circular wait; with two-round forks, each blocked philosopher's missing
+/// rendezvous is still *reachable* (the fork's second round), so the wave
+/// oracle classifies the anomaly as a true **deadlock**, not a stall.
+#[must_use]
+pub fn dining_philosophers(n: usize) -> Program {
+    philosophers(n, false)
+}
+
+/// Dining philosophers with the standard fix: the last philosopher takes
+/// the **right** fork first, breaking the cycle. Deadlock-free.
+#[must_use]
+pub fn dining_philosophers_ordered(n: usize) -> Program {
+    philosophers(n, true)
+}
+
+#[allow(clippy::needless_range_loop)] // index i names both fork i and phil i
+fn philosophers(n: usize, ordered: bool) -> Program {
+    assert!(n >= 2, "need at least two philosophers");
+    let mut b = ProgramBuilder::new();
+    let forks: Vec<_> = (0..n).map(|i| b.task(&format!("fork{i}"))).collect();
+    let phils: Vec<_> = (0..n).map(|i| b.task(&format!("phil{i}"))).collect();
+    let takes: Vec<_> = (0..n).map(|i| b.signal(forks[i], "take")).collect();
+    let puts: Vec<_> = (0..n).map(|i| b.signal(forks[i], "put")).collect();
+
+    for i in 0..n {
+        let (take, put) = (takes[i], puts[i]);
+        b.body(forks[i], move |t| {
+            // Two rounds: each fork has two neighbouring philosophers.
+            t.accept(take).accept(put);
+            t.accept(take).accept(put);
+        });
+    }
+    for i in 0..n {
+        let left = i;
+        let right = (i + 1) % n;
+        let flip = ordered && i == n - 1;
+        let (first, second) = if flip { (right, left) } else { (left, right) };
+        let (t1, t2) = (takes[first], takes[second]);
+        let (p1, p2) = (puts[first], puts[second]);
+        b.body(phils[i], move |t| {
+            t.send(t1).send(t2).send(p1).send(p2);
+        });
+    }
+    b.build()
+}
+
+/// A producer/consumer pair exchanging `items` messages in lockstep.
+/// Deadlock- and stall-free.
+#[must_use]
+pub fn producer_consumer(items: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let prod = b.task("producer");
+    let cons = b.task("consumer");
+    let item = b.signal(cons, "item");
+    b.body(prod, |t| {
+        for _ in 0..items {
+            t.send(item);
+        }
+    });
+    b.body(cons, |t| {
+        for _ in 0..items {
+            t.accept(item);
+        }
+    });
+    b.build()
+}
+
+/// An `n`-stage pipeline pushing `items` data items through: stage `i`
+/// accepts from stage `i−1` and forwards to `i+1`. Anomaly-free.
+#[must_use]
+pub fn pipeline(stages: usize, items: usize) -> Program {
+    assert!(stages >= 2);
+    let mut b = ProgramBuilder::new();
+    let ids: Vec<_> = (0..stages).map(|i| b.task(&format!("stage{i}"))).collect();
+    let sigs: Vec<_> = (1..stages)
+        .map(|i| b.signal(ids[i], "data"))
+        .collect();
+    for i in 0..stages {
+        let inbound = if i == 0 { None } else { Some(sigs[i - 1]) };
+        let outbound = if i + 1 == stages { None } else { Some(sigs[i]) };
+        b.body(ids[i], move |t| {
+            for _ in 0..items {
+                if let Some(s) = inbound {
+                    t.accept(s);
+                }
+                if let Some(s) = outbound {
+                    t.send(s);
+                }
+            }
+        });
+    }
+    b.build()
+}
+
+/// A looping (unbounded) pipeline: like [`pipeline`] but each stage loops
+/// forever — exercises Lemma 1 unrolling in the certification driver.
+#[must_use]
+pub fn pipeline_looping(stages: usize) -> Program {
+    assert!(stages >= 2);
+    let mut b = ProgramBuilder::new();
+    let ids: Vec<_> = (0..stages).map(|i| b.task(&format!("stage{i}"))).collect();
+    let sigs: Vec<_> = (1..stages).map(|i| b.signal(ids[i], "data")).collect();
+    for i in 0..stages {
+        let inbound = if i == 0 { None } else { Some(sigs[i - 1]) };
+        let outbound = if i + 1 == stages { None } else { Some(sigs[i]) };
+        b.body(ids[i], move |t| {
+            t.while_loop(|t| {
+                if let Some(s) = inbound {
+                    t.accept(s);
+                }
+                if let Some(s) = outbound {
+                    t.send(s);
+                }
+            });
+        });
+    }
+    b.build()
+}
+
+/// A token ring: node 0 injects the token and collects it after one lap.
+/// Anomaly-free.
+#[must_use]
+pub fn token_ring(n: usize) -> Program {
+    assert!(n >= 2);
+    let mut b = ProgramBuilder::new();
+    let ids: Vec<_> = (0..n).map(|i| b.task(&format!("node{i}"))).collect();
+    let toks: Vec<_> = (0..n).map(|i| b.signal(ids[i], "token")).collect();
+    for i in 0..n {
+        let next = toks[(i + 1) % n];
+        let mine = toks[i];
+        if i == 0 {
+            b.body(ids[i], move |t| {
+                t.send(next).accept(mine);
+            });
+        } else {
+            b.body(ids[i], move |t| {
+                t.accept(mine).send(next);
+            });
+        }
+    }
+    b.build()
+}
+
+/// A broken token ring: **every** node (including node 0) waits for the
+/// token before forwarding it — nobody injects it. Deadlocks immediately.
+#[must_use]
+pub fn token_ring_broken(n: usize) -> Program {
+    assert!(n >= 2);
+    let mut b = ProgramBuilder::new();
+    let ids: Vec<_> = (0..n).map(|i| b.task(&format!("node{i}"))).collect();
+    let toks: Vec<_> = (0..n).map(|i| b.signal(ids[i], "token")).collect();
+    for i in 0..n {
+        let next = toks[(i + 1) % n];
+        let mine = toks[i];
+        b.body(ids[i], move |t| {
+            t.accept(mine).send(next);
+        });
+    }
+    b.build()
+}
+
+/// An `n`-worker barrier: each worker signals arrival, the coordinator
+/// releases them one by one. Anomaly-free.
+#[must_use]
+pub fn barrier(n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let coord = b.task("coordinator");
+    let workers: Vec<_> = (0..n).map(|i| b.task(&format!("worker{i}"))).collect();
+    let arrive = b.signal(coord, "arrive");
+    let gos: Vec<_> = (0..n)
+        .map(|i| b.signal(workers[i], "go"))
+        .collect();
+    {
+        let gos = gos.clone();
+        b.body(coord, move |t| {
+            for _ in 0..n {
+                t.accept(arrive);
+            }
+            for &g in &gos {
+                t.send(g);
+            }
+        });
+    }
+    for i in 0..n {
+        let g = gos[i];
+        b.body(workers[i], move |t| {
+            t.send(arrive).accept(g);
+        });
+    }
+    b.build()
+}
+
+/// A client/server with `n` clients: the server accepts a request and
+/// replies, `n` times, **in a fixed client order**. Clients are served in
+/// exactly that order, so the program is anomaly-free — but only because
+/// requests carry no choice; compare [`client_server_racy`].
+#[must_use]
+pub fn client_server(n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let server = b.task("server");
+    let clients: Vec<_> = (0..n).map(|i| b.task(&format!("client{i}"))).collect();
+    let reqs: Vec<_> = (0..n)
+        .map(|i| b.signal(server, &format!("req{i}")))
+        .collect();
+    let replies: Vec<_> = (0..n)
+        .map(|i| b.signal(clients[i], "reply"))
+        .collect();
+    {
+        let (reqs, replies) = (reqs.clone(), replies.clone());
+        b.body(server, move |t| {
+            for i in 0..n {
+                t.accept(reqs[i]).send(replies[i]);
+            }
+        });
+    }
+    for i in 0..n {
+        let (rq, rp) = (reqs[i], replies[i]);
+        b.body(clients[i], move |t| {
+            t.send(rq).accept(rp);
+        });
+    }
+    b.build()
+}
+
+/// A racy client/server: the server has capacity for only **one** request
+/// and branches on which client to serve, while both clients insist on
+/// being served — whichever arm it takes, the other client stalls. The
+/// oracle reports the anomaly (and that a completion for the served client
+/// exists); good fodder for the precision experiments.
+#[must_use]
+pub fn client_server_racy() -> Program {
+    let mut b = ProgramBuilder::new();
+    let server = b.task("server");
+    let c0 = b.task("client0");
+    let c1 = b.task("client1");
+    let r0 = b.signal(server, "req0");
+    let r1 = b.signal(server, "req1");
+    let p0 = b.signal(c0, "reply");
+    let p1 = b.signal(c1, "reply");
+    b.body(server, move |t| {
+        t.if_else(
+            |t| {
+                t.accept(r0).send(p0);
+            },
+            |t| {
+                t.accept(r1).send(p1);
+            },
+        );
+    });
+    b.body(c0, move |t| {
+        t.send(r0).accept(p0);
+    });
+    b.body(c1, move |t| {
+        t.send(r1).accept(p1);
+    });
+    b.build()
+}
+
+/// Readers/writers through a lock-manager task: each reader sends
+/// `rlock`/`runlock`, each writer `wlock`/`wunlock`; the manager serialises
+/// everything (a safe but sequential discipline). Anomaly-free.
+#[must_use]
+pub fn readers_writers(readers: usize, writers: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let mgr = b.task("lock_manager");
+    let rs: Vec<_> = (0..readers).map(|i| b.task(&format!("reader{i}"))).collect();
+    let ws: Vec<_> = (0..writers).map(|i| b.task(&format!("writer{i}"))).collect();
+    let rlock = b.signal(mgr, "rlock");
+    let runlock = b.signal(mgr, "runlock");
+    let wlock = b.signal(mgr, "wlock");
+    let wunlock = b.signal(mgr, "wunlock");
+    b.body(mgr, move |t| {
+        for _ in 0..readers {
+            t.accept(rlock).accept(runlock);
+        }
+        for _ in 0..writers {
+            t.accept(wlock).accept(wunlock);
+        }
+    });
+    for &r in &rs {
+        b.body(r, move |t| {
+            t.send(rlock).send(runlock);
+        });
+    }
+    for &w in &ws {
+        b.body(w, move |t| {
+            t.send(wlock).send(wunlock);
+        });
+    }
+    b.build()
+}
+
+/// A broken readers/writers: one writer grabs the write lock and then waits
+/// for an acknowledgement from a reader that is itself waiting for the read
+/// lock — which the manager will only grant after the writer unlocks.
+#[must_use]
+pub fn readers_writers_broken() -> Program {
+    let mut b = ProgramBuilder::new();
+    let mgr = b.task("lock_manager");
+    let reader = b.task("reader");
+    let writer = b.task("writer");
+    let rlock = b.signal(mgr, "rlock");
+    let wlock = b.signal(mgr, "wlock");
+    let wunlock = b.signal(mgr, "wunlock");
+    let ack = b.signal(writer, "ack");
+    b.body(mgr, move |t| {
+        // Writer first, then reader (exclusive discipline).
+        t.accept(wlock).accept(wunlock).accept(rlock);
+    });
+    b.body(writer, move |t| {
+        t.send(wlock).accept(ack).send(wunlock);
+    });
+    b.body(reader, move |t| {
+        t.send(rlock).send(ack);
+    });
+    b.build()
+}
+
+/// Client/server where the protocol lives in shared **procedures** — the
+/// interprocedural model in its natural habitat: the `rpc` procedure makes
+/// a request and the analysis only sees the rendezvous after inlining.
+#[must_use]
+pub fn rpc_with_procedures(calls: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let server = b.task("server");
+    let client = b.task("client");
+    let req = b.signal(server, "req");
+    let reply = b.signal(client, "reply");
+    b.proc("rpc", move |t| {
+        t.send(req);
+    });
+    b.body(client, move |t| {
+        for _ in 0..calls {
+            t.call("rpc");
+            t.accept(reply);
+        }
+    });
+    b.body(server, move |t| {
+        for _ in 0..calls {
+            t.accept(req).send(reply);
+        }
+    });
+    b.build()
+}
+
+/// The sleeping barber with an **anonymous chair**: customers `send seat`
+/// (any sender matches), but completion signals are directed per
+/// customer. If customer 1 grabs the chair while the barber's next `done`
+/// is addressed to customer 0, the barber blocks delivering a cut to
+/// someone still queueing for the chair — a circular wait. The wave
+/// oracle proves this deadlocks; [`sleeping_barber_ticketed`] is the fix.
+#[must_use]
+pub fn sleeping_barber(customers: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let barber = b.task("barber");
+    let custs: Vec<_> = (0..customers)
+        .map(|i| b.task(&format!("customer{i}")))
+        .collect();
+    let seat = b.signal(barber, "seat");
+    let dones: Vec<_> = (0..customers)
+        .map(|i| b.signal(custs[i], "done"))
+        .collect();
+    {
+        let dones = dones.clone();
+        b.body(barber, move |t| {
+            for &d in &dones {
+                t.accept(seat).send(d);
+            }
+        });
+    }
+    for i in 0..customers {
+        let d = dones[i];
+        b.body(custs[i], move |t| {
+            t.send(seat).accept(d);
+        });
+    }
+    b.build()
+}
+
+/// The fixed sleeping barber: each customer has a **ticketed** seat signal,
+/// so the barber's service order and the chair's occupancy can never
+/// disagree. Anomaly-free.
+#[must_use]
+pub fn sleeping_barber_ticketed(customers: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let barber = b.task("barber");
+    let custs: Vec<_> = (0..customers)
+        .map(|i| b.task(&format!("customer{i}")))
+        .collect();
+    let seats: Vec<_> = (0..customers)
+        .map(|i| b.signal(barber, &format!("seat{i}")))
+        .collect();
+    let dones: Vec<_> = (0..customers)
+        .map(|i| b.signal(custs[i], "done"))
+        .collect();
+    {
+        let (seats, dones) = (seats.clone(), dones.clone());
+        b.body(barber, move |t| {
+            for (&s, &d) in seats.iter().zip(&dones) {
+                t.accept(s).send(d);
+            }
+        });
+    }
+    for i in 0..customers {
+        let (s, d) = (seats[i], dones[i]);
+        b.body(custs[i], move |t| {
+            t.send(s).accept(d);
+        });
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwa_syncgraph::SyncGraph;
+    use iwa_tasklang::validate::validate;
+    use iwa_wavesim::{explore, ExploreConfig, Verdict};
+
+    fn oracle(p: &Program) -> iwa_wavesim::Exploration {
+        explore(&SyncGraph::from_program(p), &ExploreConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn philosophers_deadlock_and_the_fix_works() {
+        for n in [2, 3, 4] {
+            let bad = oracle(&dining_philosophers(n));
+            assert!(bad.has_deadlock(), "n={n} must deadlock");
+            let good = oracle(&dining_philosophers_ordered(n));
+            assert_eq!(good.verdict, Verdict::AnomalyFree, "n={n} ordered");
+        }
+    }
+
+    #[test]
+    fn producer_consumer_and_pipeline_are_clean() {
+        assert_eq!(oracle(&producer_consumer(4)).verdict, Verdict::AnomalyFree);
+        assert_eq!(oracle(&pipeline(3, 2)).verdict, Verdict::AnomalyFree);
+    }
+
+    #[test]
+    fn token_rings() {
+        assert_eq!(oracle(&token_ring(4)).verdict, Verdict::AnomalyFree);
+        let broken = oracle(&token_ring_broken(4));
+        assert!(broken.has_deadlock());
+    }
+
+    #[test]
+    fn barrier_and_client_server_are_clean() {
+        assert_eq!(oracle(&barrier(3)).verdict, Verdict::AnomalyFree);
+        assert_eq!(oracle(&client_server(3)).verdict, Verdict::AnomalyFree);
+    }
+
+    #[test]
+    fn racy_client_server_stalls_the_unserved_client() {
+        let r = oracle(&client_server_racy());
+        assert_eq!(r.verdict, Verdict::Anomalous);
+        assert!(r.has_stall(), "the unserved client waits forever");
+        assert!(!r.can_terminate, "one client always starves");
+    }
+
+    #[test]
+    fn looping_pipeline_validates_and_has_loops() {
+        let p = pipeline_looping(3);
+        assert!(validate(&p).unwrap().is_empty());
+        assert!(!p.is_loop_free());
+    }
+
+    #[test]
+    fn sleeping_barber_anonymous_chair_deadlocks_and_ticketing_fixes_it() {
+        // Anonymous seat + directed done: customer 1 occupies the chair
+        // while the barber tries to deliver customer 0's cut — customer 0
+        // is still queueing for the chair, whose next accept is behind the
+        // barber's blocked send. Circular wait, found by the oracle (this
+        // fixture was *believed* clean until the oracle said otherwise).
+        let bad = oracle(&sleeping_barber(2));
+        assert!(bad.has_deadlock());
+        let good = oracle(&sleeping_barber_ticketed(3));
+        assert_eq!(good.verdict, Verdict::AnomalyFree);
+        // And the analysis flags the broken one, of course.
+        let sg = SyncGraph::from_program(&sleeping_barber(2));
+        assert!(
+            !iwa_analysis::refined_analysis(
+                &sg,
+                &iwa_analysis::RefinedOptions::default()
+            )
+            .deadlock_free
+        );
+    }
+
+    #[test]
+    fn readers_writers_clean_and_broken() {
+        let ok = oracle(&readers_writers(2, 1));
+        assert_eq!(ok.verdict, Verdict::AnomalyFree);
+        let bad = oracle(&readers_writers_broken());
+        assert!(bad.has_deadlock(), "writer waits on reader waits on manager");
+    }
+
+    #[test]
+    fn rpc_procedures_certify_after_inlining() {
+        // Request/reply ping-pong builds CLG cycles whose heads can
+        // rendezvous (constraint 2) — the head-pair tier's case.
+        let p = rpc_with_procedures(2);
+        assert!(p.has_calls());
+        let cert = iwa_analysis::certify(
+            &p,
+            &iwa_analysis::CertifyOptions {
+                refined: iwa_analysis::RefinedOptions {
+                    tier: iwa_analysis::Tier::HeadPairs,
+                    ..iwa_analysis::RefinedOptions::default()
+                },
+                ..iwa_analysis::CertifyOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(cert.was_inlined);
+        assert!(cert.anomaly_free(), "{:?}", cert.stall.verdict);
+    }
+
+    #[test]
+    fn all_classics_validate() {
+        for p in [
+            dining_philosophers(3),
+            dining_philosophers_ordered(3),
+            producer_consumer(2),
+            pipeline(3, 1),
+            token_ring(3),
+            token_ring_broken(3),
+            barrier(2),
+            client_server(2),
+            client_server_racy(),
+            readers_writers(2, 2),
+            readers_writers_broken(),
+            rpc_with_procedures(2),
+            sleeping_barber(2),
+            sleeping_barber_ticketed(2),
+        ] {
+            validate(&p).expect("classic validates");
+        }
+    }
+}

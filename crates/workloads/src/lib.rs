@@ -1,0 +1,20 @@
+//! Program fixtures and generators for tests, examples, and experiments.
+//!
+//! * [`figures`] — every figure of the paper as an executable fixture with
+//!   the claimed property documented (and asserted by the test suites);
+//! * [`classics`] — the rendezvous folklore a static analyser meets in the
+//!   wild: dining philosophers, producer/consumer, pipelines, token rings,
+//!   barriers, client/server — each with correct and deliberately broken
+//!   variants;
+//! * [`random`] — seeded random program generators with controllable
+//!   shape, used by the property tests (safety against the wave oracle)
+//!   and the scaling/precision experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classics;
+pub mod figures;
+pub mod random;
+
+pub use random::{random_balanced, random_conditioned, random_structured, BalancedConfig, ConditionedConfig, StructuredConfig};

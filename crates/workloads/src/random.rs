@@ -1,0 +1,436 @@
+//! Seeded random program generators.
+//!
+//! Two families, matched to what the experiments need:
+//!
+//! * [`random_balanced`] — straight-line programs built from a *valid
+//!   schedule* of rendezvous events, then perturbed by random intra-task
+//!   swaps. Balance is guaranteed (no trivial stalls); the swap
+//!   probability dials the deadlock rate from ~0 to high, which is exactly
+//!   what the precision study (E11) needs: ground truth stays computable
+//!   by the wave oracle and both outcomes occur.
+//! * [`random_structured`] — full-syntax programs (conditionals, loops,
+//!   optional balance) for scaling experiments and fuzzing.
+//!
+//! Everything is deterministic given the seed-carrying `Rng`.
+
+use iwa_tasklang::ast::{Program, Stmt, Task};
+use iwa_core::{Sign, Symbols, TaskId};
+use rand::Rng;
+
+/// Configuration for [`random_balanced`].
+#[derive(Clone, Copy, Debug)]
+pub struct BalancedConfig {
+    /// Number of tasks (≥ 2).
+    pub tasks: usize,
+    /// Number of rendezvous events (each contributes one send and one
+    /// accept).
+    pub events: usize,
+    /// Number of distinct message types per task.
+    pub message_types: usize,
+    /// Number of random adjacent intra-task swaps applied to the valid
+    /// schedule. With 0 swaps the in-order schedule itself always runs to
+    /// completion (`can_terminate`), though other interleavings may still
+    /// wedge when message types collide; more swaps raise the anomaly
+    /// rate.
+    pub swaps: usize,
+}
+
+impl Default for BalancedConfig {
+    fn default() -> Self {
+        BalancedConfig {
+            tasks: 3,
+            events: 6,
+            message_types: 2,
+            swaps: 4,
+        }
+    }
+}
+
+/// Generate a balanced straight-line program (see module docs).
+///
+/// Construction: repeatedly pick a sender and a distinct receiver and a
+/// message type; appending the send and accept *in the same global order*
+/// yields one schedule that runs to completion. Random adjacent swaps
+/// inside task bodies then scramble that order, raising the chance of
+/// crossed waits — real deadlocks — while counts stay balanced.
+pub fn random_balanced(rng: &mut impl Rng, config: &BalancedConfig) -> Program {
+    assert!(config.tasks >= 2, "need two tasks to communicate");
+    let mut symbols = Symbols::new();
+    let task_ids: Vec<TaskId> = (0..config.tasks)
+        .map(|i| symbols.intern_task(&format!("t{i}")))
+        .collect();
+    let mut signals = Vec::new();
+    for &t in &task_ids {
+        for m in 0..config.message_types.max(1) {
+            signals.push(symbols.intern_signal(t, &format!("m{m}")));
+        }
+    }
+
+    let mut bodies: Vec<Vec<Stmt>> = vec![Vec::new(); config.tasks];
+    for _ in 0..config.events {
+        let sig = signals[rng.gen_range(0..signals.len())];
+        let receiver = symbols.signal_info(sig).expect("interned").receiver;
+        // Sender: any other task.
+        let sender = loop {
+            let s = task_ids[rng.gen_range(0..config.tasks)];
+            if s != receiver {
+                break s;
+            }
+        };
+        bodies[sender.index()].push(Stmt::send(sig));
+        bodies[receiver.index()].push(Stmt::accept(sig));
+    }
+    for _ in 0..config.swaps {
+        let t = rng.gen_range(0..config.tasks);
+        if bodies[t].len() >= 2 {
+            let i = rng.gen_range(0..bodies[t].len() - 1);
+            bodies[t].swap(i, i + 1);
+        }
+    }
+    Program {
+        symbols,
+        tasks: bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| Task {
+                id: TaskId(i as u32),
+                body,
+            })
+            .collect(),
+        procs: Vec::new(),
+    }
+}
+
+/// Configuration for [`random_structured`].
+#[derive(Clone, Copy, Debug)]
+pub struct StructuredConfig {
+    /// Number of tasks (≥ 2).
+    pub tasks: usize,
+    /// Rendezvous statements per task (approximate).
+    pub rendezvous_per_task: usize,
+    /// Probability that a generated element is a conditional.
+    pub branch_prob: f64,
+    /// Probability that a generated element is a loop.
+    pub loop_prob: f64,
+    /// Message types per task.
+    pub message_types: usize,
+}
+
+impl Default for StructuredConfig {
+    fn default() -> Self {
+        StructuredConfig {
+            tasks: 3,
+            rendezvous_per_task: 5,
+            branch_prob: 0.2,
+            loop_prob: 0.1,
+            message_types: 2,
+        }
+    }
+}
+
+/// Generate a full-syntax random program.
+///
+/// Rendezvous are drawn uniformly: an accept of one of the task's own
+/// message types, or a send to a random other task. No balance guarantee
+/// — stalls are common, which is fine for scaling measurements and
+/// fuzzing (the safety property tests only compare analyses against the
+/// oracle, whatever the verdict).
+pub fn random_structured(rng: &mut impl Rng, config: &StructuredConfig) -> Program {
+    assert!(config.tasks >= 2);
+    let mut symbols = Symbols::new();
+    let task_ids: Vec<TaskId> = (0..config.tasks)
+        .map(|i| symbols.intern_task(&format!("t{i}")))
+        .collect();
+    let mut signals_of: Vec<Vec<iwa_core::SignalId>> = Vec::new();
+    for &t in &task_ids {
+        signals_of.push(
+            (0..config.message_types.max(1))
+                .map(|m| symbols.intern_signal(t, &format!("m{m}")))
+                .collect(),
+        );
+    }
+
+    let mut tasks = Vec::new();
+    for (i, &tid) in task_ids.iter().enumerate() {
+        let mut budget = config.rendezvous_per_task;
+        let body = gen_block(rng, config, &signals_of, i, &mut budget, 0);
+        tasks.push(Task { id: tid, body });
+    }
+    Program {
+        symbols,
+        tasks,
+        procs: Vec::new(),
+    }
+}
+
+fn gen_block(
+    rng: &mut impl Rng,
+    config: &StructuredConfig,
+    signals_of: &[Vec<iwa_core::SignalId>],
+    me: usize,
+    budget: &mut usize,
+    depth: usize,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    while *budget > 0 {
+        let roll: f64 = rng.gen();
+        if depth < 3 && roll < config.branch_prob {
+            *budget = budget.saturating_sub(1);
+            let then_branch = gen_block(rng, config, signals_of, me, budget, depth + 1);
+            let else_branch = if rng.gen_bool(0.5) {
+                gen_block(rng, config, signals_of, me, budget, depth + 1)
+            } else {
+                Vec::new()
+            };
+            out.push(Stmt::If {
+                cond: iwa_tasklang::Cond::Unknown,
+                then_branch,
+                else_branch,
+            });
+        } else if depth < 3 && roll < config.branch_prob + config.loop_prob {
+            *budget = budget.saturating_sub(1);
+            let body = gen_block(rng, config, signals_of, me, budget, depth + 1);
+            out.push(Stmt::While {
+                cond: iwa_tasklang::Cond::Unknown,
+                body,
+            });
+        } else {
+            *budget -= 1;
+            let stmt = gen_rendezvous(rng, signals_of, me);
+            out.push(stmt);
+        }
+        // Occasionally stop a nested block early so structures vary.
+        if depth > 0 && rng.gen_bool(0.4) {
+            break;
+        }
+    }
+    out
+}
+
+fn gen_rendezvous(
+    rng: &mut impl Rng,
+    signals_of: &[Vec<iwa_core::SignalId>],
+    me: usize,
+) -> Stmt {
+    let accept = rng.gen_bool(0.5);
+    if accept {
+        let sigs = &signals_of[me];
+        Stmt::accept(sigs[rng.gen_range(0..sigs.len())])
+    } else {
+        let other = loop {
+            let o = rng.gen_range(0..signals_of.len());
+            if o != me {
+                break o;
+            }
+        };
+        let sigs = &signals_of[other];
+        Stmt::send(sigs[rng.gen_range(0..sigs.len())])
+    }
+}
+
+/// Configuration for [`random_conditioned`].
+#[derive(Clone, Copy, Debug)]
+pub struct ConditionedConfig {
+    /// Number of tasks (≥ 2); task 0 originates the boolean.
+    pub tasks: usize,
+    /// Number of guarded rendezvous events.
+    pub events: usize,
+    /// Probability that a guarded statement lands on the negative arm.
+    pub negative_prob: f64,
+}
+
+impl Default for ConditionedConfig {
+    fn default() -> Self {
+        ConditionedConfig {
+            tasks: 3,
+            events: 4,
+            negative_prob: 0.5,
+        }
+    }
+}
+
+/// Generate a program built around one **encapsulated boolean**: task 0
+/// defines `v` and broadcasts it to every other task (`carrying`/
+/// `binding`), then random rendezvous events run under positive or
+/// negative guards of the local copy.
+///
+/// This is the workload for validating the condition-aware analyses
+/// (experiment E17): the condition-coexec facts derived statically must
+/// hold on every data-aware interpreter run.
+pub fn random_conditioned(rng: &mut impl Rng, config: &ConditionedConfig) -> Program {
+    assert!(config.tasks >= 2);
+    let mut symbols = Symbols::new();
+    let task_ids: Vec<TaskId> = (0..config.tasks)
+        .map(|i| symbols.intern_task(&format!("t{i}")))
+        .collect();
+    let mut bodies: Vec<Vec<Stmt>> = vec![Vec::new(); config.tasks];
+
+    // Broadcast: t0 sends v to each other task over a dedicated signal.
+    for (i, &t) in task_ids.iter().enumerate().skip(1) {
+        let sig = symbols.intern_signal(t, "cfg");
+        bodies[0].push(Stmt::Send {
+            signal: sig,
+            carrying: Some("v".into()),
+            label: None,
+        });
+        bodies[i].push(Stmt::Accept {
+            signal: sig,
+            binding: Some("v".into()),
+            label: None,
+        });
+    }
+
+    // Guarded events.
+    for k in 0..config.events {
+        let receiver_ix = rng.gen_range(0..config.tasks);
+        let sender_ix = loop {
+            let s = rng.gen_range(0..config.tasks);
+            if s != receiver_ix {
+                break s;
+            }
+        };
+        let sig = symbols.intern_signal(task_ids[receiver_ix], &format!("e{k}"));
+        for (ix, stmt) in [
+            (sender_ix, Stmt::send(sig)),
+            (receiver_ix, Stmt::accept(sig)),
+        ] {
+            let positive = !rng.gen_bool(config.negative_prob);
+            let (then_branch, else_branch) = if positive {
+                (vec![stmt], Vec::new())
+            } else {
+                (Vec::new(), vec![stmt])
+            };
+            bodies[ix].push(Stmt::If {
+                cond: iwa_tasklang::Cond::Var("v".into()),
+                then_branch,
+                else_branch,
+            });
+        }
+    }
+
+    Program {
+        symbols,
+        tasks: bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| Task {
+                id: TaskId(i as u32),
+                body,
+            })
+            .collect(),
+        procs: Vec::new(),
+    }
+}
+
+/// Statement-sign census of a program — handy for tests.
+#[must_use]
+pub fn census(p: &Program) -> (usize, usize) {
+    let mut sends = 0;
+    let mut accepts = 0;
+    for t in &p.tasks {
+        for s in &t.body {
+            s.visit_rendezvous(&mut |st| {
+                match st.rendezvous().expect("rendezvous").sign {
+                    Sign::Plus => sends += 1,
+                    Sign::Minus => accepts += 1,
+                }
+            });
+        }
+    }
+    (sends, accepts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwa_syncgraph::SyncGraph;
+    use iwa_tasklang::validate::validate;
+    use iwa_wavesim::{explore, ExploreConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn balanced_generator_is_balanced_and_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p = random_balanced(&mut rng, &BalancedConfig::default());
+            validate(&p).expect("valid");
+            assert!(p.is_straight_line());
+            let (s, a) = census(&p);
+            assert_eq!(s, a);
+            assert_eq!(s, 6);
+        }
+    }
+
+    #[test]
+    fn zero_swaps_can_always_terminate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            let p = random_balanced(
+                &mut rng,
+                &BalancedConfig {
+                    swaps: 0,
+                    ..BalancedConfig::default()
+                },
+            );
+            let sg = SyncGraph::from_program(&p);
+            let e = explore(&sg, &ExploreConfig::default()).unwrap();
+            assert!(e.can_terminate, "the in-order schedule completes:\n{p}");
+        }
+    }
+
+    #[test]
+    fn swaps_produce_both_outcomes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bad = 0;
+        let mut good = 0;
+        for _ in 0..60 {
+            let p = random_balanced(
+                &mut rng,
+                &BalancedConfig {
+                    swaps: 6,
+                    ..BalancedConfig::default()
+                },
+            );
+            let sg = SyncGraph::from_program(&p);
+            let e = explore(&sg, &ExploreConfig::default()).unwrap();
+            if e.anomaly_count > 0 {
+                bad += 1;
+            } else {
+                good += 1;
+            }
+        }
+        assert!(bad > 0, "some perturbed programs should break");
+        assert!(good > 0, "and some should stay clean");
+    }
+
+    #[test]
+    fn structured_generator_is_valid_and_seed_deterministic() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_structured(&mut rng, &StructuredConfig::default())
+        };
+        for seed in 0..30 {
+            let p = gen(seed);
+            validate(&p).expect("valid");
+            assert_eq!(p.to_source(), gen(seed).to_source(), "deterministic");
+        }
+    }
+
+    #[test]
+    fn structured_generator_respects_budget_roughly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = random_structured(
+            &mut rng,
+            &StructuredConfig {
+                tasks: 4,
+                rendezvous_per_task: 8,
+                ..StructuredConfig::default()
+            },
+        );
+        // Budget counts rendezvous plus structure; actual rendezvous are
+        // bounded by tasks × budget.
+        assert!(p.num_rendezvous() <= 4 * 8);
+        assert!(p.num_rendezvous() >= 4);
+    }
+}

@@ -1,0 +1,74 @@
+//! Dining philosophers: a real deadlock family, analysed three ways.
+//!
+//! The left-first protocol deadlocks (circular wait); the ordered variant
+//! (last philosopher grabs the right fork first) is clean. We compare the
+//! naive algorithm, the refined tiers, and the exhaustive oracle on both,
+//! for growing table sizes — the oracle's state count grows exponentially
+//! while the polynomial analyses stay fast, which is the paper's whole
+//! reason to exist.
+//!
+//! ```sh
+//! cargo run --release --example dining_philosophers
+//! ```
+
+use iwa::analysis::{naive_analysis, refined_analysis, RefinedOptions, Tier};
+use iwa::syncgraph::SyncGraph;
+use iwa::wavesim::{explore, ExploreConfig};
+use iwa::workloads::classics::{dining_philosophers, dining_philosophers_ordered};
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:>3} {:>9} | {:>8} {:>8} {:>8} | {:>9} {:>9}",
+        "n", "variant", "naive", "refined", "pairs", "oracle", "states"
+    );
+    for n in 2..=5 {
+        for (variant, program) in [
+            ("left", dining_philosophers(n)),
+            ("ordered", dining_philosophers_ordered(n)),
+        ] {
+            let sg = SyncGraph::from_program(&program);
+            let naive = naive_analysis(&sg).deadlock_free;
+            let refined = refined_analysis(&sg, &RefinedOptions::default()).deadlock_free;
+            let pairs = refined_analysis(
+                &sg,
+                &RefinedOptions {
+                    tier: Tier::HeadPairs,
+                    ..RefinedOptions::default()
+                },
+            )
+            .deadlock_free;
+            let t = Instant::now();
+            let oracle = explore(&sg, &ExploreConfig::default()).expect("in budget");
+            let oracle_time = t.elapsed();
+            println!(
+                "{:>3} {:>9} | {:>8} {:>8} {:>8} | {:>9} {:>9}",
+                n,
+                variant,
+                verdict(naive),
+                verdict(refined),
+                verdict(pairs),
+                if oracle.has_deadlock() { "DEADLOCK" } else { "clean" },
+                format!("{} ({:.1?})", oracle.states, oracle_time),
+            );
+
+            // Safety: nobody may certify the deadlocking variant.
+            if oracle.has_deadlock() {
+                assert!(!naive && !refined && !pairs, "missed deadlock at n={n}");
+            }
+        }
+    }
+    println!(
+        "\nThe left-first protocol is flagged by every analysis; the ordered\n\
+         protocol's flags (if any) are conservative false alarms the oracle\n\
+         refutes — the precision/price ladder of §4.2 in action."
+    );
+}
+
+fn verdict(free: bool) -> &'static str {
+    if free {
+        "free"
+    } else {
+        "FLAG"
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: parse a program, certify it, inspect the result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use iwa::analysis::{certify, CertifyOptions};
+use iwa::syncgraph::SyncGraph;
+use iwa::tasklang::parse;
+use iwa::wavesim::{explore, ExploreConfig};
+
+fn main() {
+    // The paper's running example (Figure 1): t1 offers sig1 to t2 and
+    // waits for sig2 back; t2 accepts sig1 on either branch of a
+    // conditional, replies, and accepts sig1 once more.
+    let program = parse(
+        "task t1 {
+            send t2.sig1 as r;
+            accept sig2 as s;
+         }
+         task t2 {
+            if { accept sig1 as t; } else { accept sig1 as u; }
+            send t1.sig2 as v;
+            accept sig1 as w;
+         }",
+    )
+    .expect("the program parses");
+
+    println!("=== program ===\n{program}");
+
+    // One call runs the whole pipeline: validation, Lemma-1 unrolling if
+    // needed, the naive §3.1 check, the refined §4.2 algorithm, and the
+    // §5 stall analysis.
+    let cert = certify(&program, &CertifyOptions::default()).expect("valid program");
+
+    println!("naive   (§3.1): deadlock-free = {}", cert.naive.deadlock_free);
+    println!(
+        "refined (§4.2): deadlock-free = {}  ({} SCC passes)",
+        cert.refined.deadlock_free, cert.refined.scc_runs
+    );
+    println!("stall   (§5)  : {:?}", cert.stall.verdict);
+
+    // The exhaustive oracle confirms the refined verdict: the naive cycle
+    // through r, s, v, w is spurious.
+    let sg = SyncGraph::from_program(&program);
+    let oracle = explore(&sg, &ExploreConfig::default()).expect("small state space");
+    println!(
+        "oracle        : {} waves explored, deadlock = {}, stall = {}",
+        oracle.states,
+        oracle.has_deadlock(),
+        oracle.has_stall()
+    );
+
+    assert!(!cert.naive.deadlock_free, "naive is fooled by the cycle");
+    assert!(cert.refined.deadlock_free, "refined sees through it");
+    assert!(!oracle.has_deadlock(), "and the oracle agrees");
+    println!("\nFigure 1 reproduced: naive flags, refined certifies, oracle agrees.");
+}

@@ -1,0 +1,12 @@
+//! Facade crate: re-exports the whole `iwa` workspace under one roof.
+#![forbid(unsafe_code)]
+pub use iwa_analysis as analysis;
+pub use iwa_core as core;
+pub use iwa_graphs as graphs;
+pub use iwa_petri as petri;
+pub use iwa_reductions as reductions;
+pub use iwa_sat as sat;
+pub use iwa_syncgraph as syncgraph;
+pub use iwa_tasklang as tasklang;
+pub use iwa_wavesim as wavesim;
+pub use iwa_workloads as workloads;

@@ -1,0 +1,146 @@
+//! The `.iwa` corpus: realistic programs in the DSL, each carrying an
+//! `// expect:` header this test enforces against the analyses and the
+//! oracle. Doubles as an end-to-end exercise of parser → inline → unroll
+//! → certify on non-synthetic inputs.
+
+use iwa::analysis::{certify, CertifyOptions, RefinedOptions, StallVerdict, Tier};
+use iwa::syncgraph::SyncGraph;
+use iwa::tasklang::transforms::{inline_procs, unroll_twice};
+use iwa::wavesim::{explore, ExploreConfig};
+use std::path::Path;
+
+#[derive(Debug, PartialEq)]
+enum Expect {
+    /// The oracle proves a deadlock; every tier must flag.
+    Deadlock,
+    /// Fully clean under the oracle; the pair tier must certify.
+    Clean,
+    /// Anomalous with a stall but no deadlock.
+    Stall,
+    /// No deadlock (stalls permitted); pair tier must certify deadlocks.
+    NoDeadlock,
+    /// The §5.1 transforms certify stall freedom (oracle is data-blind
+    /// here, so only the transform-assisted verdict is checked).
+    StallFreeWithTransforms,
+}
+
+fn expectation(src: &str) -> Expect {
+    let line = src
+        .lines()
+        .find(|l| l.contains("expect:"))
+        .expect("corpus file declares an expectation");
+    match line.split("expect:").nth(1).unwrap().trim() {
+        "deadlock" => Expect::Deadlock,
+        "clean" => Expect::Clean,
+        "stall" => Expect::Stall,
+        "no-deadlock" => Expect::NoDeadlock,
+        "stall-free-with-transforms" => Expect::StallFreeWithTransforms,
+        other => panic!("unknown expectation '{other}'"),
+    }
+}
+
+#[test]
+fn corpus_matches_expectations() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "iwa"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 8, "corpus should stay populated");
+
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let expect = expectation(&src);
+        let program = iwa::tasklang::parse(&src)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        let cert = certify(
+            &program,
+            &CertifyOptions {
+                refined: RefinedOptions {
+                    tier: Tier::HeadPairs,
+                    ..RefinedOptions::default()
+                },
+                ..CertifyOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        // Ground truth on the inlined original (the oracle handles loops
+        // directly; unrolling is only for the static analyses).
+        let inlined = inline_procs(&program).unwrap();
+        let oracle = explore(
+            &SyncGraph::from_program(&inlined),
+            &ExploreConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        match expect {
+            Expect::Deadlock => {
+                assert!(oracle.has_deadlock(), "{name}: oracle must deadlock");
+                assert!(!cert.deadlock_free(), "{name}: analysis must flag");
+                // And the naive tier flags too (safety is tier-independent).
+                assert!(!cert.naive.deadlock_free, "{name}: naive must flag");
+            }
+            Expect::Clean => {
+                assert_eq!(oracle.anomaly_count, 0, "{name}: oracle must be clean");
+                assert!(
+                    cert.deadlock_free(),
+                    "{name}: pair tier should certify this one"
+                );
+            }
+            Expect::Stall => {
+                assert!(oracle.has_stall(), "{name}: oracle must stall");
+                assert!(!oracle.has_deadlock(), "{name}: but not deadlock");
+            }
+            Expect::NoDeadlock => {
+                assert!(!oracle.has_deadlock(), "{name}: oracle must not deadlock");
+                assert!(
+                    cert.deadlock_free(),
+                    "{name}: pair tier should certify deadlock-freedom"
+                );
+            }
+            Expect::StallFreeWithTransforms => {
+                assert_eq!(
+                    cert.stall.verdict,
+                    StallVerdict::StallFree,
+                    "{name}: transforms should certify stall freedom"
+                );
+            }
+        }
+
+        // Universal safety re-check on the unrolled image.
+        if oracle.has_deadlock() {
+            let sg = SyncGraph::from_program(&unroll_twice(&inlined));
+            assert!(
+                !iwa::analysis::naive_analysis(&sg).deadlock_free,
+                "{name}: naive missed an oracle deadlock"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 8);
+}
+
+/// Every corpus file parses, validates, and round-trips through the
+/// pretty-printer.
+#[test]
+fn corpus_files_validate_and_roundtrip() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "iwa") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let p = iwa::tasklang::parse(&src).unwrap();
+        iwa::tasklang::validate::validate(&p).unwrap();
+        let reprinted = p.to_source();
+        let q = iwa::tasklang::parse(&reprinted).unwrap();
+        assert_eq!(q.to_source(), reprinted);
+    }
+}

@@ -1,0 +1,144 @@
+//! E6 — Lemma 1: the double-unrolling transform is anomaly preserving.
+//!
+//! The lemma: the sync graph of `T(P)` (every loop unrolled twice,
+//! innermost-out) contains all deadlock cycles present in any linearised
+//! execution of `P`. We check the consequences that matter:
+//!
+//! * *preservation*: whenever the oracle finds a deadlock in the original
+//!   (loopy) program, the naive/refined analyses on `T(P)` flag it;
+//! * *linearisation*: deadlocks found in randomly sampled linearised
+//!   executions `P_E` are flagged on `T(P)` too;
+//! * *structure*: `T(P)` is loop-free and grows at most geometrically in
+//!   the nesting depth.
+
+use iwa::analysis::{naive_analysis, refined_analysis, RefinedOptions};
+use iwa::syncgraph::SyncGraph;
+use iwa::tasklang::transforms::{linearize, unroll_twice};
+use iwa::wavesim::{explore, simulate, ExploreConfig, SimOutcome};
+use iwa::workloads::{random_structured, StructuredConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn loopy_config() -> StructuredConfig {
+    StructuredConfig {
+        tasks: 3,
+        rendezvous_per_task: 4,
+        branch_prob: 0.15,
+        loop_prob: 0.35,
+        message_types: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Oracle deadlock on P ⇒ analyses flag T(P).
+    #[test]
+    fn unrolling_preserves_oracle_deadlocks(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_structured(&mut rng, &loopy_config());
+        let e = explore(&SyncGraph::from_program(&p), &ExploreConfig::default())
+            .expect("oracle in budget");
+        if !e.has_deadlock() {
+            return Ok(());
+        }
+        let t = unroll_twice(&p);
+        prop_assert!(t.is_loop_free());
+        let sg = SyncGraph::from_program(&t);
+        prop_assert!(!naive_analysis(&sg).deadlock_free, "naive on T(P) missed:\n{p}");
+        prop_assert!(
+            !refined_analysis(&sg, &RefinedOptions::default()).deadlock_free,
+            "refined on T(P) missed:\n{p}"
+        );
+    }
+
+    /// Deadlocks of sampled linearised executions P_E are flagged on T(P).
+    #[test]
+    fn unrolling_covers_linearised_executions(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_structured(&mut rng, &loopy_config());
+        let sg_p = SyncGraph::from_program(&p);
+        let t = unroll_twice(&p);
+        let sg_t = SyncGraph::from_program(&t);
+        let naive_t = naive_analysis(&sg_t);
+
+        for _ in 0..6 {
+            let trace = simulate(&sg_p, &mut rng, 40).expect("simulable");
+            if trace.outcome != SimOutcome::Anomalous {
+                continue;
+            }
+            let pe = linearize(&p, trace.task_traces(&sg_p));
+            let e = explore(&SyncGraph::from_program(&pe), &ExploreConfig::default())
+                .expect("P_E oracle in budget");
+            if e.has_deadlock() {
+                prop_assert!(
+                    !naive_t.deadlock_free,
+                    "deadlock in P_E not flagged on T(P):\nP:\n{p}\nP_E:\n{pe}"
+                );
+            }
+        }
+    }
+}
+
+/// T(P) size: each loop at depth d multiplies its body by 2, so the node
+/// count is bounded by `nodes × 2^depth` (paper §3.1.4's
+/// `O(statements × 2^nest levels)`).
+#[test]
+fn unrolled_size_is_geometric_in_nesting() {
+    // Build deeply nested loops: depth 1..6 with a single send inside.
+    for depth in 1..=6usize {
+        let mut inner = String::from("send u.m;");
+        for _ in 0..depth {
+            inner = format!("while {{ {inner} }}");
+        }
+        let src = format!("task t {{ {inner} }} task u {{ while {{ accept m; }} }}");
+        let p = iwa::tasklang::parse(&src).unwrap();
+        let t = unroll_twice(&p);
+        // t-task rendezvous: exactly 2^depth sends.
+        let sends = {
+            let mut n = 0;
+            for s in &t.tasks[0].body {
+                s.visit_rendezvous(&mut |_| n += 1);
+            }
+            n
+        };
+        assert_eq!(sends, 1 << depth, "depth {depth}");
+    }
+}
+
+/// A loop-free deadlock stays detectable through an enclosing loop: the
+/// deadlock happens on iteration 1 of the loops and unrolling preserves
+/// it end to end.
+#[test]
+fn crossed_deadlock_inside_loops_is_flagged() {
+    let p = iwa::tasklang::parse(
+        "task t1 { while { send t2.a; accept b; } }
+         task t2 { while { send t1.b; accept a; } }",
+    )
+    .unwrap();
+    let e = explore(&SyncGraph::from_program(&p), &ExploreConfig::default()).unwrap();
+    assert!(e.has_deadlock());
+    let sg = SyncGraph::from_program(&unroll_twice(&p));
+    assert!(!refined_analysis(&sg, &RefinedOptions::default()).deadlock_free);
+}
+
+/// Precision direction of Lemma 1 (T is "precise" for linearised forms):
+/// a loopy program whose unrolling is certified must have no oracle
+/// deadlock.
+#[test]
+fn certified_unrollings_mean_no_deadlock() {
+    let mut rng = StdRng::seed_from_u64(20260707);
+    let mut certified = 0;
+    for _ in 0..200 {
+        let p = random_structured(&mut rng, &loopy_config());
+        let sg = SyncGraph::from_program(&unroll_twice(&p));
+        if refined_analysis(&sg, &RefinedOptions::default()).deadlock_free {
+            certified += 1;
+            let e = explore(&SyncGraph::from_program(&p), &ExploreConfig::default())
+                .unwrap();
+            assert!(!e.has_deadlock(), "certified but deadlocks:\n{p}");
+        }
+    }
+    assert!(certified > 0, "some programs should be certified");
+}

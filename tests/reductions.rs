@@ -1,0 +1,170 @@
+//! E8 — the NP-hardness reductions, validated at scale against DPLL.
+//!
+//! Beyond the unit tests in `iwa-reductions`, run the full iff on random
+//! 3-CNF instances across the SAT/UNSAT boundary, plus a proptest sweep.
+
+use iwa::analysis::exact::{exact_deadlock_cycles, ConstraintSet, ExactBudget};
+use iwa::reductions::{theorem2_program, theorem3_graph};
+use iwa::sat::{solve, Cnf};
+use iwa::syncgraph::SyncGraph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn thm2_says_sat(cnf: &Cnf) -> bool {
+    let sg = SyncGraph::from_program(&theorem2_program(cnf));
+    let r = exact_deadlock_cycles(&sg, &ConstraintSet::c1_and_3a(), &ExactBudget::default());
+    // A found witness decides SAT regardless of completeness; the empty
+    // answer is only trustworthy when the search was exhaustive.
+    assert!(r.any() || r.complete, "inconclusive search at test sizes");
+    r.any()
+}
+
+fn thm3_says_sat(cnf: &Cnf) -> bool {
+    let sg = theorem3_graph(cnf);
+    let r = exact_deadlock_cycles(&sg, &ConstraintSet::c1_and_2(), &ExactBudget::default());
+    assert!(r.any() || r.complete, "inconclusive search at test sizes");
+    r.any()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 2 iff, across the phase transition (5 vars, 2–8 clauses).
+    #[test]
+    fn theorem2_iff_random(seed in 0u64..1_000_000, clauses in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cnf = Cnf::random_3cnf(&mut rng, 5, clauses);
+        let expected = solve(&cnf).is_sat();
+        prop_assert_eq!(thm2_says_sat(&cnf), expected, "on {}", cnf);
+    }
+
+    /// Theorem 3 iff on the same family.
+    #[test]
+    fn theorem3_iff_random(seed in 0u64..1_000_000, clauses in 2usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cnf = Cnf::random_3cnf(&mut rng, 5, clauses);
+        let expected = solve(&cnf).is_sat();
+        prop_assert_eq!(thm3_says_sat(&cnf), expected, "on {}", cnf);
+    }
+}
+
+/// The refined polynomial algorithm never certifies a satisfiable
+/// instance's Theorem 2 program deadlock-free (it is a conservative
+/// approximation of the exact cycle test).
+#[test]
+fn refined_is_conservative_on_theorem2_programs() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut seen_sat = 0;
+    for _ in 0..12 {
+        let cnf = Cnf::random_3cnf(&mut rng, 5, 3);
+        if !solve(&cnf).is_sat() {
+            continue;
+        }
+        seen_sat += 1;
+        let sg = SyncGraph::from_program(&theorem2_program(&cnf));
+        let r = iwa::analysis::refined_analysis(
+            &sg,
+            &iwa::analysis::RefinedOptions::default(),
+        );
+        assert!(!r.deadlock_free, "missed the SAT-encoded cycle on {cnf}");
+    }
+    assert!(seen_sat > 0);
+}
+
+/// A model extracted from a surviving cycle is a real model: the cycle's
+/// head literals, read back as an assignment, satisfy the formula.
+#[test]
+fn theorem3_cycles_decode_to_models() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut decoded = 0;
+    for _ in 0..20 {
+        let cnf = Cnf::random_3cnf(&mut rng, 5, 4);
+        if !solve(&cnf).is_sat() {
+            continue;
+        }
+        let sg = theorem3_graph(&cnf);
+        let r = exact_deadlock_cycles(&sg, &ConstraintSet::c1_and_2(), &ExactBudget::default());
+        assert!(r.any());
+        // Heads are top nodes labelled top_i_j; literal j of clause i.
+        let w = &r.cycles[0];
+        let mut assignment = vec![None; cnf.num_vars];
+        for &h in &w.heads {
+            let label = sg.node(h).label.clone().unwrap();
+            let parts: Vec<usize> = label
+                .trim_start_matches("top_")
+                .split('_')
+                .map(|x| x.parse().unwrap())
+                .collect();
+            let lit = cnf.clauses[parts[0]].0[parts[1]];
+            let slot = &mut assignment[lit.var.index()];
+            assert_ne!(*slot, Some(!lit.positive), "inconsistent choice");
+            *slot = Some(lit.positive);
+        }
+        // Chosen literals hit… every clause the cycle wraps. Single-wrap
+        // cycles hit all clauses; multi-wrap ones may combine, so check
+        // satisfaction of the induced assignment with free vars filled to
+        // satisfy remaining clauses via DPLL instead: simply check that
+        // the partial assignment is *consistent* (done above) and that a
+        // completion exists.
+        let mut constrained = cnf.clone();
+        for (v, val) in assignment.iter().enumerate() {
+            if let Some(val) = val {
+                constrained.add_clause(&[(v as u32, *val)]);
+            }
+        }
+        assert!(solve(&constrained).is_sat(), "partial model inextensible");
+        decoded += 1;
+    }
+    assert!(decoded > 0);
+}
+
+/// UNSAT instances do have constraint-1 cycles (the clause ring always
+/// cycles); it is exactly the extra constraints that kill them.
+#[test]
+fn constraint1_alone_does_not_decide_sat() {
+    let mut unsat = Cnf::new(3);
+    for bits in 0..8u32 {
+        unsat.add_clause(&[
+            (0, bits & 1 != 0),
+            (1, bits & 2 != 0),
+            (2, bits & 4 != 0),
+        ]);
+    }
+    assert!(!solve(&unsat).is_sat());
+    let sg = theorem3_graph(&unsat);
+    let c1 = exact_deadlock_cycles(
+        &sg,
+        &ConstraintSet::c1_only(),
+        &ExactBudget {
+            max_scanned: 4096,
+            max_witnesses: 4096,
+            max_steps: 1 << 24,
+        },
+    );
+    assert!(c1.any(), "the clause ring always has constraint-1 cycles");
+    assert!(!thm3_says_sat(&unsat));
+}
+
+/// Arbitrary-width formulas flow through `to_exact_3cnf` into the
+/// reductions, preserving satisfiability end to end.
+#[test]
+fn arbitrary_cnf_normalises_into_the_reductions() {
+    // (x0) ∧ (¬x0 ∨ x1 ∨ x2 ∨ x3) ∧ (¬x1 ∨ ¬x2): satisfiable, widths 1/4/2.
+    let mut sat = Cnf::new(4);
+    sat.add_clause(&[(0, true)]);
+    sat.add_clause(&[(0, false), (1, true), (2, true), (3, true)]);
+    sat.add_clause(&[(1, false), (2, false)]);
+    // x0 ∧ ¬x0, widths 1/1: unsatisfiable.
+    let mut unsat = Cnf::new(1);
+    unsat.add_clause(&[(0, true)]);
+    unsat.add_clause(&[(0, false)]);
+
+    for (cnf, expected) in [(&sat, true), (&unsat, false)] {
+        assert_eq!(solve(cnf).is_sat(), expected);
+        let three = cnf.to_exact_3cnf();
+        assert_eq!(solve(&three).is_sat(), expected, "normalisation broke sat");
+        assert_eq!(thm2_says_sat(&three), expected, "thm2 after normalisation");
+        assert_eq!(thm3_says_sat(&three), expected, "thm3 after normalisation");
+    }
+}

@@ -1,0 +1,123 @@
+//! E13 — safety: the polynomial algorithms never miss a real deadlock.
+//!
+//! This is the paper's central correctness property ("both deadlock
+//! detection algorithms are safe in that if an anomaly is possible, they
+//! will report this possibility"). We fuzz random programs, compute ground
+//! truth with the exhaustive wave oracle, and demand that whenever the
+//! oracle finds a deadlock, naive and every refined tier flag the program.
+//! The deliberately unsound option combinations (strict marking /
+//! finish-before-start marking) are *expected* to fail this property —
+//! a separate test pins at least one miss for each, so the distinction
+//! stays visible.
+
+use iwa::analysis::{naive_analysis, refined_analysis, RefinedOptions, Tier};
+use iwa::syncgraph::SyncGraph;
+use iwa::tasklang::transforms::unroll_twice;
+use iwa::wavesim::{explore, ExploreConfig};
+use iwa::workloads::{random_balanced, random_structured, BalancedConfig, StructuredConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_safety(p: &iwa::tasklang::Program) -> Result<(), TestCaseError> {
+    let analysed = if p.is_loop_free() {
+        p.clone()
+    } else {
+        unroll_twice(p)
+    };
+    let sg = SyncGraph::from_program(&analysed);
+    let oracle_sg = SyncGraph::from_program(p);
+    let e = explore(&oracle_sg, &ExploreConfig::default())
+        .expect("oracle within budget at these sizes");
+    if !e.has_deadlock() {
+        return Ok(());
+    }
+    prop_assert!(
+        !naive_analysis(&sg).deadlock_free,
+        "naive missed a deadlock in:\n{p}"
+    );
+    for tier in [Tier::Heads, Tier::HeadPairs, Tier::HeadTails] {
+        // Constraint 4's contract restricts it to un-unrolled graphs:
+        // unrolling preserves deadlock cycles but not deadlock waves, and
+        // the rescue is a wave fact (the fuzzer caught exactly this).
+        let c4_options: &[bool] = if p.is_loop_free() { &[false, true] } else { &[false] };
+        for &apply_constraint4 in c4_options {
+            let r = refined_analysis(
+                &sg,
+                &RefinedOptions {
+                    tier,
+                    apply_constraint4,
+                    ..RefinedOptions::default()
+                },
+            );
+            prop_assert!(
+                !r.deadlock_free,
+                "refined tier {tier:?} (c4={apply_constraint4}) missed a deadlock in:\n{p}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Balanced straight-line programs: both verdicts occur frequently.
+    #[test]
+    fn no_missed_deadlocks_balanced(seed in 0u64..1_000_000, swaps in 0usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_balanced(
+            &mut rng,
+            &BalancedConfig {
+                tasks: 3,
+                events: 5,
+                message_types: 2,
+                swaps,
+            },
+        );
+        check_safety(&p)?;
+    }
+
+    /// Structured programs with conditionals and loops (Lemma 1 unrolling
+    /// in the loop path).
+    #[test]
+    fn no_missed_deadlocks_structured(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_structured(
+            &mut rng,
+            &StructuredConfig {
+                tasks: 3,
+                rendezvous_per_task: 4,
+                branch_prob: 0.25,
+                loop_prob: 0.15,
+                message_types: 2,
+            },
+        );
+        check_safety(&p)?;
+    }
+}
+
+/// The unsound option combinations really are unsound — each misses the
+/// plain crossed deadlock. Keeping these as tests documents *why* the
+/// defaults are what they are.
+#[test]
+fn unsound_modes_miss_the_crossed_deadlock() {
+    let p = iwa::workloads::figures::fig2b();
+    let sg = SyncGraph::from_program(&p);
+    let strict = refined_analysis(
+        &sg,
+        &RefinedOptions {
+            strict_sequenceable_marking: true,
+            ..RefinedOptions::default()
+        },
+    );
+    assert!(strict.deadlock_free, "strict marking misses it");
+    let paper_rel = refined_analysis(
+        &sg,
+        &RefinedOptions {
+            paper_sequence_relation: true,
+            ..RefinedOptions::default()
+        },
+    );
+    assert!(paper_rel.deadlock_free, "finish-before-start marking misses it");
+}

@@ -1,0 +1,92 @@
+//! E14 — Theorem 1: the anomaly taxonomy is complete.
+//!
+//! *"All nodes on an anomalous execution wave must participate in stalls
+//! or deadlocks, or be transitively coupled to some stalled or deadlocked
+//! task."* We fuzz programs, collect every anomalous wave the oracle
+//! reaches, and assert the classifier leaves no node unaccounted.
+
+use iwa::syncgraph::SyncGraph;
+use iwa::wavesim::{explore, ExploreConfig};
+use iwa::workloads::{random_balanced, random_structured, BalancedConfig, StructuredConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_taxonomy(p: &iwa::tasklang::Program) -> Result<(), TestCaseError> {
+    let sg = SyncGraph::from_program(p);
+    let e = explore(&sg, &ExploreConfig::default()).expect("oracle in budget");
+    for (wave, report) in &e.anomalies {
+        prop_assert!(
+            report.taxonomy_complete(),
+            "unaccounted nodes {:?} on wave {} of:\n{p}",
+            report.unaccounted,
+            wave.render(&sg)
+        );
+        // The partition is disjoint and covers the active wave nodes.
+        let mut seen: Vec<usize> = report
+            .stall_nodes
+            .iter()
+            .chain(&report.deadlock_set)
+            .chain(&report.coupled)
+            .copied()
+            .collect();
+        let before = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), before, "overlapping classes on {}", p);
+        let mut active = wave.active_nodes();
+        active.sort_unstable();
+        prop_assert_eq!(seen, active, "coverage mismatch on {}", p);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn taxonomy_complete_on_balanced_programs(seed in 0u64..1_000_000, swaps in 0usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_balanced(
+            &mut rng,
+            &BalancedConfig { tasks: 4, events: 6, message_types: 2, swaps },
+        );
+        assert_taxonomy(&p)?;
+    }
+
+    #[test]
+    fn taxonomy_complete_on_structured_programs(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_structured(
+            &mut rng,
+            &StructuredConfig {
+                tasks: 3,
+                rendezvous_per_task: 4,
+                branch_prob: 0.3,
+                loop_prob: 0.2,
+                message_types: 2,
+            },
+        );
+        assert_taxonomy(&p)?;
+    }
+}
+
+/// A hand-built wave exhibiting all three classes at once.
+#[test]
+fn three_class_wave() {
+    let p = iwa::tasklang::parse(
+        "task d1 { send d2.a; accept b; send c1.relay; }
+         task d2 { send d1.b; accept a; }
+         task c1 { accept relay; }
+         task lonely { accept silence; }",
+    )
+    .unwrap();
+    let sg = SyncGraph::from_program(&p);
+    let e = explore(&sg, &ExploreConfig::default()).unwrap();
+    assert_eq!(e.anomalies.len(), 1);
+    let (_, report) = &e.anomalies[0];
+    assert_eq!(report.deadlock_set.len(), 2, "d1/d2 sends");
+    assert_eq!(report.coupled.len(), 1, "c1 waits on the deadlocked d1");
+    assert_eq!(report.stall_nodes.len(), 1, "lonely's accept");
+    assert!(report.taxonomy_complete());
+}

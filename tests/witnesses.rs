@@ -1,0 +1,101 @@
+//! Witness schedules are executable counterexamples: replaying each
+//! recorded rendezvous sequence through the wave semantics must reach the
+//! recorded stuck wave, and the stuck wave must really be stuck.
+
+use iwa::syncgraph::SyncGraph;
+use iwa::wavesim::explore::{initial_waves, next_waves_with_steps};
+use iwa::wavesim::{explore, ExploreConfig, Wave};
+use iwa::workloads::{random_balanced, random_structured, BalancedConfig, StructuredConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_witnesses(p: &iwa::tasklang::Program) -> Result<(), TestCaseError> {
+    let sg = SyncGraph::from_program(p);
+    let e = explore(&sg, &ExploreConfig::default()).expect("small");
+    prop_assert_eq!(e.anomalies.len(), e.witnesses.len());
+    for ((stuck, report), steps) in e.anomalies.iter().zip(&e.witnesses) {
+        // The stuck wave is genuinely stuck and non-final.
+        prop_assert!(stuck.is_anomalous(&sg));
+        prop_assert!(report.taxonomy_complete());
+        // Replay: at each step, the recorded rendezvous must be among the
+        // enabled ones of some frontier wave.
+        let mut frontier: Vec<Wave> = initial_waves(&sg).expect("valid");
+        for step in steps {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for (s, st) in next_waves_with_steps(&sg, w) {
+                    if st == *step {
+                        next.push(s);
+                    }
+                }
+            }
+            prop_assert!(
+                !next.is_empty(),
+                "unrealisable witness step {} in:\n{}",
+                step.render(&sg),
+                p
+            );
+            frontier = next;
+        }
+        prop_assert!(
+            frontier.contains(stuck),
+            "witness does not reach its stuck wave in:\n{}",
+            p
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn witnesses_replay_balanced(seed in 0u64..1_000_000, swaps in 0usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_balanced(
+            &mut rng,
+            &BalancedConfig { tasks: 3, events: 5, message_types: 2, swaps },
+        );
+        check_witnesses(&p)?;
+    }
+
+    #[test]
+    fn witnesses_replay_structured(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_structured(
+            &mut rng,
+            &StructuredConfig {
+                tasks: 3,
+                rendezvous_per_task: 4,
+                branch_prob: 0.25,
+                loop_prob: 0.15,
+                message_types: 2,
+            },
+        );
+        check_witnesses(&p)?;
+    }
+}
+
+/// Witness length is bounded by the total rendezvous budget for loop-free
+/// programs (each step consumes two statement executions).
+#[test]
+fn witness_lengths_are_bounded_loop_free() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..50 {
+        let p = random_balanced(
+            &mut rng,
+            &BalancedConfig {
+                tasks: 3,
+                events: 6,
+                message_types: 2,
+                swaps: 5,
+            },
+        );
+        let sg = SyncGraph::from_program(&p);
+        let e = explore(&sg, &ExploreConfig::default()).unwrap();
+        for steps in &e.witnesses {
+            assert!(steps.len() <= p.num_rendezvous() / 2);
+        }
+    }
+}
