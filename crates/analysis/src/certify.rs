@@ -14,9 +14,9 @@
 //!    must not see unrolled copies).
 
 use crate::naive::{naive_analysis, NaiveResult};
-use crate::refined::{refined_analysis, RefinedOptions, RefinedResult};
-use crate::stall::{stall_analysis, StallOptions, StallReport};
-use iwa_core::IwaError;
+use crate::refined::{refined_analysis_budgeted, RefinedOptions, RefinedResult};
+use crate::stall::{stall_analysis_budgeted, StallOptions, StallReport};
+use iwa_core::{Budget, IwaError};
 use iwa_syncgraph::SyncGraph;
 use iwa_tasklang::transforms::{inline_procs, unroll_twice};
 use iwa_tasklang::validate::{validate, Warning};
@@ -83,7 +83,23 @@ impl Certificate {
 /// assert!(cert.anomaly_free());
 /// ```
 pub fn certify(p: &Program, opts: &CertifyOptions) -> Result<Certificate, IwaError> {
+    certify_budgeted(p, opts, &Budget::unlimited())
+}
+
+/// [`certify`] under a cooperative [`Budget`], threaded into the refined
+/// deadlock analysis and the stall analysis.
+///
+/// A budget trip during the refined pass aborts with
+/// [`IwaError::BudgetExceeded`] (there is no deadlock verdict without it);
+/// a trip during the stall pass degrades that half of the certificate to
+/// [`StallVerdict::Unknown`](crate::stall::StallVerdict::Unknown) instead.
+pub fn certify_budgeted(
+    p: &Program,
+    opts: &CertifyOptions,
+    budget: &Budget,
+) -> Result<Certificate, IwaError> {
     let warnings = validate(p)?;
+    budget.probe("certify pipeline")?;
 
     // Interprocedural model (the paper's deferred extension): inline the
     // acyclic call graph first; everything downstream is intraprocedural.
@@ -119,8 +135,8 @@ pub fn certify(p: &Program, opts: &CertifyOptions) -> Result<Certificate, IwaErr
     if was_unrolled {
         refined_opts.apply_constraint4 = false;
     }
-    let refined = refined_analysis(&sg, &refined_opts);
-    let stall = stall_analysis(p, &opts.stall);
+    let refined = refined_analysis_budgeted(&sg, &refined_opts, budget)?;
+    let stall = stall_analysis_budgeted(p, &opts.stall, budget);
 
     Ok(Certificate {
         warnings,

@@ -71,7 +71,7 @@ impl CoexecInfo {
         // Union–find over (task, var) keys, realised with indices.
         let mut ids: HashMap<(TaskId, String), usize> = HashMap::new();
         let mut parent: Vec<usize> = Vec::new();
-        fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
             while parent[i] != i {
                 parent[i] = parent[parent[i]];
                 i = parent[i];

@@ -19,6 +19,7 @@
 
 use crate::coexec::CoexecInfo;
 use crate::sequence::SequenceInfo;
+use iwa_core::{Budget, IwaError};
 use iwa_syncgraph::{Clg, ClgEdge, SyncGraph};
 
 /// Which ordering relation constraint 3a should use (see
@@ -162,6 +163,23 @@ pub fn exact_deadlock_cycles(
     constraints: &ConstraintSet,
     budget: &ExactBudget,
 ) -> ExactResult {
+    exact_deadlock_cycles_budgeted(sg, constraints, budget, &Budget::unlimited())
+        .expect("unlimited budget cannot trip")
+}
+
+/// [`exact_deadlock_cycles`] under a cooperative [`Budget`].
+///
+/// The soft [`ExactBudget`] still truncates the search *gracefully*
+/// (`complete = false`); the wall-clock/step/cancellation `Budget` instead
+/// aborts with [`IwaError::BudgetExceeded`] (`items` = cycles scanned),
+/// which is what the engine's degradation ladder needs to fall to a
+/// cheaper rung.
+pub fn exact_deadlock_cycles_budgeted(
+    sg: &SyncGraph,
+    constraints: &ConstraintSet,
+    budget: &ExactBudget,
+    wallclock: &Budget,
+) -> Result<ExactResult, IwaError> {
     let clg = Clg::build(sg);
     let seq = if constraints.c3a.is_some() {
         Some(SequenceInfo::compute(sg))
@@ -181,6 +199,8 @@ pub fn exact_deadlock_cycles(
         seq: seq.as_ref(),
         cx: cx.as_ref(),
         budget,
+        wallclock,
+        budget_err: None,
         cycles: Vec::new(),
         scanned: 0,
         steps: 0,
@@ -235,11 +255,14 @@ pub fn exact_deadlock_cycles(
         debug_assert!(search.truncated || search.heads.is_empty());
         debug_assert!(search.truncated || search.sync_nodes.is_empty());
     }
-    ExactResult {
+    if let Some(err) = search.budget_err {
+        return Err(err);
+    }
+    Ok(ExactResult {
         cycles: search.cycles,
         complete: !search.truncated,
         scanned: search.scanned,
-    }
+    })
 }
 
 /// Edge classification falls out of CLG node parity: a sync edge is the
@@ -252,6 +275,10 @@ struct Search<'a> {
     seq: Option<&'a SequenceInfo>,
     cx: Option<&'a CoexecInfo>,
     budget: &'a ExactBudget,
+    wallclock: &'a Budget,
+    /// Set when the cooperative `wallclock` budget trips mid-search; the
+    /// entry point converts it into an `Err` return.
+    budget_err: Option<IwaError>,
     cycles: Vec<CycleWitness>,
     scanned: usize,
     steps: usize,
@@ -322,6 +349,11 @@ impl Search<'_> {
                 self.truncated = true;
                 return;
             }
+            if let Err(e) = self.wallclock.checkpoint("enumerating exact deadlock cycles") {
+                self.budget_err = Some(e);
+                self.truncated = true;
+                return;
+            }
             if v < root || (v != root && !self.allowed.contains(v)) {
                 continue;
             }
@@ -350,6 +382,7 @@ impl Search<'_> {
                 nodes.dedup();
                 self.cycles.push(CycleWitness { heads, nodes });
                 self.scanned += 1;
+                self.wallclock.record_items(1);
                 if self.cycles.len() >= self.budget.max_witnesses
                     || self.scanned >= self.budget.max_scanned
                 {

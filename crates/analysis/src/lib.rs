@@ -30,10 +30,15 @@ pub mod refined;
 pub mod sequence;
 pub mod stall;
 
-pub use certify::{certify, Certificate, CertifyOptions};
+pub use certify::{certify, certify_budgeted, Certificate, CertifyOptions};
 pub use coexec::CoexecInfo;
-pub use exact::{exact_deadlock_cycles, ConstraintSet, CycleWitness, ExactBudget, ExactResult, SeqRelation};
+pub use exact::{
+    exact_deadlock_cycles, exact_deadlock_cycles_budgeted, ConstraintSet, CycleWitness,
+    ExactBudget, ExactResult, SeqRelation,
+};
 pub use naive::{naive_analysis, NaiveResult};
-pub use refined::{refined_analysis, FlaggedHead, RefinedOptions, RefinedResult, Tier};
+pub use refined::{
+    refined_analysis, refined_analysis_budgeted, FlaggedHead, RefinedOptions, RefinedResult, Tier,
+};
 pub use sequence::SequenceInfo;
-pub use stall::{stall_analysis, StallOptions, StallReport, StallVerdict};
+pub use stall::{stall_analysis, stall_analysis_budgeted, StallOptions, StallReport, StallVerdict};

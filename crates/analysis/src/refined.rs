@@ -33,6 +33,7 @@
 
 use crate::coexec::CoexecInfo;
 use crate::sequence::SequenceInfo;
+use iwa_core::{Budget, IwaError};
 use iwa_graphs::{BitSet, DiGraph, Scc};
 use iwa_syncgraph::{Clg, ClgEdge, SyncGraph};
 
@@ -159,6 +160,22 @@ pub struct RefinedResult {
 /// ```
 #[must_use]
 pub fn refined_analysis(sg: &SyncGraph, opts: &RefinedOptions) -> RefinedResult {
+    refined_analysis_budgeted(sg, opts, &Budget::unlimited())
+        .expect("unlimited budget cannot trip")
+}
+
+/// [`refined_analysis`] under a cooperative [`Budget`].
+///
+/// The budget is probed once per head hypothesis and checkpointed once per
+/// marked SCC search, so higher tiers (which run more searches) consume
+/// proportionally more steps — the property the engine's degradation
+/// ladder relies on. `items` in a [`IwaError::BudgetExceeded`] counts SCC
+/// runs completed before the trip.
+pub fn refined_analysis_budgeted(
+    sg: &SyncGraph,
+    opts: &RefinedOptions,
+    budget: &Budget,
+) -> Result<RefinedResult, IwaError> {
     let clg = Clg::build(sg);
     let seq = SequenceInfo::compute(sg);
     let cx = if opts.use_condition_coexec {
@@ -166,7 +183,7 @@ pub fn refined_analysis(sg: &SyncGraph, opts: &RefinedOptions) -> RefinedResult 
     } else {
         CoexecInfo::compute(sg)
     };
-    refined_with(sg, &clg, &seq, &cx, opts)
+    refined_with_budgeted(sg, &clg, &seq, &cx, opts, budget)
 }
 
 /// Run the refined analysis with precomputed supporting tables.
@@ -178,6 +195,20 @@ pub fn refined_with(
     cx: &CoexecInfo,
     opts: &RefinedOptions,
 ) -> RefinedResult {
+    refined_with_budgeted(sg, clg, seq, cx, opts, &Budget::unlimited())
+        .expect("unlimited budget cannot trip")
+}
+
+/// [`refined_with`] under a cooperative [`Budget`] (see
+/// [`refined_analysis_budgeted`] for the checkpoint discipline).
+pub fn refined_with_budgeted(
+    sg: &SyncGraph,
+    clg: &Clg,
+    seq: &SequenceInfo,
+    cx: &CoexecInfo,
+    opts: &RefinedOptions,
+    budget: &Budget,
+) -> Result<RefinedResult, IwaError> {
     let mut runs = 0usize;
     let mut flagged = Vec::new();
     let rescued = if opts.apply_constraint4 {
@@ -190,9 +221,10 @@ pub fn refined_with(
         if rescued.contains(&h) {
             continue; // h can never be WAITING on an anomalous wave
         }
+        budget.probe("refined head hypotheses")?;
         runs += 1;
         let Some(component) =
-            marked_search(sg, clg, seq, cx, &[h], None, &rescued, opts)
+            marked_search(sg, clg, seq, cx, &[h], None, &rescued, opts, budget)?
         else {
             continue; // h certified
         };
@@ -218,8 +250,8 @@ pub fn refined_with(
             }
             Tier::HeadPairs => {
                 let confirmed = confirm_with_second_head(
-                    sg, clg, seq, cx, opts, h, &component, &rescued, &mut runs,
-                );
+                    sg, clg, seq, cx, opts, h, &component, &rescued, &mut runs, budget,
+                )?;
                 if let Some((h2, comp2)) = confirmed {
                     flagged.push(FlaggedHead {
                         head: h,
@@ -230,8 +262,8 @@ pub fn refined_with(
             }
             Tier::HeadTails => {
                 let confirmed = confirm_with_tail(
-                    sg, clg, seq, cx, opts, h, &component, &rescued, &mut runs,
-                );
+                    sg, clg, seq, cx, opts, h, &component, &rescued, &mut runs, budget,
+                )?;
                 if let Some((t, comp2)) = confirmed {
                     flagged.push(FlaggedHead {
                         head: h,
@@ -243,11 +275,11 @@ pub fn refined_with(
         }
     }
 
-    RefinedResult {
+    Ok(RefinedResult {
         deadlock_free: flagged.is_empty(),
         flagged,
         scc_runs: runs,
-    }
+    })
 }
 
 /// The marked SCC search shared by all tiers.
@@ -267,7 +299,12 @@ fn marked_search(
     tail: Option<usize>,
     rescued: &[usize],
     opts: &RefinedOptions,
-) -> Option<Vec<usize>> {
+    budget: &Budget,
+) -> Result<Option<Vec<usize>>, IwaError> {
+    // One checkpoint per SCC pass: the unit of work the paper's cost
+    // bound counts, and the step currency of the engine's rung budgets.
+    budget.checkpoint("refined marked SCC search")?;
+    budget.record_items(1);
     let ncl = clg.num_nodes();
     let mut sync_in_banned = BitSet::new(ncl);
     let mut sync_out_banned = BitSet::new(ncl);
@@ -343,13 +380,13 @@ fn marked_search(
     }
     let first = witnesses[0];
     if !scc.in_nontrivial_component(&filtered, first) {
-        return None;
+        return Ok(None);
     }
     if !witnesses
         .iter()
         .all(|&w| scc.same_component(first, w))
     {
-        return None;
+        return Ok(None);
     }
     let comp_id = scc.component_of(first);
     let mut sync_nodes: Vec<usize> = scc.members[comp_id]
@@ -359,7 +396,7 @@ fn marked_search(
         .collect();
     sync_nodes.sort_unstable();
     sync_nodes.dedup();
-    Some(sync_nodes)
+    Ok(Some(sync_nodes))
 }
 
 /// Head-pair confirmation: some second head in `component` must survive a
@@ -375,9 +412,11 @@ fn confirm_with_second_head(
     component: &[usize],
     rescued: &[usize],
     runs: &mut usize,
-) -> Option<(usize, Vec<usize>)> {
+    budget: &Budget,
+) -> Result<Option<(usize, Vec<usize>)>, IwaError> {
     let poss: Vec<usize> = sg.poss_heads();
     for &h2 in component {
+        budget.checkpoint("head-pair confirmation candidates")?;
         if h2 == h || !poss.contains(&h2) || rescued.contains(&h2) {
             continue;
         }
@@ -390,12 +429,13 @@ fn confirm_with_second_head(
             continue;
         }
         *runs += 1;
-        if let Some(comp2) = marked_search(sg, clg, seq, cx, &[h, h2], None, rescued, opts)
+        if let Some(comp2) =
+            marked_search(sg, clg, seq, cx, &[h, h2], None, rescued, opts, budget)?
         {
-            return Some((h2, comp2));
+            return Ok(Some((h2, comp2)));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Head–tail confirmation: some control descendant of `h` must survive as
@@ -411,7 +451,8 @@ fn confirm_with_tail(
     component: &[usize],
     rescued: &[usize],
     runs: &mut usize,
-) -> Option<(usize, Vec<usize>)> {
+    budget: &Budget,
+) -> Result<Option<(usize, Vec<usize>)>, IwaError> {
     let coaccept = sg.coaccept(h);
     // Strict control descendants of h (within its task).
     let mut descendants = BitSet::new(sg.num_nodes());
@@ -422,6 +463,7 @@ fn confirm_with_tail(
         }
     }
     for t in sg.rendezvous_nodes() {
+        budget.checkpoint("head-tail confirmation candidates")?;
         if !descendants.contains(t) || !component.contains(&t) {
             continue;
         }
@@ -432,12 +474,13 @@ fn confirm_with_tail(
             continue; // paper's eligibility conditions
         }
         *runs += 1;
-        if let Some(comp2) = marked_search(sg, clg, seq, cx, &[h], Some(t), rescued, opts)
+        if let Some(comp2) =
+            marked_search(sg, clg, seq, cx, &[h], Some(t), rescued, opts, budget)?
         {
-            return Some((t, comp2));
+            return Ok(Some((t, comp2)));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Constraint-4 rescue set (see [`RefinedOptions::apply_constraint4`]).

@@ -18,7 +18,7 @@
 //! the Turing halting problem"); they report [`StallVerdict::Unknown`]
 //! unless the transforms eliminate every conditional rendezvous.
 
-use iwa_core::{IwaError, SignalId};
+use iwa_core::{Budget, IwaError, SignalId};
 use iwa_tasklang::cfg::{ProgramCfg, EXIT};
 use iwa_tasklang::transforms::{factor_codependent, merge_branch_rendezvous};
 use iwa_tasklang::Program;
@@ -112,7 +112,9 @@ pub fn signal_balance(p: &Program) -> Vec<(SignalId, usize, usize)> {
 fn task_path_signatures(
     p: &Program,
     opts: &StallOptions,
+    budget: &Budget,
 ) -> Result<Vec<Vec<Vec<i64>>>, IwaError> {
+    let started = std::time::Instant::now();
     let nsig = p.symbols.num_signals();
     let cfgs = ProgramCfg::build(p);
     let mut all = Vec::with_capacity(cfgs.tasks.len());
@@ -138,6 +140,7 @@ fn task_path_signatures(
                         .as_ref()
                         .expect("reverse topological order");
                     for s in succ_sigs {
+                        budget.checkpoint("enumerating task path signatures")?;
                         let mut sig = s.clone();
                         if node != iwa_tasklang::cfg::ENTRY {
                             let rv = cfg.rv(node).rendezvous;
@@ -154,6 +157,14 @@ fn task_path_signatures(
                                     p.symbols.task_name(cfg.task)
                                 ),
                                 limit: opts.max_paths_per_task,
+                                steps: 0,
+                                items: sigs.len(),
+                                elapsed_ms: started
+                                    .elapsed()
+                                    .as_millis()
+                                    .try_into()
+                                    .unwrap_or(u64::MAX),
+                                degraded: false,
                             });
                         }
                     }
@@ -179,6 +190,21 @@ fn task_path_signatures(
 /// ```
 #[must_use]
 pub fn stall_analysis(p: &Program, opts: &StallOptions) -> StallReport {
+    stall_analysis_budgeted(p, opts, &Budget::unlimited())
+}
+
+/// [`stall_analysis`] under a cooperative [`Budget`].
+///
+/// Budget trips do not abort: in keeping with this module's error
+/// discipline they surface as [`StallVerdict::Unknown`] carrying the
+/// budget error's message, so the certify pipeline can still report the
+/// deadlock half of the certificate.
+#[must_use]
+pub fn stall_analysis_budgeted(
+    p: &Program,
+    opts: &StallOptions,
+    budget: &Budget,
+) -> StallReport {
     // Rendezvous hidden in procedures must be counted: inline first.
     let inlined;
     let p: &Program = if p.has_calls() {
@@ -249,7 +275,7 @@ pub fn stall_analysis(p: &Program, opts: &StallOptions) -> StallReport {
     }
 
     // Lemma 4 over all path combinations.
-    let per_task = match task_path_signatures(target, opts) {
+    let per_task = match task_path_signatures(target, opts, budget) {
         Ok(s) => s,
         Err(e) => {
             return StallReport {
@@ -283,6 +309,17 @@ pub fn stall_analysis(p: &Program, opts: &StallOptions) -> StallReport {
     let mut idx = vec![0usize; per_task.len()];
     let mut checked = 0usize;
     loop {
+        if let Err(e) = budget.checkpoint("summing stall path combinations") {
+            return StallReport {
+                verdict: StallVerdict::Unknown {
+                    reason: e.to_string(),
+                },
+                signal_counts,
+                transforms_applied: opts.apply_transforms,
+                straight_line,
+                combinations_checked: checked,
+            };
+        }
         // Sum the selected signatures.
         let mut net = vec![0i64; nsig];
         for (t, sigs) in per_task.iter().enumerate() {

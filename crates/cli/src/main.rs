@@ -3,14 +3,21 @@
 //! ```text
 //! iwa analyze <file.iwa | fixture:NAME> [--tier heads|pairs|headtails]
 //!             [--oracle] [--json] [--no-transforms]
+//!             [--deadline-ms N] [--max-steps N] [--start RUNG]
+//! iwa check   <file.iwa | dir> [--deadline-ms N] [--max-steps N]
+//!             [--start RUNG] [--json]
 //! iwa graph   <file.iwa | fixture:NAME> [--clg]
 //! iwa inline  <file.iwa | fixture:NAME>
 //! iwa unroll  <file.iwa | fixture:NAME>
 //! iwa fixtures
 //! iwa help
 //! ```
+//!
+//! Exit codes for `analyze` and `check`: `0` clean at full precision,
+//! `1` anomalous, `2` usage or input error, `3` degraded or undecided.
 
 use iwa_analysis::{certify, CertifyOptions, RefinedOptions, StallOptions, StallVerdict, Tier};
+use iwa_engine::{EngineOptions, EngineReport, EngineVerdict, Rung};
 use iwa_syncgraph::{dot, Clg, SyncGraph};
 use iwa_tasklang::{parse, Program};
 use iwa_wavesim::{explore, ExploreConfig, Verdict};
@@ -31,6 +38,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
+        Some("check") => check(&args[1..]),
         Some("graph") => graph(&args[1..]),
         Some("inline") => transform(&args[1..], Transform::Inline),
         Some("unroll") => transform(&args[1..], Transform::Unroll),
@@ -57,6 +65,7 @@ iwa — static infinite-wait anomaly detection (Masticola & Ryder, ICPP 1990)
 
 USAGE:
     iwa analyze <file.iwa | fixture:NAME> [OPTIONS]
+    iwa check   <file.iwa | dir> [OPTIONS]     batch-check a corpus
     iwa graph   <file.iwa | fixture:NAME> [--clg]
     iwa inline  <file.iwa | fixture:NAME>   print with procedures inlined
     iwa unroll  <file.iwa | fixture:NAME>   print the Lemma-1 unrolled form
@@ -68,6 +77,21 @@ ANALYZE OPTIONS:
     --oracle                       also run the exhaustive wave oracle
     --json                         machine-readable output
     --no-transforms                skip the §5.1 stall transforms
+    --deadline-ms N                wall-clock budget; runs the degradation
+                                   ladder instead of a single tier
+    --max-steps N                  cooperative-step budget (ladder mode)
+    --start RUNG                   most precise ladder rung to attempt:
+                                   oracle|headtails|pairs|heads|naive
+
+CHECK OPTIONS:
+    --deadline-ms N                per-file wall-clock budget (default 2000)
+    --max-steps N                  per-file cooperative-step budget
+    --start RUNG                   most precise ladder rung to attempt
+    --json                         machine-readable summary
+
+EXIT CODES (analyze, check):
+    0  clean at full precision     1  anomaly flagged
+    2  usage or input error        3  degraded or undecided result
 ";
 
 fn load_program(spec: &str) -> Result<Program, String> {
@@ -115,11 +139,16 @@ struct OracleReport {
 fn analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut spec = None;
     let mut tier = Tier::Heads;
+    let mut tier_given = false;
     let mut want_oracle = false;
     let mut json = false;
     let mut transforms = true;
+    let mut budget = BudgetFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if budget.try_parse(a, &mut it)? {
+            continue;
+        }
         match a.as_str() {
             "--tier" => {
                 tier = match it.next().map(String::as_str) {
@@ -128,6 +157,7 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
                     Some("headtails") => Tier::HeadTails,
                     other => return Err(format!("bad --tier {other:?}")),
                 };
+                tier_given = true;
             }
             "--oracle" => want_oracle = true,
             "--json" => json = true,
@@ -140,6 +170,32 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
     }
     let spec = spec.ok_or("missing program (file path or fixture:NAME)")?;
     let program = load_program(&spec)?;
+
+    // Any budget flag switches from the single-tier pipeline to the
+    // engine's degradation ladder.
+    if budget.any() {
+        let fallback = if tier_given {
+            Some(match tier {
+                Tier::Heads => Rung::Heads,
+                Tier::HeadPairs => Rung::HeadPairs,
+                Tier::HeadTails => Rung::HeadTails,
+            })
+        } else {
+            None
+        };
+        let mut opts = budget.engine_options(fallback)?;
+        opts.apply_transforms = transforms;
+        let report = iwa_engine::analyze(&program, &opts).map_err(|e| e.to_string())?;
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+            );
+        } else {
+            print_engine_report(&spec, &report);
+        }
+        return Ok(engine_exit(report.verdict, report.degraded));
+    }
 
     let opts = CertifyOptions {
         refined: RefinedOptions {
@@ -239,6 +295,173 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
     let clean = report.refined_deadlock_free
         && report.stall_verdict == "stall-free";
     Ok(if clean { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// The budget/ladder flags shared by `analyze` and `check`.
+#[derive(Default)]
+struct BudgetFlags {
+    deadline_ms: Option<u64>,
+    max_steps: Option<u64>,
+    start: Option<String>,
+}
+
+impl BudgetFlags {
+    /// Consume `arg` (and its value from `it`) if it is a budget flag.
+    fn try_parse<'a>(
+        &mut self,
+        arg: &str,
+        it: &mut impl Iterator<Item = &'a String>,
+    ) -> Result<bool, String> {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg {
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                self.deadline_ms =
+                    Some(v.parse().map_err(|_| format!("bad --deadline-ms '{v}'"))?);
+            }
+            "--max-steps" => {
+                let v = value("--max-steps")?;
+                self.max_steps = Some(v.parse().map_err(|_| format!("bad --max-steps '{v}'"))?);
+            }
+            "--start" => {
+                self.start = Some(value("--start")?.to_owned());
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn any(&self) -> bool {
+        self.deadline_ms.is_some() || self.max_steps.is_some() || self.start.is_some()
+    }
+
+    /// Build engine options; `fallback_start` supplies a start rung when
+    /// `--start` was not given (e.g. mapped from `--tier`).
+    fn engine_options(&self, fallback_start: Option<Rung>) -> Result<EngineOptions, String> {
+        let start = match &self.start {
+            Some(s) => s.parse::<Rung>()?,
+            None => fallback_start.unwrap_or(Rung::Oracle),
+        };
+        Ok(EngineOptions {
+            start,
+            deadline: self.deadline_ms.map(std::time::Duration::from_millis),
+            max_steps: self.max_steps,
+            ..EngineOptions::default()
+        })
+    }
+}
+
+fn engine_exit(verdict: EngineVerdict, degraded: bool) -> ExitCode {
+    match verdict {
+        EngineVerdict::Anomalous => ExitCode::FAILURE,
+        EngineVerdict::Clean if !degraded => ExitCode::SUCCESS,
+        _ => ExitCode::from(3),
+    }
+}
+
+fn print_engine_report(spec: &str, r: &EngineReport) {
+    println!("program   : {spec}");
+    let verdict = match r.verdict {
+        EngineVerdict::Clean => "clean",
+        EngineVerdict::Anomalous => "anomalous",
+        EngineVerdict::Unknown => "unknown",
+    };
+    if r.degraded {
+        println!("verdict   : {verdict} (degraded: produced by rung '{}')", r.rung);
+    } else {
+        println!("verdict   : {verdict} (rung '{}')", r.rung);
+    }
+    println!("ladder    : {} ms total", r.elapsed_ms);
+    for a in &r.attempts {
+        print!(
+            "    {:<10} {:<16} {:>6} ms {:>10} steps",
+            a.rung.name(),
+            a.outcome,
+            a.elapsed_ms,
+            a.steps
+        );
+        match &a.detail {
+            Some(d) => println!("  ({d})"),
+            None => println!(),
+        }
+    }
+    for f in &r.flagged {
+        println!("flagged   : {f}");
+    }
+}
+
+fn check(args: &[String]) -> Result<ExitCode, String> {
+    let mut target = None;
+    let mut json = false;
+    let mut budget = BudgetFlags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if budget.try_parse(a, &mut it)? {
+            continue;
+        }
+        match a.as_str() {
+            "--json" => json = true,
+            other if target.is_none() && !other.starts_with("--") => {
+                target = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let target = target.ok_or("missing path (a .iwa file or a directory)")?;
+    let mut opts = budget.engine_options(None)?;
+    if opts.deadline.is_none() {
+        // Batch runs always carry a per-file deadline: one adversarial
+        // input must not stall the whole corpus.
+        opts.deadline = Some(std::time::Duration::from_millis(2_000));
+    }
+
+    let files =
+        iwa_engine::collect_files(std::path::Path::new(&target)).map_err(|e| e.to_string())?;
+    if files.is_empty() {
+        return Err(format!("no .iwa files under {target}"));
+    }
+    let summary = iwa_engine::check_paths(&files, &opts);
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+    } else {
+        for f in &summary.files {
+            let verdict = match f.verdict {
+                Some(EngineVerdict::Clean) => "clean",
+                Some(EngineVerdict::Anomalous) => "anomalous",
+                Some(EngineVerdict::Unknown) => "unknown",
+                None => "-",
+            };
+            print!("{:<14} {:<9} {}", f.status, verdict, f.path);
+            if let Some(rung) = f.rung {
+                print!("  [{}{}]", rung.name(), if f.degraded { ", degraded" } else { "" });
+            }
+            if let Some(e) = &f.error {
+                print!("  ({e})");
+            }
+            println!();
+        }
+        println!(
+            "checked {} files in {} ms: {} clean, {} anomalous, {} unknown, \
+             {} degraded, {} errors, {} panicked",
+            summary.total,
+            summary.elapsed_ms,
+            summary.clean,
+            summary.anomalous,
+            summary.unknown,
+            summary.degraded,
+            summary.errors,
+            summary.panicked,
+        );
+    }
+    Ok(ExitCode::from(summary.exit_code()))
 }
 
 fn print_human(r: &AnalyzeReport) {

@@ -96,6 +96,149 @@ fn parse_errors_are_reported_with_position() {
     assert!(err.contains("parse error"));
 }
 
+/// A scratch directory unique to this process (the CLI tests all spawn
+/// the same binary, so uniqueness per test name is enough).
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("iwa-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const CLEAN: &str = "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }";
+const DEADLOCK: &str = "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }";
+
+#[test]
+fn a_one_ms_deadline_yields_a_labelled_degraded_verdict() {
+    let dir = scratch("deadline");
+    let path = dir.join("adversarial.iwa");
+    std::fs::write(
+        &path,
+        iwa_workloads::adversarial::deep_loop_nest(4, 2).to_source(),
+    )
+    .unwrap();
+    let (out, err, code) = iwa(&["analyze", path.to_str().unwrap(), "--deadline-ms", "1"]);
+    // The nest is stall-prone, so even the degraded floor verdict flags it.
+    assert_eq!(code, Some(1), "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("degraded"), "degradation must be labelled: {out}");
+    assert!(out.contains("naive"), "the floor produced the verdict: {out}");
+    assert!(out.contains("budget-exceeded"), "audit trail present: {out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn every_fixture_survives_a_one_ms_deadline() {
+    // The acceptance bar: `--deadline-ms 1` terminates promptly on *any*
+    // fixture — possibly degraded, never hung, never panicking.
+    for (name, _) in iwa_workloads::figures::all_figures() {
+        let spec = format!("fixture:{name}");
+        let (out, err, code) = iwa(&["analyze", &spec, "--deadline-ms", "1"]);
+        assert!(
+            matches!(code, Some(0 | 1 | 3)),
+            "{spec}: code {code:?}\nstdout: {out}\nstderr: {err}"
+        );
+        assert!(out.contains("verdict"), "{spec}: {out}");
+    }
+}
+
+#[test]
+fn degraded_clean_exits_3_not_0() {
+    let dir = scratch("deg3");
+    let path = dir.join("branchy.iwa");
+    std::fs::write(
+        &path,
+        "task t1 { if { send t2.a; } else { send t2.a; } accept b; }
+         task t2 { accept a; send t1.b; }",
+    )
+    .unwrap();
+    let (out, _, code) = iwa(&["analyze", path.to_str().unwrap(), "--max-steps", "1"]);
+    assert_eq!(code, Some(3), "degraded must not masquerade as clean: {out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ladder_mode_emits_json_with_attempts() {
+    let (out, _, code) = iwa(&["analyze", "fixture:lemma2", "--json", "--max-steps", "1000000", "--start", "pairs"]);
+    assert_eq!(code, Some(0), "{out}");
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+    assert_eq!(v["verdict"], serde_json::Value::String("Clean".into()));
+    assert_eq!(v["rung"], serde_json::Value::String("HeadPairs".into()));
+    assert_eq!(v["degraded"], serde_json::Value::Bool(false));
+}
+
+#[test]
+fn bad_budget_flags_are_usage_errors() {
+    for args in [
+        &["analyze", "fixture:fig1", "--deadline-ms", "soon"][..],
+        &["analyze", "fixture:fig1", "--start", "hopeful"][..],
+        &["analyze", "fixture:fig1", "--max-steps"][..],
+        &["check"][..],
+    ] {
+        let (_, err, code) = iwa(args);
+        assert_eq!(code, Some(2), "{args:?} must be a usage error: {err}");
+    }
+}
+
+#[test]
+fn check_exit_codes_follow_the_contract() {
+    // Exit 1: a deadlock in the corpus.
+    let dir = scratch("check1");
+    std::fs::write(dir.join("good.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("bad.iwa"), DEADLOCK).unwrap();
+    let (out, _, code) = iwa(&["check", dir.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{out}");
+    assert!(out.contains("1 anomalous"), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Exit 0: all clean.
+    let dir = scratch("check0");
+    std::fs::write(dir.join("good.iwa"), CLEAN).unwrap();
+    let (out, _, code) = iwa(&["check", dir.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Exit 3: no anomaly, but one file does not even parse.
+    let dir = scratch("check3");
+    std::fs::write(dir.join("good.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("noise.iwa"), "]]] not a program [[[").unwrap();
+    let (out, _, code) = iwa(&["check", dir.to_str().unwrap()]);
+    assert_eq!(code, Some(3), "{out}");
+    assert!(out.contains("parse-error"), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn check_emits_json_and_survives_an_injected_panic() {
+    let dir = scratch("checkpanic");
+    std::fs::write(dir.join("aaa.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("detonator-e2e.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("zzz.iwa"), CLEAN).unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_iwa"))
+        .args(["check", dir.to_str().unwrap(), "--json"])
+        .env("IWA_FAULT_INJECT", "detonator-e2e")
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(3), "{stdout}");
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid json: {stdout}");
+    assert_eq!(v["total"], 3);
+    assert_eq!(v["panicked"], 1);
+    assert_eq!(v["clean"], 2, "the panic was isolated; the rest ran");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn check_runs_the_repo_corpus_with_json_output() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let (out, err, code) = iwa(&["check", corpus.to_str().unwrap(), "--json"]);
+    let v: serde_json::Value = serde_json::from_str(&out)
+        .unwrap_or_else(|e| panic!("valid json ({e})\nstdout: {out}\nstderr: {err}"));
+    // The corpus deliberately contains deadlocks.
+    assert_eq!(code, Some(1));
+    assert!(v["total"].as_u64().unwrap() >= 8);
+    assert_eq!(v["panicked"], 0);
+    assert_eq!(v["errors"], 0);
+}
+
 #[test]
 fn inline_and_unroll_print_transformed_programs() {
     let dir = std::env::temp_dir().join("iwa_cli_test");

@@ -24,12 +24,28 @@ pub enum IwaError {
     /// program is required (apply the Lemma 1 `unroll_twice` transform
     /// first).
     HasLoops(String),
-    /// An exploration or enumeration exceeded its configured budget.
+    /// An exploration or enumeration exceeded its configured budget
+    /// (step ceiling, wall-clock deadline, or cooperative cancellation).
+    ///
+    /// Carries partial-progress counters so callers can report how far
+    /// the analysis got before stopping.
     BudgetExceeded {
         /// What was being explored.
         what: String,
-        /// The configured limit that was hit.
+        /// The configured limit that was hit (steps, states, or — for
+        /// deadline trips — the deadline in milliseconds).
         limit: usize,
+        /// Cooperative checkpoint steps taken before stopping.
+        steps: u64,
+        /// Domain items enumerated before stopping (states visited,
+        /// cycles found, paths walked — whatever the analysis counts).
+        items: usize,
+        /// Wall-clock milliseconds elapsed before stopping.
+        elapsed_ms: u64,
+        /// `true` when a degraded (lower-precision) result was still
+        /// produced despite this budget trip; `false` when the analysis
+        /// stopped with no usable verdict.
+        degraded: bool,
     },
     /// An I/O failure (CLI, report writer). Stored as a string so the error
     /// stays `Clone + Eq`.
@@ -44,8 +60,23 @@ impl fmt::Display for IwaError {
             }
             IwaError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
             IwaError::HasLoops(msg) => write!(f, "program has control-flow loops: {msg}"),
-            IwaError::BudgetExceeded { what, limit } => {
-                write!(f, "budget exceeded while {what} (limit {limit})")
+            IwaError::BudgetExceeded {
+                what,
+                limit,
+                steps,
+                items,
+                elapsed_ms,
+                degraded,
+            } => {
+                write!(
+                    f,
+                    "budget exceeded while {what} (limit {limit}; \
+                     {steps} steps, {items} items, {elapsed_ms} ms elapsed"
+                )?;
+                if *degraded {
+                    write!(f, "; degraded result produced")?;
+                }
+                write!(f, ")")
             }
             IwaError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
@@ -77,8 +108,26 @@ mod tests {
         let b = IwaError::BudgetExceeded {
             what: "exploring waves".into(),
             limit: 10,
+            steps: 1234,
+            items: 56,
+            elapsed_ms: 78,
+            degraded: false,
         };
-        assert!(b.to_string().contains("limit 10"));
+        let msg = b.to_string();
+        assert!(msg.contains("limit 10"));
+        assert!(msg.contains("1234 steps"));
+        assert!(msg.contains("56 items"));
+        assert!(msg.contains("78 ms"));
+        assert!(!msg.contains("degraded"));
+        let d = IwaError::BudgetExceeded {
+            what: "refining".into(),
+            limit: 5,
+            steps: 0,
+            items: 0,
+            elapsed_ms: 0,
+            degraded: true,
+        };
+        assert!(d.to_string().contains("degraded result produced"));
     }
 
     #[test]

@@ -20,9 +20,11 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+pub mod budget;
 pub mod error;
 pub mod symbols;
 
+pub use budget::{Budget, CancelToken};
 pub use error::IwaError;
 pub use symbols::Symbols;
 

@@ -1,0 +1,214 @@
+//! Batch driver: run the ladder over a corpus of `.iwa` files.
+//!
+//! Each file is analysed under its own budget **and** its own panic
+//! boundary ([`std::panic::catch_unwind`]): one malformed or adversarial
+//! input — even one that crashes an analysis outright — cannot take down
+//! the rest of the run. The per-file outcomes roll up into a
+//! [`CheckSummary`] with an error taxonomy and a stable
+//! [exit-code contract](CheckSummary::exit_code).
+//!
+//! For end-to-end tests of the isolation machinery, setting the
+//! [`FAULT_INJECT_ENV`] environment variable to a substring of a file
+//! path makes the driver panic deliberately while checking that file.
+
+use crate::ladder::{analyze, EngineOptions, EngineReport, EngineVerdict, Rung};
+use iwa_core::IwaError;
+use iwa_tasklang::parse;
+use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Name of the fault-injection environment variable: when set and
+/// non-empty, any checked file whose path contains the value panics
+/// mid-analysis. Exists so the panic-isolation path is testable end to
+/// end; harmless in production (nobody sets it).
+pub const FAULT_INJECT_ENV: &str = "IWA_FAULT_INJECT";
+
+/// What happened to one file.
+#[derive(Clone, Debug, Serialize)]
+pub struct FileOutcome {
+    /// The file's path as given.
+    pub path: String,
+    /// `"ok"`, `"parse-error"`, `"invalid-program"`, `"io-error"`, or
+    /// `"panicked"`.
+    pub status: String,
+    /// The engine verdict (present only when `status` is `"ok"`).
+    pub verdict: Option<EngineVerdict>,
+    /// The rung that produced the verdict (present only when `"ok"`).
+    pub rung: Option<Rung>,
+    /// Whether the verdict came from a cheaper rung than requested.
+    pub degraded: bool,
+    /// Wall-clock milliseconds spent on this file.
+    pub elapsed_ms: u64,
+    /// The error or panic message (absent when `"ok"`).
+    pub error: Option<String>,
+}
+
+/// Roll-up of a whole [`check_paths`] run.
+#[derive(Clone, Debug, Serialize)]
+pub struct CheckSummary {
+    /// Per-file outcomes, in the order checked.
+    pub files: Vec<FileOutcome>,
+    /// Total files checked.
+    pub total: usize,
+    /// Files with a `Clean` verdict.
+    pub clean: usize,
+    /// Files with an `Anomalous` verdict.
+    pub anomalous: usize,
+    /// Files with an `Unknown` verdict.
+    pub unknown: usize,
+    /// Files whose verdict was degraded (any verdict, cheaper rung).
+    pub degraded: usize,
+    /// Files that failed to read, parse, or validate.
+    pub errors: usize,
+    /// Files whose analysis panicked (isolated; the run continued).
+    pub panicked: usize,
+    /// Wall-clock milliseconds for the whole run.
+    pub elapsed_ms: u64,
+}
+
+impl CheckSummary {
+    /// The exit-code contract:
+    ///
+    /// * `1` — at least one file is `Anomalous`;
+    /// * `3` — no anomalies, but something is off: a degraded or
+    ///   `Unknown` verdict, an unreadable/unparsable/invalid file, or an
+    ///   isolated panic;
+    /// * `0` — every file clean, full precision, no errors.
+    ///
+    /// (`2` is reserved for CLI usage errors and never produced here.)
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        if self.anomalous > 0 {
+            1
+        } else if self.degraded + self.unknown + self.errors + self.panicked > 0 {
+            3
+        } else {
+            0
+        }
+    }
+}
+
+/// Expand `root` into the list of files to check: a file stands for
+/// itself; a directory is walked recursively for `*.iwa` files, sorted
+/// for reproducible output.
+pub fn collect_files(root: &Path) -> Result<Vec<PathBuf>, IwaError> {
+    let meta = std::fs::metadata(root)
+        .map_err(|e| IwaError::Io(format!("{}: {e}", root.display())))?;
+    if meta.is_file() {
+        return Ok(vec![root.to_path_buf()]);
+    }
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| IwaError::Io(format!("{}: {e}", dir.display())))?;
+        for entry in entries {
+            let path = entry
+                .map_err(|e| IwaError::Io(format!("{}: {e}", dir.display())))?
+                .path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "iwa") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Check every file in `paths`, each behind its own panic boundary and
+/// under its own copy of `opts` (so a per-file deadline in `opts` applies
+/// to each file separately, not to the batch).
+#[must_use]
+pub fn check_paths(paths: &[PathBuf], opts: &EngineOptions) -> CheckSummary {
+    let started = Instant::now();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        files.push(check_one(path, opts));
+    }
+
+    let count = |f: &dyn Fn(&FileOutcome) -> bool| files.iter().filter(|o| f(o)).count();
+    CheckSummary {
+        total: files.len(),
+        clean: count(&|o| o.verdict == Some(EngineVerdict::Clean)),
+        anomalous: count(&|o| o.verdict == Some(EngineVerdict::Anomalous)),
+        unknown: count(&|o| o.verdict == Some(EngineVerdict::Unknown)),
+        degraded: count(&|o| o.degraded),
+        errors: count(&|o| matches!(o.status.as_str(), "parse-error" | "invalid-program" | "io-error")),
+        panicked: count(&|o| o.status == "panicked"),
+        elapsed_ms: started.elapsed().as_millis().try_into().unwrap_or(u64::MAX),
+        files,
+    }
+}
+
+enum Checked {
+    Report(EngineReport),
+    Parse(IwaError),
+    Invalid(IwaError),
+    Io(String),
+}
+
+fn check_one(path: &Path, opts: &EngineOptions) -> FileOutcome {
+    let started = Instant::now();
+    let display = path.display().to_string();
+
+    let inject = std::env::var(FAULT_INJECT_ENV)
+        .ok()
+        .filter(|pat| !pat.is_empty() && display.contains(pat.as_str()));
+
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(pat) = inject {
+            panic!("injected fault (path matches {FAULT_INJECT_ENV}={pat})");
+        }
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) => return Checked::Io(e.to_string()),
+        };
+        let program = match parse(&src) {
+            Ok(p) => p,
+            Err(e) => return Checked::Parse(e),
+        };
+        match analyze(&program, opts) {
+            Ok(report) => Checked::Report(report),
+            Err(e) => Checked::Invalid(e),
+        }
+    }));
+
+    let elapsed_ms = started.elapsed().as_millis().try_into().unwrap_or(u64::MAX);
+    let (status, verdict, rung, degraded, error) = match run {
+        Ok(Checked::Report(r)) => ("ok", Some(r.verdict), Some(r.rung), r.degraded, None),
+        Ok(Checked::Parse(e)) => ("parse-error", None, None, false, Some(e.to_string())),
+        Ok(Checked::Invalid(e)) => ("invalid-program", None, None, false, Some(e.to_string())),
+        Ok(Checked::Io(msg)) => ("io-error", None, None, false, Some(msg)),
+        Err(payload) => (
+            "panicked",
+            None,
+            None,
+            false,
+            // `as_ref` to downcast the *contents*, not the box itself.
+            Some(panic_message(payload.as_ref())),
+        ),
+    };
+    FileOutcome {
+        path: display,
+        status: status.to_owned(),
+        verdict,
+        rung,
+        degraded,
+        elapsed_ms,
+        error,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}

@@ -1,0 +1,189 @@
+//! Batch-driver behaviour: corpus walking, panic isolation, the error
+//! taxonomy, and the exit-code contract.
+
+use iwa_engine::{check_paths, collect_files, EngineOptions, EngineVerdict, Rung, FAULT_INJECT_ENV};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+/// A unique scratch directory per test (unique across parallel test
+/// threads and repeated runs).
+fn scratch(name: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "iwa-check-{name}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const CLEAN: &str = "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }";
+const DEADLOCK: &str = "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }";
+
+#[test]
+fn collect_files_walks_recursively_and_sorts() {
+    let dir = scratch("collect");
+    std::fs::create_dir(dir.join("sub")).unwrap();
+    std::fs::write(dir.join("b.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("sub/a.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("notes.txt"), "not a program").unwrap();
+    let files = collect_files(&dir).unwrap();
+    let names: Vec<_> = files
+        .iter()
+        .map(|f| f.strip_prefix(&dir).unwrap().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(names, ["b.iwa", "sub/a.iwa"], "sorted, .iwa only");
+
+    // A single file stands for itself, whatever its extension.
+    let solo = collect_files(&dir.join("notes.txt")).unwrap();
+    assert_eq!(solo.len(), 1);
+
+    assert!(collect_files(&dir.join("missing")).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_mixed_corpus_yields_the_full_taxonomy_and_exit_code_1() {
+    let dir = scratch("mixed");
+    std::fs::write(dir.join("clean.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("deadlock.iwa"), DEADLOCK).unwrap();
+    std::fs::write(dir.join("garbage.iwa"), "task task task {{{").unwrap();
+    let files = collect_files(&dir).unwrap();
+    let summary = check_paths(&files, &EngineOptions::default());
+
+    assert_eq!(summary.total, 3);
+    assert_eq!(summary.clean, 1);
+    assert_eq!(summary.anomalous, 1);
+    assert_eq!(summary.errors, 1);
+    assert_eq!(summary.panicked, 0);
+    assert_eq!(summary.exit_code(), 1, "anomalies dominate the exit code");
+
+    let garbage = summary
+        .files
+        .iter()
+        .find(|f| f.path.ends_with("garbage.iwa"))
+        .unwrap();
+    assert_eq!(garbage.status, "parse-error");
+    assert!(garbage.verdict.is_none());
+    assert!(garbage.error.as_deref().unwrap().contains("parse error"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn an_all_clean_corpus_exits_0() {
+    let dir = scratch("allclean");
+    std::fs::write(dir.join("one.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("two.iwa"), CLEAN).unwrap();
+    let summary = check_paths(&collect_files(&dir).unwrap(), &EngineOptions::default());
+    assert_eq!((summary.clean, summary.exit_code()), (2, 0));
+    assert!(summary.files.iter().all(|f| f.rung == Some(Rung::Oracle)));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn deadline_degraded_files_exit_3_and_stay_labelled() {
+    let dir = scratch("degraded");
+    let adversarial = iwa_workloads::adversarial::deep_loop_nest(4, 2).to_source();
+    std::fs::write(dir.join("slow.iwa"), adversarial).unwrap();
+    let opts = EngineOptions {
+        deadline: Some(Duration::from_millis(1)),
+        ..EngineOptions::default()
+    };
+    let summary = check_paths(&collect_files(&dir).unwrap(), &opts);
+    assert_eq!(summary.total, 1);
+    let f = &summary.files[0];
+    assert_eq!(f.status, "ok", "a degraded answer is still an answer");
+    assert!(f.degraded);
+    assert_eq!(f.rung, Some(Rung::Naive));
+    assert_eq!(summary.degraded, 1);
+    // This workload is stall-prone, so even the degraded verdict flags it
+    // — anomalous outranks degraded in the exit code.
+    assert_eq!(f.verdict, Some(EngineVerdict::Anomalous));
+    assert_eq!(summary.exit_code(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn degradation_without_anomalies_exits_3() {
+    let dir = scratch("deg3");
+    // Clean but branchy: the naive floor must abstain on the stall half,
+    // so a starved ladder yields Unknown + degraded, never a false claim.
+    std::fs::write(
+        dir.join("branchy.iwa"),
+        "task t1 { if { send t2.a; } else { send t2.a; } accept b; }
+         task t2 { accept a; send t1.b; }",
+    )
+    .unwrap();
+    let opts = EngineOptions {
+        max_steps: Some(1),
+        ..EngineOptions::default()
+    };
+    let summary = check_paths(&collect_files(&dir).unwrap(), &opts);
+    assert_eq!(summary.anomalous, 0);
+    assert_eq!(summary.degraded, 1);
+    assert_eq!(summary.unknown, 1);
+    assert_eq!(summary.exit_code(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn injected_panics_are_isolated_and_the_run_continues() {
+    let dir = scratch("fault");
+    std::fs::write(dir.join("aaa-sound.iwa"), CLEAN).unwrap();
+    // The marker is unique to this test's files, so the process-global
+    // env var cannot affect concurrently running tests.
+    std::fs::write(dir.join("kaboom-marker-q7.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("zzz-sound.iwa"), CLEAN).unwrap();
+
+    std::env::set_var(FAULT_INJECT_ENV, "kaboom-marker-q7");
+    let summary = check_paths(&collect_files(&dir).unwrap(), &EngineOptions::default());
+    std::env::remove_var(FAULT_INJECT_ENV);
+
+    assert_eq!(summary.total, 3);
+    assert_eq!(summary.panicked, 1);
+    assert_eq!(summary.clean, 2, "files after the panic still ran");
+    assert_eq!(summary.exit_code(), 3);
+    let bad = summary
+        .files
+        .iter()
+        .find(|f| f.status == "panicked")
+        .unwrap();
+    assert!(bad.path.contains("kaboom-marker-q7"));
+    assert!(bad.error.as_deref().unwrap().contains("injected fault"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unreadable_files_are_io_errors_not_crashes() {
+    let dir = scratch("io");
+    std::fs::write(dir.join("real.iwa"), CLEAN).unwrap();
+    let mut files = collect_files(&dir).unwrap();
+    files.push(dir.join("vanished.iwa")); // never created
+    let summary = check_paths(&files, &EngineOptions::default());
+    assert_eq!(summary.total, 2);
+    assert_eq!(summary.errors, 1);
+    assert_eq!(
+        summary
+            .files
+            .iter()
+            .find(|f| f.path.ends_with("vanished.iwa"))
+            .unwrap()
+            .status,
+        "io-error"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn summaries_serialize_to_json() {
+    let dir = scratch("json");
+    std::fs::write(dir.join("p.iwa"), CLEAN).unwrap();
+    let summary = check_paths(&collect_files(&dir).unwrap(), &EngineOptions::default());
+    let json = serde_json::to_string_pretty(&summary).unwrap();
+    assert!(json.contains("\"total\": 1"), "got: {json}");
+    assert!(json.contains("\"status\": \"ok\""));
+    assert!(json.contains("\"verdict\": \"Clean\""));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

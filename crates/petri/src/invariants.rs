@@ -17,6 +17,7 @@
 //! `i128`, then scaled to primitive integer vectors.
 
 use crate::net::PetriNet;
+use iwa_core::{Budget, IwaError};
 
 /// The incidence matrix `C[p][t] = post − pre`, in integers.
 #[must_use]
@@ -40,10 +41,20 @@ pub fn incidence_matrix(net: &PetriNet) -> Vec<Vec<i64>> {
 /// Fraction-free elimination keeps everything in `i128`; each basis vector
 /// is scaled primitive (gcd 1) with a positive leading entry.
 #[must_use]
-#[allow(clippy::needless_range_loop)] // parallel row updates read clearer indexed
 pub fn kernel_basis(m: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    kernel_basis_budgeted(m, &Budget::unlimited())
+        .expect("unlimited budget cannot trip")
+}
+
+/// [`kernel_basis`] under a cooperative [`Budget`]: checkpoints once per
+/// row elimination and once per back-substituted basis vector.
+#[allow(clippy::needless_range_loop)] // parallel row updates read clearer indexed
+pub fn kernel_basis_budgeted(
+    m: &[Vec<i64>],
+    budget: &Budget,
+) -> Result<Vec<Vec<i64>>, IwaError> {
     if m.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let rows = m.len();
     let cols = m[0].len();
@@ -64,6 +75,7 @@ pub fn kernel_basis(m: &[Vec<i64>]) -> Vec<Vec<i64>> {
         let pivot = a[row][col];
         for r in 0..rows {
             if r != row && a[r][col] != 0 {
+                budget.checkpoint("eliminating invariant-matrix rows")?;
                 let factor = a[r][col];
                 for c in 0..cols {
                     a[r][c] = a[r][c] * pivot - a[row][c] * factor;
@@ -89,6 +101,7 @@ pub fn kernel_basis(m: &[Vec<i64>]) -> Vec<Vec<i64>> {
     let free_cols: Vec<usize> = (0..cols).filter(|c| !pivot_cols.contains(c)).collect();
     let mut basis = Vec::new();
     for &fc in &free_cols {
+        budget.checkpoint("back-substituting kernel basis vectors")?;
         // One basis vector per free column: set x[fc] to the lcm of the
         // pivot magnitudes (so every division below is exact), all other
         // free columns to 0, and back-substitute the pivot columns. After
@@ -127,7 +140,7 @@ pub fn kernel_basis(m: &[Vec<i64>]) -> Vec<Vec<i64>> {
         }
         basis.push(x.iter().map(|&v| v as i64).collect());
     }
-    basis
+    Ok(basis)
 }
 
 fn row_gcd(row: &[i128]) -> i128 {

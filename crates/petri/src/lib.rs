@@ -22,5 +22,8 @@ pub mod invariants;
 pub mod net;
 
 pub use derive::net_from_sync_graph;
-pub use invariants::{incidence_matrix, is_p_invariant, is_t_invariant, p_invariants, t_invariants};
+pub use invariants::{
+    incidence_matrix, is_p_invariant, is_t_invariant, kernel_basis, kernel_basis_budgeted,
+    p_invariants, t_invariants,
+};
 pub use net::{Marking, PetriNet, ReachResult};

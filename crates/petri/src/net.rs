@@ -1,6 +1,6 @@
 //! Place/transition nets: markings, firing, exhaustive reachability.
 
-use iwa_core::IwaError;
+use iwa_core::{Budget, IwaError};
 use std::collections::{HashSet, VecDeque};
 
 /// A marking: token count per place.
@@ -110,6 +110,18 @@ impl PetriNet {
 
     /// Exhaustive reachability with dead-marking classification.
     pub fn explore(&self, max_markings: usize) -> Result<ReachResult, IwaError> {
+        self.explore_budgeted(max_markings, &Budget::unlimited())
+    }
+
+    /// [`explore`](PetriNet::explore) under a cooperative [`Budget`]:
+    /// checkpoints once per transition firing examined, so deadlines and
+    /// cancellation stop the reachability BFS mid-flight.
+    pub fn explore_budgeted(
+        &self,
+        max_markings: usize,
+        budget: &Budget,
+    ) -> Result<ReachResult, IwaError> {
+        let started = std::time::Instant::now();
         let mut visited: HashSet<Marking> = HashSet::new();
         let mut queue: VecDeque<Marking> = VecDeque::new();
         visited.insert(self.initial.clone());
@@ -119,10 +131,15 @@ impl PetriNet {
         let mut transitions_fired = 0usize;
 
         while let Some(m) = queue.pop_front() {
+            budget.probe("exploring petri-net markings")?;
             if visited.len() > max_markings {
                 return Err(IwaError::BudgetExceeded {
                     what: "exploring petri-net markings".into(),
                     limit: max_markings,
+                    steps: transitions_fired as u64,
+                    items: visited.len(),
+                    elapsed_ms: started.elapsed().as_millis().try_into().unwrap_or(u64::MAX),
+                    degraded: false,
                 });
             }
             let enabled: Vec<usize> =
@@ -136,9 +153,11 @@ impl PetriNet {
                 continue;
             }
             for t in enabled {
+                budget.checkpoint("exploring petri-net markings")?;
                 transitions_fired += 1;
                 let next = self.fire(&m, t);
                 if visited.insert(next.clone()) {
+                    budget.record_items(1);
                     queue.push_back(next);
                 }
             }

@@ -45,9 +45,18 @@ pub fn parse(src: &str) -> Result<Program, IwaError> {
         symbols: Symbols::new(),
         declared: HashSet::new(),
         referenced: Vec::new(),
+        depth: 0,
     }
     .program()
 }
+
+/// Maximum statement-nesting depth the parser accepts. The parser (and
+/// every downstream AST visitor) recurses per nesting level, so without
+/// a cap a `while{while{while{…` soup overflows the stack — an abort no
+/// caller can catch. 64 levels is far beyond any real program yet keeps
+/// the whole pipeline comfortably inside even a 2 MiB test-thread stack
+/// in debug builds.
+pub const MAX_NESTING_DEPTH: usize = 64;
 
 // ---------------------------------------------------------------------------
 // Lexer
@@ -172,6 +181,8 @@ struct Parser {
     declared: HashSet<TaskId>,
     /// `(task, line, col)` of every task mention, re-checked at the end.
     referenced: Vec<(TaskId, usize, usize)>,
+    /// Current statement-nesting depth, capped at [`MAX_NESTING_DEPTH`].
+    depth: usize,
 }
 
 /// Whose body are we parsing? Procedures may not `accept`.
@@ -324,6 +335,20 @@ impl Parser {
 
     /// Parse statements until the matching `}` (consumed).
     fn block(&mut self, ctx: Ctx) -> Result<Vec<Stmt>, IwaError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            let t = self.peek().clone();
+            return Err(self.err(
+                &t,
+                format!("statements nested deeper than {MAX_NESTING_DEPTH} levels"),
+            ));
+        }
+        let result = self.block_inner(ctx);
+        self.depth -= 1;
+        result
+    }
+
+    fn block_inner(&mut self, ctx: Ctx) -> Result<Vec<Stmt>, IwaError> {
         let mut stmts = Vec::new();
         loop {
             if self.peek().tok == Tok::RBrace {

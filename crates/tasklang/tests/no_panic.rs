@@ -1,0 +1,116 @@
+//! Robustness: the parser and validator must *reject* hostile input,
+//! never panic on it. The batch driver feeds arbitrary files straight
+//! into `parse`, so any panic here would surface as a per-file
+//! `catch_unwind` report instead of a clean `parse-error` — or, for a
+//! stack overflow, an uncatchable abort.
+
+use iwa_tasklang::parser::MAX_NESTING_DEPTH;
+use iwa_tasklang::{parse, validate::validate};
+use proptest::prelude::*;
+
+/// Fragments a hostile-but-plausible `.iwa` file might contain: every
+/// keyword and punctuation mark the grammar knows, identifiers, and some
+/// bytes it does not.
+const TOKENS: &[&str] = &[
+    "task", "proc", "send", "accept", "call", "if", "else", "while", "repeat", "carrying",
+    "binding", "as", "{", "}", "(", ")", ".", ";", "a", "b", "t1", "item", "//", "\n", "\t", "$",
+    "0xFF", "task task",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: decode lossily, parse, and (when it parses)
+    /// validate and round-trip. Nothing may panic.
+    #[test]
+    fn parser_never_panics_on_byte_soup(bytes in proptest::collection::vec(0u8..=255, 0usize..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(p) = parse(&src) {
+            let _ = validate(&p);
+            let _ = parse(&p.to_source());
+        }
+    }
+
+    /// Token soup: grammar fragments in random order. Much likelier than
+    /// raw bytes to reach deep parser paths (and occasionally to form a
+    /// valid program — also fine).
+    #[test]
+    fn parser_never_panics_on_token_soup(picks in proptest::collection::vec(0usize..TOKENS.len(), 0usize..128)) {
+        let src = picks
+            .iter()
+            .map(|&i| TOKENS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        if let Ok(p) = parse(&src) {
+            let _ = validate(&p);
+            let _ = parse(&p.to_source());
+        }
+    }
+}
+
+/// The parser recurses per nesting level; the depth cap turns what would
+/// be a stack-overflow *abort* into an ordinary parse error.
+#[test]
+fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+    let depth = 50_000;
+    let mut src = String::from("task a { ");
+    for _ in 0..depth {
+        src.push_str("while { ");
+    }
+    src.push_str("send b.m; ");
+    for _ in 0..depth {
+        src.push_str("} ");
+    }
+    src.push_str("} task b { accept m; }");
+    let err = parse(&src).unwrap_err();
+    assert!(
+        err.to_string().contains("nested deeper"),
+        "expected the depth cap, got: {err}"
+    );
+}
+
+/// Programs at the cap still parse — the limit only rejects pathology.
+#[test]
+fn nesting_below_the_cap_parses() {
+    let depth = MAX_NESTING_DEPTH - 2; // task body + innermost block
+    let mut src = String::from("task a { ");
+    for _ in 0..depth {
+        src.push_str("if { ");
+    }
+    src.push_str("send b.m; ");
+    for _ in 0..depth {
+        src.push_str("} ");
+    }
+    src.push_str("} task b { accept m; }");
+    let p = parse(&src).unwrap();
+    assert_eq!(p.num_rendezvous(), 2);
+}
+
+/// Unterminated constructs, stray closers, and truncated statements all
+/// come back as positioned parse errors.
+#[test]
+fn truncations_and_stray_tokens_error_cleanly() {
+    for src in [
+        "task",
+        "task a",
+        "task a {",
+        "task a { send",
+        "task a { send b",
+        "task a { send b.",
+        "task a { send b.m",
+        "task a { send b.m; ",
+        "}",
+        ";",
+        "task a { } }",
+        "task a { if ( } ",
+        "task a { accept m binding; }",
+        "proc p { accept m; }",
+        "task \u{0} { }",
+    ] {
+        match parse(src) {
+            Err(iwa_core::IwaError::Parse { .. }) => {}
+            Err(other) => panic!("{src:?}: non-parse error {other:?}"),
+            Ok(_) => panic!("{src:?}: unexpectedly parsed"),
+        }
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::classify::{classify, AnomalyReport};
 use crate::wave::{Wave, DONE};
-use iwa_core::{IwaError, TaskId};
+use iwa_core::{Budget, IwaError, TaskId};
 use iwa_syncgraph::{SyncGraph, B, E};
 use std::collections::{HashSet, VecDeque};
 
@@ -222,6 +222,21 @@ pub fn next_waves_with_steps(sg: &SyncGraph, w: &Wave) -> Vec<(Wave, WitnessStep
 /// assert!(!e.can_terminate);
 /// ```
 pub fn explore(sg: &SyncGraph, config: &ExploreConfig) -> Result<Exploration, IwaError> {
+    explore_budgeted(sg, config, &Budget::unlimited())
+}
+
+/// [`explore`] under a cooperative [`Budget`].
+///
+/// Checkpoints once per transition examined, so a wall-clock deadline,
+/// step ceiling, or cancellation stops the BFS mid-flight with
+/// [`IwaError::BudgetExceeded`] carrying partial-progress counters
+/// (`items` = distinct waves visited so far).
+pub fn explore_budgeted(
+    sg: &SyncGraph,
+    config: &ExploreConfig,
+    budget: &Budget,
+) -> Result<Exploration, IwaError> {
+    let started = std::time::Instant::now();
     let mut visited: HashSet<Wave> = HashSet::new();
     let mut queue: VecDeque<Wave> = VecDeque::new();
     // Predecessor links for witness reconstruction: wave → (parent, step).
@@ -243,10 +258,15 @@ pub fn explore(sg: &SyncGraph, config: &ExploreConfig) -> Result<Exploration, Iw
     let mut anomaly_count = 0usize;
 
     while let Some(w) = queue.pop_front() {
+        budget.probe("exploring execution waves")?;
         if visited.len() > config.max_states {
             return Err(IwaError::BudgetExceeded {
                 what: "exploring execution waves".into(),
                 limit: config.max_states,
+                steps: transitions as u64,
+                items: visited.len(),
+                elapsed_ms: started.elapsed().as_millis().try_into().unwrap_or(u64::MAX),
+                degraded: false,
             });
         }
         if w.all_done() {
@@ -279,8 +299,10 @@ pub fn explore(sg: &SyncGraph, config: &ExploreConfig) -> Result<Exploration, Iw
             continue;
         }
         for (s, step) in succs {
+            budget.checkpoint("exploring execution waves")?;
             transitions += 1;
             if visited.insert(s.clone()) {
+                budget.record_items(1);
                 if config.track_witnesses {
                     parents.insert(s.clone(), (w.clone(), step));
                 }

@@ -33,7 +33,7 @@ pub mod sim;
 pub mod wave;
 
 pub use classify::{classify, AnomalyReport};
-pub use explore::{explore, ExploreConfig, Exploration, Verdict, WitnessStep};
+pub use explore::{explore, explore_budgeted, ExploreConfig, Exploration, Verdict, WitnessStep};
 pub use interp::{run_data_aware, Interp, InterpOutcome, InterpRun};
 pub use sim::{simulate, SimOutcome, Trace};
 pub use wave::{Wave, DONE};

@@ -8,11 +8,15 @@
 //!   variants;
 //! * [`random`] — seeded random program generators with controllable
 //!   shape, used by the property tests (safety against the wave oracle)
-//!   and the scaling/precision experiments.
+//!   and the scaling/precision experiments;
+//! * [`adversarial`] — blow-up generators (deep loop nests, all-to-all
+//!   rendezvous meshes, wide branch ladders) for the budget and
+//!   degradation tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod classics;
 pub mod figures;
 pub mod random;

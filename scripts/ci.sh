@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# CI gate: release build, full test suite, and lint-clean under clippy.
+# Run from anywhere; operates on the repo this script lives in.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> CI green"

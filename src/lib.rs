@@ -2,6 +2,7 @@
 #![forbid(unsafe_code)]
 pub use iwa_analysis as analysis;
 pub use iwa_core as core;
+pub use iwa_engine as engine;
 pub use iwa_graphs as graphs;
 pub use iwa_petri as petri;
 pub use iwa_reductions as reductions;

@@ -1,0 +1,269 @@
+//! Offline stand-in for the subset of `serde` this workspace uses (the
+//! build environment has no crates.io access).
+//!
+//! The model is radically simplified: [`Serialize`] renders a value into a
+//! self-describing [`Value`] tree (which `serde_json` then prints), and
+//! [`Deserialize`] is a marker trait satisfied by the derive. The derive
+//! macros live in the companion `serde_derive` stub and support exactly the
+//! shapes this workspace declares: named-field structs, newtype structs,
+//! and fieldless enums.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree — the intermediate form every
+/// [`Serialize`] impl produces. Re-exported by `serde_json` as its `Value`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup on objects; `None` for other shapes or missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if it fits.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if it fits.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an `Array`.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == i64::try_from(*other).ok()
+            }
+        }
+    )*};
+}
+
+impl_value_eq_int!(i32, i64, u32, u64, usize);
+
+/// Render `self` as a [`Value`] tree.
+pub trait Serialize {
+    /// Produce the data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker satisfied by `#[derive(Deserialize)]`. The workspace never
+/// deserializes into domain types, so no machinery is needed.
+pub trait Deserialize {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_and_comparisons() {
+        let v = Value::Object(vec![
+            ("flag".into(), Value::Bool(true)),
+            ("n".into(), Value::Int(3)),
+            ("xs".into(), Value::Array(vec![Value::String("a".into())])),
+        ]);
+        assert_eq!(v["flag"], true);
+        assert_eq!(v["n"], 3);
+        assert_eq!(v["xs"][0], "a");
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(42u32.to_value(), Value::Int(42));
+        assert_eq!((-1i64).to_value(), Value::Int(-1));
+        assert_eq!(u64::MAX.to_value(), Value::UInt(u64::MAX));
+        assert_eq!(Some("x").to_value(), Value::String("x".into()));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Derive macros for the workspace's offline `serde` stub.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` available
+//! offline). Supported item shapes — exactly the ones this workspace
+//! derives on:
+//!
+//! * structs with named fields → JSON object in declaration order;
+//! * newtype structs (`struct X(T);`) → the inner value;
+//! * other tuple structs → JSON array;
+//! * fieldless enums → the variant name as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a `#[derive]` input parsed into.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    FieldlessEnum { name: String, variants: Vec<String> },
+}
+
+/// Skip attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at position `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match &tokens[i..] {
+            [TokenTree::Punct(p), TokenTree::Group(g), ..]
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            [TokenTree::Ident(id), rest @ ..] if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = rest.first() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Advance past tokens until a top-level `,`, returning the index after it
+/// (or `tokens.len()`).
+fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == ',' {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generics are not supported (on `{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                let mut j = 0;
+                while j < inner.len() {
+                    j = skip_attrs_and_vis(&inner, j);
+                    if j >= inner.len() {
+                        break;
+                    }
+                    match &inner[j] {
+                        TokenTree::Ident(id) => fields.push(id.to_string()),
+                        other => panic!(
+                            "serde stub derive: expected field name in `{name}`, found {other}"
+                        ),
+                    }
+                    j = skip_past_comma(&inner, j + 1);
+                }
+                Item::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut arity = 0;
+                let mut j = 0;
+                while j < inner.len() {
+                    j = skip_attrs_and_vis(&inner, j);
+                    if j >= inner.len() {
+                        break;
+                    }
+                    arity += 1;
+                    j = skip_past_comma(&inner, j);
+                }
+                Item::TupleStruct { name, arity }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                let mut j = 0;
+                while j < inner.len() {
+                    j = skip_attrs_and_vis(&inner, j);
+                    if j >= inner.len() {
+                        break;
+                    }
+                    match &inner[j] {
+                        TokenTree::Ident(id) => variants.push(id.to_string()),
+                        other => panic!(
+                            "serde stub derive: expected variant name in `{name}`, found {other}"
+                        ),
+                    }
+                    j += 1;
+                    if let Some(TokenTree::Group(_)) = inner.get(j) {
+                        panic!(
+                            "serde stub derive: enum `{name}` has a data-carrying \
+                             variant; implement Serialize by hand"
+                        );
+                    }
+                    j = skip_past_comma(&inner, j);
+                }
+                Item::FieldlessEnum { name, variants }
+            }
+            other => panic!("serde stub derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// `#[derive(Serialize)]` — see the module docs for the supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                     fn to_value(&self) -> ::serde::Value {{
+                         let mut obj: Vec<(String, ::serde::Value)> = Vec::new();
+                         {pushes}
+                         ::serde::Value::Object(obj)
+                     }}
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                 fn to_value(&self) -> ::serde::Value {{
+                     ::serde::Serialize::to_value(&self.0)
+                 }}
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..arity)
+                .map(|k| format!("arr.push(::serde::Serialize::to_value(&self.{k}));"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                     fn to_value(&self) -> ::serde::Value {{
+                         let mut arr: Vec<::serde::Value> = Vec::new();
+                         {items}
+                         ::serde::Value::Array(arr)
+                     }}
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}
+             }}"
+        ),
+        Item::FieldlessEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                     fn to_value(&self) -> ::serde::Value {{
+                         match self {{ {arms} }}
+                     }}
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("generated impl parses")
+}
+
+/// `#[derive(Deserialize)]` — emits the marker impl only (nothing in this
+/// workspace deserializes into domain types).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::FieldlessEnum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
