@@ -13,16 +13,17 @@
 //! 6. run the stall analysis (§5) on the *original* program (stall counting
 //!    must not see unrolled copies).
 
+use crate::ctx::AnalysisCtx;
 use crate::naive::{naive_analysis, NaiveResult};
-use crate::refined::{refined_analysis_budgeted, RefinedOptions, RefinedResult};
-use crate::stall::{stall_analysis_budgeted, StallOptions, StallReport};
+use crate::refined::{RefinedOptions, RefinedResult};
+use crate::stall::{StallOptions, StallReport};
 use iwa_core::{Budget, IwaError};
 use iwa_syncgraph::SyncGraph;
 use iwa_tasklang::transforms::{inline_procs, unroll_twice};
 use iwa_tasklang::validate::{validate, Warning};
 use iwa_tasklang::Program;
 
-/// Options for [`certify`].
+/// Options for [`AnalysisCtx::certify`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CertifyOptions {
     /// Refined-algorithm options (tier, marking discipline).
@@ -71,35 +72,36 @@ impl Certificate {
     }
 }
 
-/// Run the full pipeline on `p`.
-///
-/// ```
-/// use iwa_analysis::{certify, CertifyOptions};
-///
-/// let p = iwa_tasklang::parse(
-///     "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }",
-/// ).unwrap();
-/// let cert = certify(&p, &CertifyOptions::default()).unwrap();
-/// assert!(cert.anomaly_free());
-/// ```
+/// Deprecated unbudgeted entry point.
+#[deprecated(note = "use AnalysisCtx::certify — the ctx carries budget, cancellation, and workers")]
 pub fn certify(p: &Program, opts: &CertifyOptions) -> Result<Certificate, IwaError> {
-    certify_budgeted(p, opts, &Budget::unlimited())
+    AnalysisCtx::new().certify(p, opts)
 }
 
-/// [`certify`] under a cooperative [`Budget`], threaded into the refined
-/// deadlock analysis and the stall analysis.
-///
-/// A budget trip during the refined pass aborts with
-/// [`IwaError::BudgetExceeded`] (there is no deadlock verdict without it);
-/// a trip during the stall pass degrades that half of the certificate to
-/// [`StallVerdict::Unknown`](crate::stall::StallVerdict::Unknown) instead.
+/// Deprecated budgeted twin of [`certify`].
+#[deprecated(note = "use AnalysisCtx::with_budget(..).certify(..)")]
 pub fn certify_budgeted(
     p: &Program,
     opts: &CertifyOptions,
     budget: &Budget,
 ) -> Result<Certificate, IwaError> {
+    AnalysisCtx::with_budget(budget.clone()).certify(p, opts)
+}
+
+/// [`AnalysisCtx::certify`]: the full pipeline, with the ctx budget
+/// threaded into the refined deadlock analysis and the stall analysis.
+///
+/// A budget trip during the refined pass aborts with
+/// [`IwaError::BudgetExceeded`] (there is no deadlock verdict without it);
+/// a trip during the stall pass degrades that half of the certificate to
+/// [`StallVerdict::Unknown`](crate::stall::StallVerdict::Unknown) instead.
+pub(crate) fn certify_impl(
+    p: &Program,
+    opts: &CertifyOptions,
+    ctx: &AnalysisCtx,
+) -> Result<Certificate, IwaError> {
     let warnings = validate(p)?;
-    budget.probe("certify pipeline")?;
+    ctx.budget().probe("certify pipeline")?;
 
     // Interprocedural model (the paper's deferred extension): inline the
     // acyclic call graph first; everything downstream is intraprocedural.
@@ -135,8 +137,8 @@ pub fn certify_budgeted(
     if was_unrolled {
         refined_opts.apply_constraint4 = false;
     }
-    let refined = refined_analysis_budgeted(&sg, &refined_opts, budget)?;
-    let stall = stall_analysis_budgeted(p, &opts.stall, budget);
+    let refined = ctx.refined(&sg, &refined_opts)?;
+    let stall = ctx.stall(p, &opts.stall);
 
     Ok(Certificate {
         warnings,
@@ -154,6 +156,11 @@ mod tests {
     use super::*;
     use crate::refined::{RefinedOptions, Tier};
     use iwa_tasklang::parse;
+
+    /// Local ctx-backed stand-in (shadows the glob-imported deprecated shim).
+    fn certify(p: &Program, opts: &CertifyOptions) -> Result<Certificate, IwaError> {
+        AnalysisCtx::new().certify(p, opts)
+    }
 
     fn run(src: &str) -> Certificate {
         certify(&parse(src).unwrap(), &CertifyOptions::default()).unwrap()

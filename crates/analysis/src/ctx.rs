@@ -1,0 +1,248 @@
+//! The unified analysis entry point: [`AnalysisCtx`].
+//!
+//! Every analysis in this crate used to come as a twin —
+//! `foo(args…)` plus `foo_budgeted(args…, &Budget)` — and the twins
+//! multiplied as soon as budgets had to thread through worker closures.
+//! `AnalysisCtx` collapses the pairs: it carries the execution
+//! environment (work [`Budget`] with its deadline and [`CancelToken`],
+//! plus the worker count for the parallel stages), and each analysis is a
+//! method on it. The old free functions remain as `#[deprecated]` shims.
+//!
+//! ```
+//! use iwa_analysis::{AnalysisCtx, CertifyOptions};
+//! use iwa_core::Budget;
+//! use std::time::Duration;
+//!
+//! let p = iwa_tasklang::parse(
+//!     "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }",
+//! ).unwrap();
+//!
+//! // Unlimited, single-threaded: the default context.
+//! let cert = AnalysisCtx::new().certify(&p, &CertifyOptions::default()).unwrap();
+//! assert!(cert.anomaly_free());
+//!
+//! // Deadline + 4 workers: same call shape, no `_budgeted` variant.
+//! let ctx = AnalysisCtx::with_budget(Budget::with_deadline(Duration::from_secs(5)))
+//!     .workers(4);
+//! assert!(ctx.certify(&p, &CertifyOptions::default()).unwrap().anomaly_free());
+//! ```
+//!
+//! # Determinism
+//!
+//! Raising the worker count never changes an analysis result: parallel
+//! stages fan out over index-addressed work (per-head hypotheses, batch
+//! files) and merge in index order, so the output is byte-identical for
+//! any worker count. Only budget *trips* are scheduling-sensitive — which
+//! worker observes an exhausted budget first — and those surface as
+//! [`IwaError::BudgetExceeded`](iwa_core::IwaError), never as a wrong
+//! verdict.
+
+use crate::certify::{Certificate, CertifyOptions};
+use crate::coexec::CoexecInfo;
+use crate::exact::{ConstraintSet, ExactBudget, ExactResult};
+use crate::refined::{RefinedOptions, RefinedResult};
+use crate::sequence::SequenceInfo;
+use crate::stall::{StallOptions, StallReport};
+use iwa_core::{Budget, CancelToken, IwaError};
+use iwa_syncgraph::{Clg, SyncGraph};
+use iwa_tasklang::Program;
+
+/// The execution environment shared by every analysis entry point: a
+/// cooperative [`Budget`] (deadline, step ceiling, cancel token, progress
+/// counters) and the worker count for the parallel stages.
+#[derive(Clone, Debug)]
+pub struct AnalysisCtx {
+    budget: Budget,
+    workers: usize,
+}
+
+impl Default for AnalysisCtx {
+    fn default() -> Self {
+        AnalysisCtx::new()
+    }
+}
+
+impl AnalysisCtx {
+    /// An unlimited, single-threaded context — the drop-in replacement
+    /// for the old budget-free entry points.
+    #[must_use]
+    pub fn new() -> Self {
+        AnalysisCtx {
+            budget: Budget::unlimited(),
+            workers: 1,
+        }
+    }
+
+    /// A single-threaded context under `budget`. The budget is shared,
+    /// not copied: clones (and the caller's handle) see the same step
+    /// counters and cancel token.
+    #[must_use]
+    pub fn with_budget(budget: Budget) -> Self {
+        AnalysisCtx { budget, workers: 1 }
+    }
+
+    /// Set the worker count for parallel stages. `0` means one worker
+    /// per available core; `1` (the default) runs everything inline.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = iwa_core::pool::resolve_workers(n);
+        self
+    }
+
+    /// The context's budget.
+    #[must_use]
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The resolved worker count.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The budget's cancel token: cancelling it trips every analysis
+    /// running under this context (on any worker) at its next checkpoint.
+    #[must_use]
+    pub fn cancel_token(&self) -> &CancelToken {
+        self.budget.cancel_token()
+    }
+
+    /// Run the full certification pipeline (validate → inline → unroll →
+    /// naive → refined → stall) on `p`. See
+    /// [`Certificate`] for what the driver learns.
+    pub fn certify(&self, p: &Program, opts: &CertifyOptions) -> Result<Certificate, IwaError> {
+        crate::certify::certify_impl(p, opts, self)
+    }
+
+    /// Run the refined analysis (paper §4.2) on `sg` at the configured
+    /// tier, fanning the per-head SCC searches across this context's
+    /// workers. See [`RefinedResult`].
+    pub fn refined(&self, sg: &SyncGraph, opts: &RefinedOptions) -> Result<RefinedResult, IwaError> {
+        crate::refined::refined_impl(sg, opts, self)
+    }
+
+    /// [`refined`](AnalysisCtx::refined) with precomputed supporting
+    /// tables (CLG, `SEQUENCEABLE`, `NOT-COEXEC`) — for callers that
+    /// amortise the tables across many runs, like the ablation studies.
+    pub fn refined_with(
+        &self,
+        sg: &SyncGraph,
+        clg: &Clg,
+        seq: &SequenceInfo,
+        cx: &CoexecInfo,
+        opts: &RefinedOptions,
+    ) -> Result<RefinedResult, IwaError> {
+        crate::refined::refined_with_impl(sg, clg, seq, cx, opts, self)
+    }
+
+    /// Run the stall analysis (paper §5) on `p`. Budget trips do not
+    /// abort: they surface as
+    /// [`StallVerdict::Unknown`](crate::stall::StallVerdict::Unknown) so
+    /// the deadlock half of a certificate can still be reported.
+    #[must_use]
+    pub fn stall(&self, p: &Program, opts: &StallOptions) -> StallReport {
+        crate::stall::stall_impl(p, opts, self)
+    }
+
+    /// Enumerate constraint-valid deadlock cycles of `sg` (the
+    /// exponential ground-truth checker). The soft [`ExactBudget`]
+    /// truncates gracefully (`complete = false`); this context's hard
+    /// budget aborts with
+    /// [`IwaError::BudgetExceeded`](iwa_core::IwaError).
+    pub fn exact_cycles(
+        &self,
+        sg: &SyncGraph,
+        constraints: &ConstraintSet,
+        limits: &ExactBudget,
+    ) -> Result<ExactResult, IwaError> {
+        crate::exact::exact_impl(sg, constraints, limits, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwa_tasklang::parse;
+    use std::time::Duration;
+
+    const CLEAN: &str = "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }";
+    const CROSSED: &str = "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }";
+
+    #[test]
+    fn the_default_ctx_is_unlimited_and_single_threaded() {
+        let ctx = AnalysisCtx::new();
+        assert_eq!(ctx.num_workers(), 1);
+        assert!(!ctx.budget().is_limited());
+        assert!(!ctx.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn workers_zero_resolves_to_the_core_count() {
+        assert!(AnalysisCtx::new().workers(0).num_workers() >= 1);
+        assert_eq!(AnalysisCtx::new().workers(5).num_workers(), 5);
+    }
+
+    #[test]
+    fn every_entry_point_answers_through_the_ctx() {
+        let clean = parse(CLEAN).unwrap();
+        let crossed = parse(CROSSED).unwrap();
+        let ctx = AnalysisCtx::new();
+
+        assert!(ctx.certify(&clean, &CertifyOptions::default()).unwrap().anomaly_free());
+        let sg = SyncGraph::from_program(&crossed);
+        assert!(!ctx.refined(&sg, &RefinedOptions::default()).unwrap().deadlock_free);
+        assert!(ctx
+            .exact_cycles(&sg, &ConstraintSet::all(), &ExactBudget::default())
+            .unwrap()
+            .any());
+        let stall = ctx.stall(&clean, &StallOptions::default());
+        assert!(matches!(stall.verdict, crate::stall::StallVerdict::StallFree));
+    }
+
+    #[test]
+    fn a_cancelled_ctx_trips_instead_of_answering() {
+        let ctx = AnalysisCtx::new();
+        ctx.cancel_token().cancel();
+        let sg = SyncGraph::from_program(&parse(CROSSED).unwrap());
+        let err = ctx.refined(&sg, &RefinedOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("cancelled"), "got: {err}");
+    }
+
+    #[test]
+    fn results_are_identical_for_any_worker_count() {
+        // A branchy program with enough heads that the pool actually
+        // fans out.
+        let src = "task a { send b.x; accept z; }
+             task b { send c.y; accept x; }
+             task c { send a.z; accept y; }
+             task d { if { send a.z; } else { send b.x; } }";
+        let sg = SyncGraph::from_program(&parse(src).unwrap());
+        let base = AnalysisCtx::new()
+            .refined(&sg, &RefinedOptions::default())
+            .unwrap();
+        for workers in [2, 4, 8] {
+            let r = AnalysisCtx::new()
+                .workers(workers)
+                .refined(&sg, &RefinedOptions::default())
+                .unwrap();
+            assert_eq!(r.deadlock_free, base.deadlock_free);
+            assert_eq!(r.scc_runs, base.scc_runs, "workers={workers}");
+            assert_eq!(
+                r.flagged.iter().map(|f| (f.head, f.partner)).collect::<Vec<_>>(),
+                base.flagged.iter().map(|f| (f.head, f.partner)).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_dead_deadline_trips_on_every_worker_count() {
+        let sg = SyncGraph::from_program(&parse(CROSSED).unwrap());
+        for workers in [1, 4] {
+            let ctx = AnalysisCtx::with_budget(Budget::with_deadline(Duration::from_millis(0)))
+                .workers(workers);
+            assert!(ctx.refined(&sg, &RefinedOptions::default()).is_err());
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! never passed off as exhaustive.
 
 use crate::coexec::CoexecInfo;
+use crate::ctx::AnalysisCtx;
 use crate::sequence::SequenceInfo;
 use iwa_core::{Budget, IwaError};
 use iwa_syncgraph::{Clg, ClgEdge, SyncGraph};
@@ -126,7 +127,7 @@ impl ExactResult {
     }
 }
 
-/// Budgets for [`exact_deadlock_cycles`].
+/// Soft budgets for [`AnalysisCtx::exact_cycles`].
 #[derive(Clone, Copy, Debug)]
 pub struct ExactBudget {
     /// Stop after scanning this many CLG cycles.
@@ -147,7 +148,32 @@ impl Default for ExactBudget {
     }
 }
 
-/// Enumerate constraint-valid deadlock cycles of `sg`.
+/// Deprecated unbudgeted entry point.
+#[deprecated(note = "use AnalysisCtx::exact_cycles — the ctx carries budget and cancellation")]
+#[must_use]
+pub fn exact_deadlock_cycles(
+    sg: &SyncGraph,
+    constraints: &ConstraintSet,
+    budget: &ExactBudget,
+) -> ExactResult {
+    AnalysisCtx::new()
+        .exact_cycles(sg, constraints, budget)
+        .expect("unlimited budget cannot trip")
+}
+
+/// Deprecated budgeted twin of [`exact_deadlock_cycles`].
+#[deprecated(note = "use AnalysisCtx::with_budget(..).exact_cycles(..)")]
+pub fn exact_deadlock_cycles_budgeted(
+    sg: &SyncGraph,
+    constraints: &ConstraintSet,
+    budget: &ExactBudget,
+    wallclock: &Budget,
+) -> Result<ExactResult, IwaError> {
+    AnalysisCtx::with_budget(wallclock.clone()).exact_cycles(sg, constraints, budget)
+}
+
+/// [`AnalysisCtx::exact_cycles`]: enumerate constraint-valid deadlock
+/// cycles of `sg`.
 ///
 /// The search walks simple cycles of the CLG rooted at their
 /// minimum-indexed node, but — unlike a generic cycle enumerator — checks
@@ -157,29 +183,19 @@ impl Default for ExactBudget {
 /// cutting the blow-up on constraint-dense graphs; the Theorem 2/3
 /// validations depend on this (unsatisfiable formulas prune almost
 /// immediately instead of enumerating every multi-wrap clause-ring cycle).
-#[must_use]
-pub fn exact_deadlock_cycles(
-    sg: &SyncGraph,
-    constraints: &ConstraintSet,
-    budget: &ExactBudget,
-) -> ExactResult {
-    exact_deadlock_cycles_budgeted(sg, constraints, budget, &Budget::unlimited())
-        .expect("unlimited budget cannot trip")
-}
-
-/// [`exact_deadlock_cycles`] under a cooperative [`Budget`].
 ///
-/// The soft [`ExactBudget`] still truncates the search *gracefully*
-/// (`complete = false`); the wall-clock/step/cancellation `Budget` instead
-/// aborts with [`IwaError::BudgetExceeded`] (`items` = cycles scanned),
-/// which is what the engine's degradation ladder needs to fall to a
-/// cheaper rung.
-pub fn exact_deadlock_cycles_budgeted(
+/// The soft [`ExactBudget`] truncates the search *gracefully*
+/// (`complete = false`); the ctx's wall-clock/step/cancellation budget
+/// instead aborts with [`IwaError::BudgetExceeded`] (`items` = cycles
+/// scanned), which is what the engine's degradation ladder needs to fall
+/// to a cheaper rung.
+pub(crate) fn exact_impl(
     sg: &SyncGraph,
     constraints: &ConstraintSet,
     budget: &ExactBudget,
-    wallclock: &Budget,
+    ctx: &AnalysisCtx,
 ) -> Result<ExactResult, IwaError> {
+    let wallclock = ctx.budget();
     let clg = Clg::build(sg);
     let seq = if constraints.c3a.is_some() {
         Some(SequenceInfo::compute(sg))
@@ -430,6 +446,15 @@ impl Search<'_> {
 mod tests {
     use super::*;
     use iwa_tasklang::parse;
+
+    /// Local ctx-backed stand-in (shadows the glob-imported deprecated shim).
+    fn exact_deadlock_cycles(
+        sg: &SyncGraph,
+        cs: &ConstraintSet,
+        budget: &ExactBudget,
+    ) -> ExactResult {
+        AnalysisCtx::new().exact_cycles(sg, cs, budget).unwrap()
+    }
 
     fn exact(src: &str, cs: ConstraintSet) -> (SyncGraph, ExactResult) {
         let sg = SyncGraph::from_program(&parse(src).unwrap());

@@ -18,27 +18,37 @@
 //! * [`stall`] — §5: Lemma 3 balance checking, Lemma 4 path enumeration,
 //!   and the transform-assisted pipeline.
 //! * [`certify`](mod@certify) — the end-to-end driver (validate → unroll → analyse).
+//! * [`ctx`] — [`AnalysisCtx`], the single entry point carrying budget,
+//!   cancellation, and the worker count into every analysis above.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod certify;
 pub mod coexec;
+pub mod ctx;
 pub mod exact;
 pub mod naive;
 pub mod refined;
 pub mod sequence;
 pub mod stall;
 
-pub use certify::{certify, certify_budgeted, Certificate, CertifyOptions};
+pub use certify::{Certificate, CertifyOptions};
 pub use coexec::CoexecInfo;
-pub use exact::{
-    exact_deadlock_cycles, exact_deadlock_cycles_budgeted, ConstraintSet, CycleWitness,
-    ExactBudget, ExactResult, SeqRelation,
-};
+pub use ctx::AnalysisCtx;
+pub use exact::{ConstraintSet, CycleWitness, ExactBudget, ExactResult, SeqRelation};
 pub use naive::{naive_analysis, NaiveResult};
-pub use refined::{
-    refined_analysis, refined_analysis_budgeted, FlaggedHead, RefinedOptions, RefinedResult, Tier,
-};
+pub use refined::{FlaggedHead, RefinedOptions, RefinedResult, Tier};
 pub use sequence::SequenceInfo;
-pub use stall::{stall_analysis, stall_analysis_budgeted, StallOptions, StallReport, StallVerdict};
+pub use stall::{StallOptions, StallReport, StallVerdict};
+
+// The deprecated `foo`/`foo_budgeted` twins stay re-exported so old code
+// keeps compiling (with deprecation warnings at the *use* sites only).
+#[allow(deprecated)]
+pub use certify::{certify, certify_budgeted};
+#[allow(deprecated)]
+pub use exact::{exact_deadlock_cycles, exact_deadlock_cycles_budgeted};
+#[allow(deprecated)]
+pub use refined::{refined_analysis, refined_analysis_budgeted, refined_with, refined_with_budgeted};
+#[allow(deprecated)]
+pub use stall::{stall_analysis, stall_analysis_budgeted};

@@ -32,8 +32,9 @@
 //! cycle may have a single head (footnote 6's caution).
 
 use crate::coexec::CoexecInfo;
+use crate::ctx::AnalysisCtx;
 use crate::sequence::SequenceInfo;
-use iwa_core::{Budget, IwaError};
+use iwa_core::{pool, Budget, IwaError};
 use iwa_graphs::{BitSet, DiGraph, Scc};
 use iwa_syncgraph::{Clg, ClgEdge, SyncGraph};
 
@@ -49,7 +50,7 @@ pub enum Tier {
     HeadTails,
 }
 
-/// Options for [`refined_analysis`].
+/// Options for [`AnalysisCtx::refined`].
 #[derive(Clone, Copy, Debug)]
 pub struct RefinedOptions {
     /// The accuracy/cost tier.
@@ -137,56 +138,27 @@ pub struct RefinedResult {
     pub scc_runs: usize,
 }
 
-/// Run the refined analysis.
-///
-/// The sync graph should be loop-free in its control edges (apply the
-/// Lemma 1 unrolling first — the [`certify`](crate::certify::certify) driver does);
-/// with control cycles the result is still safe but every loop is flagged.
-/// ```
-/// use iwa_analysis::{refined_analysis, RefinedOptions};
-///
-/// // Figure 1's shape: naive is fooled, refined certifies.
-/// let p = iwa_tasklang::parse(
-///     "task t1 { send t2.sig1; accept sig2; }
-///      task t2 {
-///         if { accept sig1; } else { accept sig1; }
-///         send t1.sig2;
-///         accept sig1;
-///      }",
-/// ).unwrap();
-/// let sg = iwa_syncgraph::SyncGraph::from_program(&p);
-/// assert!(!iwa_analysis::naive_analysis(&sg).deadlock_free);
-/// assert!(refined_analysis(&sg, &RefinedOptions::default()).deadlock_free);
-/// ```
+/// Deprecated single-threaded, unbudgeted entry point.
+#[deprecated(note = "use AnalysisCtx::refined — the ctx carries budget, cancellation, and workers")]
 #[must_use]
 pub fn refined_analysis(sg: &SyncGraph, opts: &RefinedOptions) -> RefinedResult {
-    refined_analysis_budgeted(sg, opts, &Budget::unlimited())
+    AnalysisCtx::new()
+        .refined(sg, opts)
         .expect("unlimited budget cannot trip")
 }
 
-/// [`refined_analysis`] under a cooperative [`Budget`].
-///
-/// The budget is probed once per head hypothesis and checkpointed once per
-/// marked SCC search, so higher tiers (which run more searches) consume
-/// proportionally more steps — the property the engine's degradation
-/// ladder relies on. `items` in a [`IwaError::BudgetExceeded`] counts SCC
-/// runs completed before the trip.
+/// Deprecated budgeted twin of [`refined_analysis`].
+#[deprecated(note = "use AnalysisCtx::with_budget(..).refined(..)")]
 pub fn refined_analysis_budgeted(
     sg: &SyncGraph,
     opts: &RefinedOptions,
     budget: &Budget,
 ) -> Result<RefinedResult, IwaError> {
-    let clg = Clg::build(sg);
-    let seq = SequenceInfo::compute(sg);
-    let cx = if opts.use_condition_coexec {
-        CoexecInfo::compute_with_conditions(sg)
-    } else {
-        CoexecInfo::compute(sg)
-    };
-    refined_with_budgeted(sg, &clg, &seq, &cx, opts, budget)
+    AnalysisCtx::with_budget(budget.clone()).refined(sg, opts)
 }
 
-/// Run the refined analysis with precomputed supporting tables.
+/// Deprecated precomputed-tables entry point.
+#[deprecated(note = "use AnalysisCtx::refined_with")]
 #[must_use]
 pub fn refined_with(
     sg: &SyncGraph,
@@ -195,12 +167,13 @@ pub fn refined_with(
     cx: &CoexecInfo,
     opts: &RefinedOptions,
 ) -> RefinedResult {
-    refined_with_budgeted(sg, clg, seq, cx, opts, &Budget::unlimited())
+    AnalysisCtx::new()
+        .refined_with(sg, clg, seq, cx, opts)
         .expect("unlimited budget cannot trip")
 }
 
-/// [`refined_with`] under a cooperative [`Budget`] (see
-/// [`refined_analysis_budgeted`] for the checkpoint discipline).
+/// Deprecated budgeted twin of [`refined_with`].
+#[deprecated(note = "use AnalysisCtx::with_budget(..).refined_with(..)")]
 pub fn refined_with_budgeted(
     sg: &SyncGraph,
     clg: &Clg,
@@ -209,77 +182,144 @@ pub fn refined_with_budgeted(
     opts: &RefinedOptions,
     budget: &Budget,
 ) -> Result<RefinedResult, IwaError> {
-    let mut runs = 0usize;
-    let mut flagged = Vec::new();
+    AnalysisCtx::with_budget(budget.clone()).refined_with(sg, clg, seq, cx, opts)
+}
+
+/// [`AnalysisCtx::refined`]: build the supporting tables, then run the
+/// marked searches.
+///
+/// The sync graph should be loop-free in its control edges (apply the
+/// Lemma 1 unrolling first — the [`AnalysisCtx::certify`] driver does);
+/// with control cycles the result is still safe but every loop is flagged.
+///
+/// The ctx budget is probed once per head hypothesis and checkpointed once
+/// per marked SCC search, so higher tiers (which run more searches) consume
+/// proportionally more steps — the property the engine's degradation
+/// ladder relies on. `items` in a [`IwaError::BudgetExceeded`] counts SCC
+/// runs completed before the trip.
+pub(crate) fn refined_impl(
+    sg: &SyncGraph,
+    opts: &RefinedOptions,
+    ctx: &AnalysisCtx,
+) -> Result<RefinedResult, IwaError> {
+    let clg = Clg::build(sg);
+    let seq = SequenceInfo::compute(sg);
+    let cx = if opts.use_condition_coexec {
+        CoexecInfo::compute_with_conditions(sg)
+    } else {
+        CoexecInfo::compute(sg)
+    };
+    refined_with_impl(sg, &clg, &seq, &cx, opts, ctx)
+}
+
+/// The outcome of one head hypothesis: SCC searches performed, and the
+/// surviving flag (if any).
+type HeadOutcome = (usize, Option<FlaggedHead>);
+
+/// [`AnalysisCtx::refined_with`]: the per-head search loop.
+///
+/// Heads are independent by construction — each hypothesis searches its
+/// own filtered copy of the CLG — so they fan out across the ctx's
+/// workers. Results merge in head order, making the output byte-identical
+/// for any worker count; the shared budget keeps the overall step/time
+/// ceiling exact across workers (clones share counters).
+pub(crate) fn refined_with_impl(
+    sg: &SyncGraph,
+    clg: &Clg,
+    seq: &SequenceInfo,
+    cx: &CoexecInfo,
+    opts: &RefinedOptions,
+    ctx: &AnalysisCtx,
+) -> Result<RefinedResult, IwaError> {
+    let budget = ctx.budget();
     let rescued = if opts.apply_constraint4 {
         constraint4_rescued(sg, seq)
     } else {
         Vec::new()
     };
+    // Constraint-4 rescued nodes can never be WAITING on an anomalous
+    // wave, so they are dropped from the hypothesis list up front.
+    let heads: Vec<usize> = sg
+        .poss_heads()
+        .into_iter()
+        .filter(|h| !rescued.contains(h))
+        .collect();
 
-    for h in sg.poss_heads() {
-        if rescued.contains(&h) {
-            continue; // h can never be WAITING on an anomalous wave
-        }
-        budget.probe("refined head hypotheses")?;
-        runs += 1;
-        let Some(component) =
-            marked_search(sg, clg, seq, cx, &[h], None, &rescued, opts, budget)?
-        else {
-            continue; // h certified
-        };
-        let single_task = component
-            .iter()
-            .all(|&n| sg.node(n).task == sg.node(h).task);
-        match opts.tier {
-            Tier::Heads => {
-                flagged.push(FlaggedHead {
-                    head: h,
-                    partner: None,
-                    component,
-                });
-            }
-            _ if single_task => {
-                // A deadlock cycle may have a single head (self-coupling);
-                // pair/tail confirmation does not apply (footnote 6).
-                flagged.push(FlaggedHead {
-                    head: h,
-                    partner: None,
-                    component,
-                });
-            }
-            Tier::HeadPairs => {
-                let confirmed = confirm_with_second_head(
-                    sg, clg, seq, cx, opts, h, &component, &rescued, &mut runs, budget,
-                )?;
-                if let Some((h2, comp2)) = confirmed {
-                    flagged.push(FlaggedHead {
-                        head: h,
-                        partner: Some(h2),
-                        component: comp2,
-                    });
-                }
-            }
-            Tier::HeadTails => {
-                let confirmed = confirm_with_tail(
-                    sg, clg, seq, cx, opts, h, &component, &rescued, &mut runs, budget,
-                )?;
-                if let Some((t, comp2)) = confirmed {
-                    flagged.push(FlaggedHead {
-                        head: h,
-                        partner: Some(t),
-                        component: comp2,
-                    });
-                }
-            }
-        }
+    let outcomes: Vec<HeadOutcome> =
+        pool::try_map(ctx.num_workers(), heads.len(), |i| {
+            examine_head(sg, clg, seq, cx, opts, heads[i], &rescued, budget)
+        })?;
+
+    let mut runs = 0usize;
+    let mut flagged = Vec::new();
+    for (head_runs, flag) in outcomes {
+        runs += head_runs;
+        flagged.extend(flag);
     }
-
     Ok(RefinedResult {
         deadlock_free: flagged.is_empty(),
         flagged,
         scc_runs: runs,
     })
+}
+
+/// Examine one head hypothesis end to end: the base marked search plus
+/// any pair/tail confirmation the tier asks for. This is the unit of
+/// parallel work — it touches only shared immutable tables and the
+/// shared budget.
+#[allow(clippy::too_many_arguments)]
+fn examine_head(
+    sg: &SyncGraph,
+    clg: &Clg,
+    seq: &SequenceInfo,
+    cx: &CoexecInfo,
+    opts: &RefinedOptions,
+    h: usize,
+    rescued: &[usize],
+    budget: &Budget,
+) -> Result<HeadOutcome, IwaError> {
+    budget.probe("refined head hypotheses")?;
+    let mut runs = 1usize;
+    let Some(component) = marked_search(sg, clg, seq, cx, &[h], None, rescued, opts, budget)?
+    else {
+        return Ok((runs, None)); // h certified
+    };
+    let single_task = component
+        .iter()
+        .all(|&n| sg.node(n).task == sg.node(h).task);
+    let flag = match opts.tier {
+        Tier::Heads => Some(FlaggedHead {
+            head: h,
+            partner: None,
+            component,
+        }),
+        _ if single_task => {
+            // A deadlock cycle may have a single head (self-coupling);
+            // pair/tail confirmation does not apply (footnote 6).
+            Some(FlaggedHead {
+                head: h,
+                partner: None,
+                component,
+            })
+        }
+        Tier::HeadPairs => confirm_with_second_head(
+            sg, clg, seq, cx, opts, h, &component, rescued, &mut runs, budget,
+        )?
+        .map(|(h2, comp2)| FlaggedHead {
+            head: h,
+            partner: Some(h2),
+            component: comp2,
+        }),
+        Tier::HeadTails => confirm_with_tail(
+            sg, clg, seq, cx, opts, h, &component, rescued, &mut runs, budget,
+        )?
+        .map(|(t, comp2)| FlaggedHead {
+            head: h,
+            partner: Some(t),
+            component: comp2,
+        }),
+    };
+    Ok((runs, flag))
 }
 
 /// The marked SCC search shared by all tiers.
@@ -530,6 +570,12 @@ mod tests {
     use super::*;
     use iwa_tasklang::parse;
 
+    /// Local ctx-backed stand-in for the deprecated free function (shadows
+    /// the glob-imported shim, keeping these tests deprecation-free).
+    fn refined_analysis(sg: &SyncGraph, opts: &RefinedOptions) -> RefinedResult {
+        AnalysisCtx::new().refined(sg, opts).unwrap()
+    }
+
     fn run(src: &str, tier: Tier) -> (SyncGraph, RefinedResult) {
         let sg = SyncGraph::from_program(&parse(src).unwrap());
         let r = refined_analysis(
@@ -643,11 +689,13 @@ mod tests {
             "hypotheses headed on the exclusive arms are suppressed"
         );
         // The exact checker with constraint 3b proves no valid cycle exists.
-        let ex = crate::exact::exact_deadlock_cycles(
-            &sg,
-            &crate::exact::ConstraintSet::all(),
-            &crate::exact::ExactBudget::default(),
-        );
+        let ex = AnalysisCtx::new()
+            .exact_cycles(
+                &sg,
+                &crate::exact::ConstraintSet::all(),
+                &crate::exact::ExactBudget::default(),
+            )
+            .unwrap();
         assert!(ex.complete && !ex.any());
     }
 

@@ -18,13 +18,14 @@
 //! the Turing halting problem"); they report [`StallVerdict::Unknown`]
 //! unless the transforms eliminate every conditional rendezvous.
 
+use crate::ctx::AnalysisCtx;
 use iwa_core::{Budget, IwaError, SignalId};
 use iwa_tasklang::cfg::{ProgramCfg, EXIT};
 use iwa_tasklang::transforms::{factor_codependent, merge_branch_rendezvous};
 use iwa_tasklang::Program;
 use std::collections::HashMap;
 
-/// Options for [`stall_analysis`].
+/// Options for [`AnalysisCtx::stall`].
 #[derive(Clone, Copy, Debug)]
 pub struct StallOptions {
     /// Apply the §5.1 source transforms before counting.
@@ -68,7 +69,7 @@ pub enum StallVerdict {
     },
 }
 
-/// Result of [`stall_analysis`].
+/// Result of [`AnalysisCtx::stall`].
 #[derive(Clone, Debug)]
 pub struct StallReport {
     /// The verdict.
@@ -177,34 +178,33 @@ fn task_path_signatures(
     Ok(all)
 }
 
-/// Run the stall analysis pipeline on `p`.
-///
-/// ```
-/// use iwa_analysis::{stall_analysis, StallOptions, StallVerdict};
-///
-/// let p = iwa_tasklang::parse(
-///     "task a { send b.m; send b.m; } task b { accept m; }",
-/// ).unwrap();
-/// let report = stall_analysis(&p, &StallOptions::default());
-/// assert!(matches!(report.verdict, StallVerdict::PossibleStall { .. }));
-/// ```
+/// Deprecated unbudgeted entry point.
+#[deprecated(note = "use AnalysisCtx::stall — the ctx carries budget, cancellation, and workers")]
 #[must_use]
 pub fn stall_analysis(p: &Program, opts: &StallOptions) -> StallReport {
-    stall_analysis_budgeted(p, opts, &Budget::unlimited())
+    AnalysisCtx::new().stall(p, opts)
 }
 
-/// [`stall_analysis`] under a cooperative [`Budget`].
-///
-/// Budget trips do not abort: in keeping with this module's error
-/// discipline they surface as [`StallVerdict::Unknown`] carrying the
-/// budget error's message, so the certify pipeline can still report the
-/// deadlock half of the certificate.
+/// Deprecated budgeted twin of [`stall_analysis`].
+#[deprecated(note = "use AnalysisCtx::with_budget(..).stall(..)")]
 #[must_use]
 pub fn stall_analysis_budgeted(
     p: &Program,
     opts: &StallOptions,
     budget: &Budget,
 ) -> StallReport {
+    AnalysisCtx::with_budget(budget.clone()).stall(p, opts)
+}
+
+/// [`AnalysisCtx::stall`]: the stall analysis pipeline.
+///
+/// Budget trips do not abort: in keeping with this module's error
+/// discipline they surface as [`StallVerdict::Unknown`] carrying the
+/// budget error's message, so the certify pipeline can still report the
+/// deadlock half of the certificate.
+#[must_use]
+pub(crate) fn stall_impl(p: &Program, opts: &StallOptions, ctx: &AnalysisCtx) -> StallReport {
+    let budget = ctx.budget();
     // Rendezvous hidden in procedures must be counted: inline first.
     let inlined;
     let p: &Program = if p.has_calls() {
@@ -384,6 +384,11 @@ pub fn stall_analysis_budgeted(
 mod tests {
     use super::*;
     use iwa_tasklang::parse;
+
+    /// Local ctx-backed stand-in (shadows the glob-imported deprecated shim).
+    fn stall_analysis(p: &Program, opts: &StallOptions) -> StallReport {
+        AnalysisCtx::new().stall(p, opts)
+    }
 
     fn analyse(src: &str) -> StallReport {
         stall_analysis(&parse(src).unwrap(), &StallOptions::default())

@@ -3,7 +3,7 @@
 //! [MSS89]) on the replicated-pairs family.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iwa_analysis::{refined_analysis, RefinedOptions};
+use iwa_analysis::{AnalysisCtx, RefinedOptions};
 use iwa_bench::families::replicated_pairs;
 use iwa_petri::net_from_sync_graph;
 use iwa_syncgraph::SyncGraph;
@@ -18,7 +18,11 @@ fn bench_baselines(c: &mut Criterion) {
     let mut g = c.benchmark_group("refined_polynomial");
     for (k, sg) in &graphs {
         g.bench_with_input(BenchmarkId::from_parameter(k), sg, |b, sg| {
-            b.iter(|| refined_analysis(black_box(sg), &RefinedOptions::default()))
+            b.iter(|| {
+                AnalysisCtx::new()
+                    .refined(black_box(sg), &RefinedOptions::default())
+                    .unwrap()
+            })
         });
     }
     g.finish();

@@ -1,7 +1,7 @@
 //! E1–E5/E7/E12 micro-costs: full certification of every paper figure.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use iwa_analysis::{certify, CertifyOptions};
+use iwa_analysis::{AnalysisCtx, CertifyOptions};
 use iwa_workloads::figures;
 use std::hint::black_box;
 
@@ -9,7 +9,11 @@ fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures_certify");
     for (name, p) in figures::all_figures() {
         g.bench_function(name, |b| {
-            b.iter(|| certify(black_box(&p), &CertifyOptions::default()).unwrap())
+            b.iter(|| {
+                AnalysisCtx::new()
+                    .certify(black_box(&p), &CertifyOptions::default())
+                    .unwrap()
+            })
         });
     }
     g.finish();

@@ -1,7 +1,7 @@
 //! E11: cost of the accuracy/cost ladder on a fixed random batch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iwa_analysis::{naive_analysis, refined_analysis, RefinedOptions, Tier};
+use iwa_analysis::{naive_analysis, AnalysisCtx, RefinedOptions, Tier};
 use iwa_syncgraph::SyncGraph;
 use iwa_workloads::{random_balanced, BalancedConfig};
 use rand::rngs::StdRng;
@@ -43,13 +43,17 @@ fn bench_precision(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("refined", name), &tier, |b, tier| {
             b.iter(|| {
                 for sg in &graphs {
-                    black_box(refined_analysis(
-                        sg,
-                        &RefinedOptions {
-                            tier: *tier,
-                            ..RefinedOptions::default()
-                        },
-                    ));
+                    black_box(
+                        AnalysisCtx::new()
+                            .refined(
+                                sg,
+                                &RefinedOptions {
+                                    tier: *tier,
+                                    ..RefinedOptions::default()
+                                },
+                            )
+                            .unwrap(),
+                    );
                 }
             })
         });

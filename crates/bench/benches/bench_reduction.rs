@@ -1,7 +1,8 @@
 //! E8: building and deciding the Theorem 2/3 reductions.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iwa_analysis::exact::{exact_deadlock_cycles, ConstraintSet, ExactBudget};
+use iwa_analysis::exact::{ConstraintSet, ExactBudget};
+use iwa_analysis::AnalysisCtx;
 use iwa_reductions::{theorem2_program, theorem3_graph};
 use iwa_sat::{solve, Cnf};
 use iwa_syncgraph::SyncGraph;
@@ -40,11 +41,13 @@ fn bench_reduction(c: &mut Criterion) {
         let sg = SyncGraph::from_program(&theorem2_program(&cnf));
         g.bench_with_input(BenchmarkId::from_parameter(m), &sg, |b, sg| {
             b.iter(|| {
-                exact_deadlock_cycles(
-                    black_box(sg),
-                    &ConstraintSet::c1_and_3a(),
-                    &ExactBudget::default(),
-                )
+                AnalysisCtx::new()
+                    .exact_cycles(
+                        black_box(sg),
+                        &ConstraintSet::c1_and_3a(),
+                        &ExactBudget::default(),
+                    )
+                    .unwrap()
             })
         });
     }
@@ -56,11 +59,13 @@ fn bench_reduction(c: &mut Criterion) {
         let sg = theorem3_graph(&cnf);
         g.bench_with_input(BenchmarkId::from_parameter(m), &sg, |b, sg| {
             b.iter(|| {
-                exact_deadlock_cycles(
-                    black_box(sg),
-                    &ConstraintSet::c1_and_2(),
-                    &ExactBudget::default(),
-                )
+                AnalysisCtx::new()
+                    .exact_cycles(
+                        black_box(sg),
+                        &ConstraintSet::c1_and_2(),
+                        &ExactBudget::default(),
+                    )
+                    .unwrap()
             })
         });
     }

@@ -1,7 +1,7 @@
 //! E9: scaling of the polynomial analyses with program size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iwa_analysis::{naive_analysis, refined_analysis, RefinedOptions, SequenceInfo};
+use iwa_analysis::{naive_analysis, AnalysisCtx, RefinedOptions, SequenceInfo};
 use iwa_bench::families::sized_random;
 use iwa_syncgraph::{Clg, SyncGraph};
 use std::hint::black_box;
@@ -27,7 +27,11 @@ fn bench_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("refined_heads");
     for (s, sg) in &graphs {
         g.bench_with_input(BenchmarkId::from_parameter(s), sg, |b, sg| {
-            b.iter(|| refined_analysis(black_box(sg), &RefinedOptions::default()))
+            b.iter(|| {
+                AnalysisCtx::new()
+                    .refined(black_box(sg), &RefinedOptions::default())
+                    .unwrap()
+            })
         });
     }
     g.finish();

@@ -1,7 +1,7 @@
 //! E6: cost of the Lemma 1 transform and of analysing its output.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iwa_analysis::{refined_analysis, RefinedOptions};
+use iwa_analysis::{AnalysisCtx, RefinedOptions};
 use iwa_syncgraph::SyncGraph;
 use iwa_tasklang::transforms::unroll_twice;
 use iwa_workloads::classics::pipeline_looping;
@@ -21,7 +21,11 @@ fn bench_unroll(c: &mut Criterion) {
     for stages in [2usize, 4, 8] {
         let sg = SyncGraph::from_program(&unroll_twice(&pipeline_looping(stages)));
         g.bench_with_input(BenchmarkId::from_parameter(stages), &sg, |b, sg| {
-            b.iter(|| refined_analysis(black_box(sg), &RefinedOptions::default()))
+            b.iter(|| {
+                AnalysisCtx::new()
+                    .refined(black_box(sg), &RefinedOptions::default())
+                    .unwrap()
+            })
         });
     }
     g.finish();

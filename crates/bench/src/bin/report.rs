@@ -8,10 +8,10 @@
 //! cargo run --release -p iwa-bench --bin report -- --quick # smaller sweeps
 //! ```
 
-use iwa_analysis::exact::{exact_deadlock_cycles, ConstraintSet, ExactBudget};
+use iwa_analysis::exact::{ConstraintSet, ExactBudget, ExactResult};
 use iwa_analysis::{
-    naive_analysis, refined_analysis, stall_analysis, RefinedOptions, SequenceInfo,
-    StallOptions, StallVerdict, Tier,
+    naive_analysis, AnalysisCtx, RefinedOptions, RefinedResult, SequenceInfo,
+    StallOptions, StallReport, StallVerdict, Tier,
 };
 use iwa_bench::families::{replicated_pairs, sized_random_typed};
 use iwa_bench::tables::Table;
@@ -72,6 +72,28 @@ fn main() {
         "E13 (safety) and E14 (Theorem 1 taxonomy) are property-based suites:\n\
          run `cargo test --test safety --test taxonomy`."
     );
+}
+
+// Terse wrappers over the unlimited single-threaded [`AnalysisCtx`]:
+// the report binary calls these hundreds of times per table.
+fn refined_analysis(sg: &SyncGraph, opts: &RefinedOptions) -> RefinedResult {
+    AnalysisCtx::new()
+        .refined(sg, opts)
+        .expect("unlimited budget cannot trip")
+}
+
+fn stall_analysis(p: &Program, opts: &StallOptions) -> StallReport {
+    AnalysisCtx::new().stall(p, opts)
+}
+
+fn exact_deadlock_cycles(
+    sg: &SyncGraph,
+    constraints: &ConstraintSet,
+    budget: &ExactBudget,
+) -> ExactResult {
+    AnalysisCtx::new()
+        .exact_cycles(sg, constraints, budget)
+        .expect("unlimited budget cannot trip")
 }
 
 fn verdict(free: bool) -> String {
@@ -307,13 +329,9 @@ fn e9_scaling(ctx: &Ctx) -> Table {
             let seq = SequenceInfo::compute(&sg);
             let cx = iwa_analysis::CoexecInfo::compute(&sg);
             let search_d = median_time(3, || {
-                iwa_analysis::refined::refined_with(
-                    &sg,
-                    &clg,
-                    &seq,
-                    &cx,
-                    &RefinedOptions::default(),
-                )
+                AnalysisCtx::new()
+                    .refined_with(&sg, &clg, &seq, &cx, &RefinedOptions::default())
+                    .expect("unlimited budget cannot trip")
             });
             naive_pts.push((n_nodes as f64, naive_d.as_secs_f64()));
             search_pts.push((n_nodes as f64, search_d.as_secs_f64()));

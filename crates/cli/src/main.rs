@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! iwa analyze <file.iwa | fixture:NAME> [--tier heads|pairs|headtails]
-//!             [--oracle] [--json] [--no-transforms]
+//!             [--oracle] [--json] [--no-transforms] [-j N]
 //!             [--deadline-ms N] [--max-steps N] [--start RUNG]
 //! iwa check   <file.iwa | dir> [--deadline-ms N] [--max-steps N]
-//!             [--start RUNG] [--json]
+//!             [--start RUNG] [--json] [-j N]
 //! iwa graph   <file.iwa | fixture:NAME> [--clg]
 //! iwa inline  <file.iwa | fixture:NAME>
 //! iwa unroll  <file.iwa | fixture:NAME>
@@ -16,8 +16,8 @@
 //! Exit codes for `analyze` and `check`: `0` clean at full precision,
 //! `1` anomalous, `2` usage or input error, `3` degraded or undecided.
 
-use iwa_analysis::{certify, CertifyOptions, RefinedOptions, StallOptions, StallVerdict, Tier};
-use iwa_engine::{EngineOptions, EngineReport, EngineVerdict, Rung};
+use iwa_analysis::{AnalysisCtx, CertifyOptions, RefinedOptions, StallOptions, StallVerdict, Tier};
+use iwa_engine::{CheckOptions, EngineOptions, EngineReport, EngineVerdict, Rung, SCHEMA_VERSION};
 use iwa_syncgraph::{dot, Clg, SyncGraph};
 use iwa_tasklang::{parse, Program};
 use iwa_wavesim::{explore, ExploreConfig, Verdict};
@@ -72,22 +72,21 @@ USAGE:
     iwa fixtures
     iwa help
 
+COMMON OPTIONS (analyze and check):
+    --json                         machine-readable output
+    --deadline-ms N                wall-clock budget (analyze: whole ladder;
+                                   check: per file, default 2000)
+    --max-steps N                  cooperative-step budget
+    --start RUNG                   most precise ladder rung to attempt:
+                                   oracle|headtails|pairs|heads|naive
+    -j, --jobs N                   worker threads (analyze: per-head fan-out;
+                                   check: files in parallel); 0 = all cores
+
 ANALYZE OPTIONS:
     --tier heads|pairs|headtails   refined-algorithm tier (default: heads)
     --oracle                       also run the exhaustive wave oracle
-    --json                         machine-readable output
     --no-transforms                skip the §5.1 stall transforms
-    --deadline-ms N                wall-clock budget; runs the degradation
-                                   ladder instead of a single tier
-    --max-steps N                  cooperative-step budget (ladder mode)
-    --start RUNG                   most precise ladder rung to attempt:
-                                   oracle|headtails|pairs|heads|naive
-
-CHECK OPTIONS:
-    --deadline-ms N                per-file wall-clock budget (default 2000)
-    --max-steps N                  per-file cooperative-step budget
-    --start RUNG                   most precise ladder rung to attempt
-    --json                         machine-readable summary
+    (a budget flag switches analyze to the degradation ladder)
 
 EXIT CODES (analyze, check):
     0  clean at full precision     1  anomaly flagged
@@ -110,6 +109,7 @@ fn load_program(spec: &str) -> Result<Program, String> {
 
 #[derive(Serialize)]
 struct AnalyzeReport {
+    schema_version: u32,
     program: String,
     tasks: usize,
     rendezvous: usize,
@@ -141,12 +141,11 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut tier = Tier::Heads;
     let mut tier_given = false;
     let mut want_oracle = false;
-    let mut json = false;
     let mut transforms = true;
-    let mut budget = BudgetFlags::default();
+    let mut common = CommonOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if budget.try_parse(a, &mut it)? {
+        if common.try_parse(a, &mut it)? {
             continue;
         }
         match a.as_str() {
@@ -160,7 +159,6 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
                 tier_given = true;
             }
             "--oracle" => want_oracle = true,
-            "--json" => json = true,
             "--no-transforms" => transforms = false,
             other if spec.is_none() && !other.starts_with("--") => {
                 spec = Some(other.to_owned());
@@ -173,7 +171,7 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
 
     // Any budget flag switches from the single-tier pipeline to the
     // engine's degradation ladder.
-    if budget.any() {
+    if common.budget_given() {
         let fallback = if tier_given {
             Some(match tier {
                 Tier::Heads => Rung::Heads,
@@ -183,10 +181,11 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
         } else {
             None
         };
-        let mut opts = budget.engine_options(fallback)?;
+        let mut opts = common.engine_options(fallback)?;
         opts.apply_transforms = transforms;
+        opts.workers = common.jobs();
         let report = iwa_engine::analyze(&program, &opts).map_err(|e| e.to_string())?;
-        if json {
+        if common.json {
             println!(
                 "{}",
                 serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
@@ -207,7 +206,10 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
             ..StallOptions::default()
         },
     };
-    let cert = certify(&program, &opts).map_err(|e| e.to_string())?;
+    let cert = AnalysisCtx::new()
+        .workers(common.jobs())
+        .certify(&program, &opts)
+        .map_err(|e| e.to_string())?;
 
     // Downstream graph consumers need the inlined form.
     let program_inlined = iwa_tasklang::transforms::inline_procs(&program)
@@ -264,6 +266,7 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
         .collect();
 
     let report = AnalyzeReport {
+        schema_version: SCHEMA_VERSION,
         program: spec.clone(),
         tasks: program.num_tasks(),
         rendezvous: program.num_rendezvous(),
@@ -284,7 +287,7 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
         oracle,
     };
 
-    if json {
+    if common.json {
         println!(
             "{}",
             serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
@@ -297,16 +300,19 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
     Ok(if clean { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
-/// The budget/ladder flags shared by `analyze` and `check`.
+/// The flags `analyze` and `check` accept identically — one parser, one
+/// set of error messages, whichever subcommand the flag appears under.
 #[derive(Default)]
-struct BudgetFlags {
+struct CommonOpts {
+    json: bool,
     deadline_ms: Option<u64>,
     max_steps: Option<u64>,
     start: Option<String>,
+    jobs: Option<usize>,
 }
 
-impl BudgetFlags {
-    /// Consume `arg` (and its value from `it`) if it is a budget flag.
+impl CommonOpts {
+    /// Consume `arg` (and its value from `it`) if it is a common flag.
     fn try_parse<'a>(
         &mut self,
         arg: &str,
@@ -318,6 +324,7 @@ impl BudgetFlags {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match arg {
+            "--json" => self.json = true,
             "--deadline-ms" => {
                 let v = value("--deadline-ms")?;
                 self.deadline_ms =
@@ -330,17 +337,31 @@ impl BudgetFlags {
             "--start" => {
                 self.start = Some(value("--start")?.to_owned());
             }
+            "-j" | "--jobs" => {
+                let v = value("-j")?;
+                self.jobs = Some(v.parse().map_err(|_| format!("bad -j '{v}'"))?);
+            }
             _ => return Ok(false),
         }
         Ok(true)
     }
 
-    fn any(&self) -> bool {
+    /// Did any *budget* flag appear? (Switches `analyze` to ladder mode;
+    /// `--json`/`-j` alone do not.)
+    fn budget_given(&self) -> bool {
         self.deadline_ms.is_some() || self.max_steps.is_some() || self.start.is_some()
     }
 
+    /// The worker count, defaulting to 1 (sequential); `-j 0` means all
+    /// cores and is resolved by the pool.
+    fn jobs(&self) -> usize {
+        self.jobs.unwrap_or(1)
+    }
+
     /// Build engine options; `fallback_start` supplies a start rung when
-    /// `--start` was not given (e.g. mapped from `--tier`).
+    /// `--start` was not given (e.g. mapped from `--tier`). `workers`
+    /// stays at its default — the caller decides which layer `-j` feeds
+    /// (per-head fan-out for `analyze`, file fan-out for `check`).
     fn engine_options(&self, fallback_start: Option<Rung>) -> Result<EngineOptions, String> {
         let start = match &self.start {
             Some(s) => s.parse::<Rung>()?,
@@ -396,15 +417,13 @@ fn print_engine_report(spec: &str, r: &EngineReport) {
 
 fn check(args: &[String]) -> Result<ExitCode, String> {
     let mut target = None;
-    let mut json = false;
-    let mut budget = BudgetFlags::default();
+    let mut common = CommonOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if budget.try_parse(a, &mut it)? {
+        if common.try_parse(a, &mut it)? {
             continue;
         }
         match a.as_str() {
-            "--json" => json = true,
             other if target.is_none() && !other.starts_with("--") => {
                 target = Some(other.to_owned());
             }
@@ -412,7 +431,7 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let target = target.ok_or("missing path (a .iwa file or a directory)")?;
-    let mut opts = budget.engine_options(None)?;
+    let mut opts = common.engine_options(None)?;
     if opts.deadline.is_none() {
         // Batch runs always carry a per-file deadline: one adversarial
         // input must not stall the whole corpus.
@@ -424,9 +443,16 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     if files.is_empty() {
         return Err(format!("no .iwa files under {target}"));
     }
-    let summary = iwa_engine::check_paths(&files, &opts);
+    let summary = iwa_engine::check_batch(
+        &files,
+        &CheckOptions {
+            engine: opts,
+            jobs: common.jobs(),
+            batch_deadline: None,
+        },
+    );
 
-    if json {
+    if common.json {
         println!(
             "{}",
             serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?

@@ -239,6 +239,79 @@ fn check_runs_the_repo_corpus_with_json_output() {
     assert_eq!(v["errors"], 0);
 }
 
+/// Zero every timing field: timings are the only legitimate
+/// run-to-run variation in the JSON reports.
+fn mask_timings(json: &str) -> String {
+    json.lines()
+        .map(|line| {
+            if let Some(prefix) = line.split("\"elapsed_ms\":").next().filter(|p| p.len() < line.len()) {
+                let suffix = if line.trim_end().ends_with(',') { "," } else { "" };
+                format!("{prefix}\"elapsed_ms\": 0{suffix}")
+            } else {
+                line.to_owned()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn check_output_is_byte_identical_for_any_job_count() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let corpus = corpus.to_str().unwrap();
+    // A step budget (not a wall-clock one) keeps trip-vs-complete
+    // deterministic regardless of scheduling.
+    let run = |jobs: &str| {
+        let (out, err, code) =
+            iwa(&["check", corpus, "--json", "--max-steps", "200000", "-j", jobs]);
+        assert_eq!(code, Some(1), "stdout: {out}\nstderr: {err}");
+        mask_timings(&out)
+    };
+    let sequential = run("1");
+    assert_eq!(sequential, run("2"), "-j 2 must match -j 1");
+    assert_eq!(sequential, run("8"), "-j 8 must match -j 1");
+}
+
+#[test]
+fn analyze_output_is_identical_for_any_job_count() {
+    let run = |jobs: &str| {
+        let (out, _, code) = iwa(&["analyze", "fixture:fig2b", "--json", "--jobs", jobs]);
+        assert_eq!(code, Some(1), "{out}");
+        out
+    };
+    let sequential = run("1");
+    assert_eq!(sequential, run("4"), "--jobs 4 must match --jobs 1");
+    assert_eq!(sequential, run("0"), "--jobs 0 (all cores) must match");
+}
+
+#[test]
+fn json_reports_carry_the_schema_version() {
+    let (out, _, _) = iwa(&["analyze", "fixture:fig1", "--json"]);
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+    assert_eq!(v["schema_version"], iwa_engine::SCHEMA_VERSION as u64);
+
+    let (out, _, _) = iwa(&["analyze", "fixture:fig1", "--json", "--max-steps", "100000"]);
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+    assert_eq!(v["schema_version"], iwa_engine::SCHEMA_VERSION as u64);
+
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let (out, _, _) = iwa(&["check", corpus.to_str().unwrap(), "--json"]);
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+    assert_eq!(v["schema_version"], iwa_engine::SCHEMA_VERSION as u64);
+}
+
+#[test]
+fn jobs_flags_are_parsed_identically_by_analyze_and_check() {
+    for sub in ["analyze", "check"] {
+        let (_, err, code) = iwa(&[sub, "fixture:fig1", "-j", "lots"]);
+        assert_eq!(code, Some(2), "{sub}: {err}");
+        assert!(err.contains("bad -j 'lots'"), "{sub}: {err}");
+        let (_, err, code) = iwa(&[sub, "fixture:fig1", "--jobs"]);
+        assert_eq!(code, Some(2), "{sub}: {err}");
+        assert!(err.contains("-j needs a value"), "{sub}: {err}");
+    }
+}
+
 #[test]
 fn inline_and_unroll_print_transformed_programs() {
     let dir = std::env::temp_dir().join("iwa_cli_test");

@@ -22,6 +22,7 @@ use std::fmt;
 
 pub mod budget;
 pub mod error;
+pub mod pool;
 pub mod symbols;
 
 pub use budget::{Budget, CancelToken};

@@ -3,21 +3,24 @@
 //! Each file is analysed under its own budget **and** its own panic
 //! boundary ([`std::panic::catch_unwind`]): one malformed or adversarial
 //! input — even one that crashes an analysis outright — cannot take down
-//! the rest of the run. The per-file outcomes roll up into a
-//! [`CheckSummary`] with an error taxonomy and a stable
+//! the rest of the run. With [`CheckOptions::jobs`] > 1 the files fan out
+//! across the [`pool`](iwa_core::pool) workers; outcomes keep input
+//! order, so the summary is byte-identical for any job count (timing
+//! fields aside). The per-file outcomes roll up into a [`CheckSummary`]
+//! with an error taxonomy and a stable
 //! [exit-code contract](CheckSummary::exit_code).
 //!
 //! For end-to-end tests of the isolation machinery, setting the
 //! [`FAULT_INJECT_ENV`] environment variable to a substring of a file
 //! path makes the driver panic deliberately while checking that file.
 
-use crate::ladder::{analyze, EngineOptions, EngineReport, EngineVerdict, Rung};
-use iwa_core::IwaError;
+use crate::ladder::{analyze, EngineOptions, EngineReport, EngineVerdict, Rung, SCHEMA_VERSION};
+use iwa_core::{pool, Budget, IwaError};
 use iwa_tasklang::parse;
 use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Name of the fault-injection environment variable: when set and
 /// non-empty, any checked file whose path contains the value panics
@@ -45,10 +48,31 @@ pub struct FileOutcome {
     pub error: Option<String>,
 }
 
-/// Roll-up of a whole [`check_paths`] run.
+/// Options for [`check_batch`].
+#[derive(Clone, Debug, Default)]
+pub struct CheckOptions {
+    /// Per-file engine options. A `deadline` here applies to each file
+    /// separately; a `cancel` token is shared with every worker (one is
+    /// created when absent, so the batch deadline can trip everyone).
+    pub engine: EngineOptions,
+    /// Worker threads for the file fan-out. `0` means one per available
+    /// core; `1`/default runs sequentially. Inner analyses stay
+    /// single-threaded (`engine.workers` is honoured as given) — the batch
+    /// parallelises across files, not within them.
+    pub jobs: usize,
+    /// Global wall-clock deadline for the whole batch. Each file's own
+    /// deadline is clamped to what remains of it, so no worker outlives
+    /// the batch by more than one file's budget probe.
+    pub batch_deadline: Option<Duration>,
+}
+
+/// Roll-up of a whole [`check_batch`] run.
 #[derive(Clone, Debug, Serialize)]
 pub struct CheckSummary {
-    /// Per-file outcomes, in the order checked.
+    /// The JSON shape version
+    /// ([`SCHEMA_VERSION`](crate::ladder::SCHEMA_VERSION)).
+    pub schema_version: u32,
+    /// Per-file outcomes, in input order (regardless of job count).
     pub files: Vec<FileOutcome>,
     /// Total files checked.
     pub total: usize,
@@ -119,19 +143,55 @@ pub fn collect_files(root: &Path) -> Result<Vec<PathBuf>, IwaError> {
     Ok(files)
 }
 
-/// Check every file in `paths`, each behind its own panic boundary and
-/// under its own copy of `opts` (so a per-file deadline in `opts` applies
-/// to each file separately, not to the batch).
+/// Deprecated sequential batch entry point.
+#[deprecated(note = "use check_batch — CheckOptions carries the job count and batch deadline")]
 #[must_use]
 pub fn check_paths(paths: &[PathBuf], opts: &EngineOptions) -> CheckSummary {
+    check_batch(
+        paths,
+        &CheckOptions {
+            engine: opts.clone(),
+            jobs: 1,
+            batch_deadline: None,
+        },
+    )
+}
+
+/// Check every file in `paths`, each behind its own panic boundary and
+/// under its own copy of the engine options, fanned across
+/// [`CheckOptions::jobs`] workers.
+///
+/// All workers share one cancel token (the caller's, when
+/// `opts.engine.cancel` is set): cancelling it — or exhausting
+/// [`CheckOptions::batch_deadline`] — trips every in-flight analysis at
+/// its next budget probe and degrades files not yet started to their
+/// naive floor, so the batch still answers promptly and completely.
+#[must_use]
+pub fn check_batch(paths: &[PathBuf], opts: &CheckOptions) -> CheckSummary {
     let started = Instant::now();
-    let mut files = Vec::with_capacity(paths.len());
-    for path in paths {
-        files.push(check_one(path, opts));
-    }
+
+    // One token shared by every per-file ladder; the batch budget exists
+    // only to meter the global deadline.
+    let cancel = opts.engine.cancel.clone().unwrap_or_default();
+    let batch_budget = opts
+        .batch_deadline
+        .map(|d| Budget::with_deadline(d).and_cancel_token(cancel.clone()));
+
+    let files: Vec<FileOutcome> = pool::map(opts.jobs, paths.len(), |i| {
+        let mut eopts = opts.engine.clone();
+        eopts.cancel = Some(cancel.clone());
+        // Clamp the per-file deadline to what remains of the batch; an
+        // already-exhausted batch leaves each remaining file a zero
+        // deadline, degrading it straight to the naive floor.
+        if let Some(rem) = batch_budget.as_ref().and_then(Budget::remaining_time) {
+            eopts.deadline = Some(eopts.deadline.map_or(rem, |d| d.min(rem)));
+        }
+        check_one(&paths[i], &eopts)
+    });
 
     let count = |f: &dyn Fn(&FileOutcome) -> bool| files.iter().filter(|o| f(o)).count();
     CheckSummary {
+        schema_version: SCHEMA_VERSION,
         total: files.len(),
         clean: count(&|o| o.verdict == Some(EngineVerdict::Clean)),
         anomalous: count(&|o| o.verdict == Some(EngineVerdict::Anomalous)),

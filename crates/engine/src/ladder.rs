@@ -26,8 +26,7 @@
 
 use iwa_analysis::stall::signal_balance;
 use iwa_analysis::{
-    certify_budgeted, naive_analysis, CertifyOptions, RefinedOptions, StallOptions, StallVerdict,
-    Tier,
+    naive_analysis, AnalysisCtx, CertifyOptions, RefinedOptions, StallOptions, StallVerdict, Tier,
 };
 use iwa_core::{Budget, CancelToken, IwaError};
 use iwa_syncgraph::SyncGraph;
@@ -39,6 +38,12 @@ use serde::Serialize;
 use std::fmt;
 use std::str::FromStr;
 use std::time::Duration;
+
+/// Version of the JSON report shapes this crate emits ([`EngineReport`],
+/// [`CheckSummary`](crate::check::CheckSummary), and the CLI reports built
+/// on them). Bump on any field addition, removal, or rename; the golden
+/// schema test pins the shape for each version.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// One rung of the degradation ladder, most precise first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize)]
@@ -125,6 +130,10 @@ pub struct EngineOptions {
     /// External cancellation: trips every budgeted rung at its next
     /// checkpoint (the naive floor still answers).
     pub cancel: Option<CancelToken>,
+    /// Worker threads for the refined rungs' per-head fan-out. `0` means
+    /// one per available core; `1` (the default) runs inline. The verdict
+    /// is identical for any value — only wall-clock time changes.
+    pub workers: usize,
 }
 
 impl Default for EngineOptions {
@@ -136,6 +145,7 @@ impl Default for EngineOptions {
             apply_transforms: true,
             oracle_config: ExploreConfig::default(),
             cancel: None,
+            workers: 1,
         }
     }
 }
@@ -174,6 +184,8 @@ pub struct RungAttempt {
 /// The engine's overall answer.
 #[derive(Clone, Debug, Serialize)]
 pub struct EngineReport {
+    /// The JSON shape version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// The verdict from the producing rung.
     pub verdict: EngineVerdict,
     /// The rung that produced the verdict.
@@ -279,6 +291,7 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
 
     let (rung, verdict, flagged) = produced.expect("the naive floor cannot fail");
     Ok(EngineReport {
+        schema_version: SCHEMA_VERSION,
         verdict,
         rung,
         degraded: rung != opts.start,
@@ -332,7 +345,9 @@ fn run_rung(
                     ..StallOptions::default()
                 },
             };
-            let cert = certify_budgeted(p, &copts, budget)?;
+            let cert = AnalysisCtx::with_budget(budget.clone())
+                .workers(opts.workers)
+                .certify(p, &copts)?;
             let mut flagged: Vec<String> = cert
                 .refined
                 .flagged

@@ -11,9 +11,10 @@
 //!   exceeds its slice is abandoned (with its partial-progress counters
 //!   on record) and the next cheaper rung gets the remaining budget,
 //!   down to a budget-free naive floor that always answers;
-//! * [`check_paths`] runs a whole corpus, each file behind its own
-//!   deadline and [`catch_unwind`](std::panic::catch_unwind) boundary,
-//!   and rolls the outcomes into a [`CheckSummary`] with a stable
+//! * [`check_batch`] runs a whole corpus across a worker pool, each file
+//!   behind its own deadline and
+//!   [`catch_unwind`](std::panic::catch_unwind) boundary, and rolls the
+//!   outcomes into a [`CheckSummary`] with a stable
 //!   [exit-code contract](CheckSummary::exit_code).
 //!
 //! Every degraded answer is labelled: the [`EngineReport`] names the
@@ -26,7 +27,13 @@
 pub mod check;
 pub mod ladder;
 
-pub use check::{check_paths, collect_files, CheckSummary, FileOutcome, FAULT_INJECT_ENV};
+pub use check::{check_batch, collect_files, CheckOptions, CheckSummary, FileOutcome, FAULT_INJECT_ENV};
 pub use ladder::{
     analyze, EngineOptions, EngineReport, EngineVerdict, Rung, RungAttempt, LADDER,
+    SCHEMA_VERSION,
 };
+
+// The deprecated sequential batch entry point stays re-exported so old
+// code keeps compiling (with a deprecation warning at the use site).
+#[allow(deprecated)]
+pub use check::check_paths;

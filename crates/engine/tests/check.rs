@@ -1,7 +1,9 @@
 //! Batch-driver behaviour: corpus walking, panic isolation, the error
 //! taxonomy, and the exit-code contract.
 
-use iwa_engine::{check_paths, collect_files, EngineOptions, EngineVerdict, Rung, FAULT_INJECT_ENV};
+use iwa_engine::{
+    check_batch, collect_files, CheckOptions, EngineOptions, EngineVerdict, Rung, FAULT_INJECT_ENV,
+};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
@@ -51,7 +53,7 @@ fn a_mixed_corpus_yields_the_full_taxonomy_and_exit_code_1() {
     std::fs::write(dir.join("deadlock.iwa"), DEADLOCK).unwrap();
     std::fs::write(dir.join("garbage.iwa"), "task task task {{{").unwrap();
     let files = collect_files(&dir).unwrap();
-    let summary = check_paths(&files, &EngineOptions::default());
+    let summary = check_batch(&files, &CheckOptions::default());
 
     assert_eq!(summary.total, 3);
     assert_eq!(summary.clean, 1);
@@ -76,7 +78,7 @@ fn an_all_clean_corpus_exits_0() {
     let dir = scratch("allclean");
     std::fs::write(dir.join("one.iwa"), CLEAN).unwrap();
     std::fs::write(dir.join("two.iwa"), CLEAN).unwrap();
-    let summary = check_paths(&collect_files(&dir).unwrap(), &EngineOptions::default());
+    let summary = check_batch(&collect_files(&dir).unwrap(), &CheckOptions::default());
     assert_eq!((summary.clean, summary.exit_code()), (2, 0));
     assert!(summary.files.iter().all(|f| f.rung == Some(Rung::Oracle)));
     std::fs::remove_dir_all(&dir).unwrap();
@@ -91,7 +93,13 @@ fn deadline_degraded_files_exit_3_and_stay_labelled() {
         deadline: Some(Duration::from_millis(1)),
         ..EngineOptions::default()
     };
-    let summary = check_paths(&collect_files(&dir).unwrap(), &opts);
+    let summary = check_batch(
+        &collect_files(&dir).unwrap(),
+        &CheckOptions {
+            engine: opts,
+            ..CheckOptions::default()
+        },
+    );
     assert_eq!(summary.total, 1);
     let f = &summary.files[0];
     assert_eq!(f.status, "ok", "a degraded answer is still an answer");
@@ -120,7 +128,13 @@ fn degradation_without_anomalies_exits_3() {
         max_steps: Some(1),
         ..EngineOptions::default()
     };
-    let summary = check_paths(&collect_files(&dir).unwrap(), &opts);
+    let summary = check_batch(
+        &collect_files(&dir).unwrap(),
+        &CheckOptions {
+            engine: opts,
+            ..CheckOptions::default()
+        },
+    );
     assert_eq!(summary.anomalous, 0);
     assert_eq!(summary.degraded, 1);
     assert_eq!(summary.unknown, 1);
@@ -138,7 +152,7 @@ fn injected_panics_are_isolated_and_the_run_continues() {
     std::fs::write(dir.join("zzz-sound.iwa"), CLEAN).unwrap();
 
     std::env::set_var(FAULT_INJECT_ENV, "kaboom-marker-q7");
-    let summary = check_paths(&collect_files(&dir).unwrap(), &EngineOptions::default());
+    let summary = check_batch(&collect_files(&dir).unwrap(), &CheckOptions::default());
     std::env::remove_var(FAULT_INJECT_ENV);
 
     assert_eq!(summary.total, 3);
@@ -161,7 +175,7 @@ fn unreadable_files_are_io_errors_not_crashes() {
     std::fs::write(dir.join("real.iwa"), CLEAN).unwrap();
     let mut files = collect_files(&dir).unwrap();
     files.push(dir.join("vanished.iwa")); // never created
-    let summary = check_paths(&files, &EngineOptions::default());
+    let summary = check_batch(&files, &CheckOptions::default());
     assert_eq!(summary.total, 2);
     assert_eq!(summary.errors, 1);
     assert_eq!(
@@ -177,13 +191,177 @@ fn unreadable_files_are_io_errors_not_crashes() {
 }
 
 #[test]
-fn summaries_serialize_to_json() {
+fn summaries_serialize_to_json_with_a_schema_version() {
     let dir = scratch("json");
     std::fs::write(dir.join("p.iwa"), CLEAN).unwrap();
-    let summary = check_paths(&collect_files(&dir).unwrap(), &EngineOptions::default());
+    let summary = check_batch(&collect_files(&dir).unwrap(), &CheckOptions::default());
     let json = serde_json::to_string_pretty(&summary).unwrap();
     assert!(json.contains("\"total\": 1"), "got: {json}");
     assert!(json.contains("\"status\": \"ok\""));
     assert!(json.contains("\"verdict\": \"Clean\""));
+    assert!(
+        json.contains(&format!("\"schema_version\": {}", iwa_engine::SCHEMA_VERSION)),
+        "got: {json}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Serialize a summary with every wall-clock field zeroed, so runs can be
+/// compared across job counts.
+fn masked_json(summary: &iwa_engine::CheckSummary) -> String {
+    fn mask(v: &mut serde_json::Value) {
+        match v {
+            serde_json::Value::Object(map) => {
+                for (k, v) in map.iter_mut() {
+                    if k == "elapsed_ms" {
+                        *v = serde_json::Value::UInt(0);
+                    } else {
+                        mask(v);
+                    }
+                }
+            }
+            serde_json::Value::Array(items) => items.iter_mut().for_each(mask),
+            _ => {}
+        }
+    }
+    let mut v = serde_json::to_value(summary).unwrap();
+    mask(&mut v);
+    serde_json::to_string_pretty(&v).unwrap()
+}
+
+#[test]
+fn the_summary_is_identical_for_any_job_count() {
+    let dir = scratch("jobs");
+    std::fs::write(dir.join("clean.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("deadlock.iwa"), DEADLOCK).unwrap();
+    std::fs::write(dir.join("garbage.iwa"), "task {{{").unwrap();
+    std::fs::write(
+        dir.join("ring.iwa"),
+        "task a { send b.x; accept z; } task b { send c.y; accept x; } task c { send a.z; accept y; }",
+    )
+    .unwrap();
+    let files = collect_files(&dir).unwrap();
+    // A step ceiling (not a wall-clock deadline) keeps even the *budgeted*
+    // behaviour deterministic: whether a rung completes or trips depends
+    // only on the shared step counter, never on scheduling.
+    let opts = |jobs| CheckOptions {
+        engine: EngineOptions {
+            max_steps: Some(200_000),
+            ..EngineOptions::default()
+        },
+        jobs,
+        batch_deadline: None,
+    };
+    let base = masked_json(&check_batch(&files, &opts(1)));
+    for jobs in [2, 8] {
+        let got = masked_json(&check_batch(&files, &opts(jobs)));
+        assert_eq!(got, base, "jobs={jobs} diverged from jobs=1");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_batch_deadline_stops_all_in_flight_workers_promptly() {
+    let dir = scratch("batchdl");
+    for i in 0..8 {
+        let adversarial = iwa_workloads::adversarial::deep_loop_nest(4, 2).to_source();
+        std::fs::write(dir.join(format!("slow{i}.iwa")), adversarial).unwrap();
+    }
+    let started = std::time::Instant::now();
+    let summary = check_batch(
+        &collect_files(&dir).unwrap(),
+        &CheckOptions {
+            engine: EngineOptions::default(),
+            jobs: 4,
+            batch_deadline: Some(Duration::from_millis(50)),
+        },
+    );
+    // Every file still answers (degraded at worst) and the whole batch —
+    // including files in flight when the deadline struck — winds down far
+    // inside the time eight unbounded oracle runs would take.
+    assert_eq!(summary.total, 8);
+    assert!(summary.files.iter().all(|f| f.status == "ok"));
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "batch deadline propagation took {:?}",
+        started.elapsed()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_cancelled_token_degrades_the_whole_batch_but_still_answers() {
+    let dir = scratch("cancel");
+    std::fs::write(dir.join("a.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("b.iwa"), DEADLOCK).unwrap();
+    let token = iwa_core::CancelToken::new();
+    token.cancel();
+    let summary = check_batch(
+        &collect_files(&dir).unwrap(),
+        &CheckOptions {
+            engine: EngineOptions {
+                cancel: Some(token),
+                ..EngineOptions::default()
+            },
+            jobs: 2,
+            batch_deadline: None,
+        },
+    );
+    assert_eq!(summary.total, 2);
+    // Every budgeted rung trips instantly; the naive floor still answers.
+    assert!(summary.files.iter().all(|f| f.status == "ok" && f.degraded));
+    assert!(summary.files.iter().all(|f| f.rung == Some(Rung::Naive)));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The golden JSON shapes. Adding, removing, or renaming a field in any
+/// report type must update this list AND bump
+/// [`iwa_engine::SCHEMA_VERSION`] — downstream tooling keys off both.
+#[test]
+fn the_json_schema_is_pinned() {
+    fn keys(v: &serde_json::Value) -> Vec<String> {
+        match v {
+            serde_json::Value::Object(fields) => {
+                fields.iter().map(|(k, _)| k.clone()).collect()
+            }
+            other => panic!("expected an object, got {other:?}"),
+        }
+    }
+
+    let dir = scratch("golden");
+    std::fs::write(dir.join("p.iwa"), DEADLOCK).unwrap();
+    let files = collect_files(&dir).unwrap();
+    let summary = check_batch(&files, &CheckOptions::default());
+    let v = serde_json::to_value(&summary).unwrap();
+    assert_eq!(
+        keys(&v),
+        [
+            "schema_version", "files", "total", "clean", "anomalous", "unknown",
+            "degraded", "errors", "panicked", "elapsed_ms",
+        ],
+        "CheckSummary changed shape: bump SCHEMA_VERSION and update this test"
+    );
+    assert_eq!(
+        keys(&v["files"][0]),
+        ["path", "status", "verdict", "rung", "degraded", "elapsed_ms", "error"],
+        "FileOutcome changed shape: bump SCHEMA_VERSION and update this test"
+    );
+
+    let p = iwa_tasklang::parse(DEADLOCK).unwrap();
+    let report = iwa_engine::analyze(&p, &EngineOptions::default()).unwrap();
+    let v = serde_json::to_value(&report).unwrap();
+    assert_eq!(
+        keys(&v),
+        [
+            "schema_version", "verdict", "rung", "degraded", "attempts", "flagged",
+            "elapsed_ms",
+        ],
+        "EngineReport changed shape: bump SCHEMA_VERSION and update this test"
+    );
+    assert_eq!(
+        keys(&v["attempts"][0]),
+        ["rung", "outcome", "detail", "elapsed_ms", "steps"],
+        "RungAttempt changed shape: bump SCHEMA_VERSION and update this test"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -166,7 +166,8 @@ pub fn theorem2_program(cnf: &Cnf) -> Program {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iwa_analysis::exact::{exact_deadlock_cycles, ConstraintSet, ExactBudget};
+    use iwa_analysis::exact::{ConstraintSet, ExactBudget};
+    use iwa_analysis::AnalysisCtx;
     use iwa_sat::{solve, Cnf};
     use iwa_syncgraph::SyncGraph;
     use rand::rngs::StdRng;
@@ -175,7 +176,9 @@ mod tests {
     fn reduction_says_sat(cnf: &Cnf) -> bool {
         let p = theorem2_program(cnf);
         let sg = SyncGraph::from_program(&p);
-        let r = exact_deadlock_cycles(&sg, &ConstraintSet::c1_and_3a(), &ExactBudget::default());
+        let r = AnalysisCtx::new()
+            .exact_cycles(&sg, &ConstraintSet::c1_and_3a(), &ExactBudget::default())
+            .unwrap();
         assert!(r.any() || r.complete, "inconclusive search at test sizes");
         r.any()
     }

@@ -100,14 +100,17 @@ pub fn theorem3_graph(cnf: &Cnf) -> SyncGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iwa_analysis::exact::{exact_deadlock_cycles, ConstraintSet, ExactBudget};
+    use iwa_analysis::exact::{ConstraintSet, ExactBudget};
+    use iwa_analysis::AnalysisCtx;
     use iwa_sat::{solve, Cnf};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn reduction_says_sat(cnf: &Cnf) -> bool {
         let sg = theorem3_graph(cnf);
-        let r = exact_deadlock_cycles(&sg, &ConstraintSet::c1_and_2(), &ExactBudget::default());
+        let r = AnalysisCtx::new()
+            .exact_cycles(&sg, &ConstraintSet::c1_and_2(), &ExactBudget::default())
+            .unwrap();
         assert!(r.any() || r.complete, "inconclusive search at test sizes");
         r.any()
     }
@@ -162,13 +165,17 @@ mod tests {
         with_clash.add_clause(&[(0, true), (1, true), (2, true)]);
         with_clash.add_clause(&[(0, false), (1, true), (2, true)]);
         let g1 = theorem3_graph(&with_clash);
-        let r1 = exact_deadlock_cycles(&g1, &ConstraintSet::c1_only(), &ExactBudget::default());
+        let r1 = AnalysisCtx::new()
+            .exact_cycles(&g1, &ConstraintSet::c1_only(), &ExactBudget::default())
+            .unwrap();
 
         let mut without = Cnf::new(4);
         without.add_clause(&[(0, true), (1, true), (2, true)]);
         without.add_clause(&[(3, true), (1, true), (2, true)]);
         let g2 = theorem3_graph(&without);
-        let r2 = exact_deadlock_cycles(&g2, &ConstraintSet::c1_only(), &ExactBudget::default());
+        let r2 = AnalysisCtx::new()
+            .exact_cycles(&g2, &ConstraintSet::c1_only(), &ExactBudget::default())
+            .unwrap();
         assert_eq!(r1.cycles.len(), r2.cycles.len());
     }
 

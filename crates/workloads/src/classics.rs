@@ -491,11 +491,10 @@ mod tests {
         // And the analysis flags the broken one, of course.
         let sg = SyncGraph::from_program(&sleeping_barber(2));
         assert!(
-            !iwa_analysis::refined_analysis(
-                &sg,
-                &iwa_analysis::RefinedOptions::default()
-            )
-            .deadlock_free
+            !iwa_analysis::AnalysisCtx::new()
+                .refined(&sg, &iwa_analysis::RefinedOptions::default())
+                .unwrap()
+                .deadlock_free
         );
     }
 
@@ -513,7 +512,7 @@ mod tests {
         // rendezvous (constraint 2) — the head-pair tier's case.
         let p = rpc_with_procedures(2);
         assert!(p.has_calls());
-        let cert = iwa_analysis::certify(
+        let cert = iwa_analysis::AnalysisCtx::new().certify(
             &p,
             &iwa_analysis::CertifyOptions {
                 refined: iwa_analysis::RefinedOptions {

@@ -11,7 +11,7 @@
 //! cargo run --release --example dining_philosophers
 //! ```
 
-use iwa::analysis::{naive_analysis, refined_analysis, RefinedOptions, Tier};
+use iwa::analysis::{naive_analysis, AnalysisCtx, RefinedOptions, Tier};
 use iwa::syncgraph::SyncGraph;
 use iwa::wavesim::{explore, ExploreConfig};
 use iwa::workloads::classics::{dining_philosophers, dining_philosophers_ordered};
@@ -29,15 +29,21 @@ fn main() {
         ] {
             let sg = SyncGraph::from_program(&program);
             let naive = naive_analysis(&sg).deadlock_free;
-            let refined = refined_analysis(&sg, &RefinedOptions::default()).deadlock_free;
-            let pairs = refined_analysis(
-                &sg,
-                &RefinedOptions {
-                    tier: Tier::HeadPairs,
-                    ..RefinedOptions::default()
-                },
-            )
-            .deadlock_free;
+            let ctx = AnalysisCtx::new();
+            let refined = ctx
+                .refined(&sg, &RefinedOptions::default())
+                .expect("unlimited")
+                .deadlock_free;
+            let pairs = ctx
+                .refined(
+                    &sg,
+                    &RefinedOptions {
+                        tier: Tier::HeadPairs,
+                        ..RefinedOptions::default()
+                    },
+                )
+                .expect("unlimited")
+                .deadlock_free;
             let t = Instant::now();
             let oracle = explore(&sg, &ExploreConfig::default()).expect("in budget");
             let oracle_time = t.elapsed();

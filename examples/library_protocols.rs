@@ -11,7 +11,7 @@
 //! cargo run --example library_protocols
 //! ```
 
-use iwa::analysis::{certify, CertifyOptions, RefinedOptions, Tier};
+use iwa::analysis::{AnalysisCtx, CertifyOptions, RefinedOptions, Tier};
 use iwa::syncgraph::SyncGraph;
 use iwa::tasklang::parse;
 use iwa::wavesim::{explore, ExploreConfig};
@@ -48,7 +48,7 @@ fn main() {
 
 fn audit(name: &str, p: &iwa::tasklang::Program) {
     println!("=== {name} ===");
-    let cert = certify(
+    let cert = AnalysisCtx::new().certify(
         p,
         &CertifyOptions {
             refined: RefinedOptions {

@@ -10,7 +10,7 @@
 //! cargo run --example pipeline_audit
 //! ```
 
-use iwa::analysis::{certify, CertifyOptions, RefinedOptions, Tier};
+use iwa::analysis::{AnalysisCtx, CertifyOptions, RefinedOptions, Tier};
 use iwa::syncgraph::SyncGraph;
 use iwa::tasklang::{parse, transforms::unroll_twice};
 use iwa::wavesim::{explore, ExploreConfig};
@@ -49,7 +49,7 @@ fn audit(name: &str, program: &iwa::tasklang::Program) {
         },
         ..CertifyOptions::default()
     };
-    let cert = certify(program, &opts).expect("valid");
+    let cert = AnalysisCtx::new().certify(program, &opts).expect("valid");
     println!(
         "naive: {}   refined(pairs): {}   stall: {:?}",
         if cert.naive.deadlock_free { "free" } else { "FLAG" },

@@ -4,7 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use iwa::analysis::{certify, CertifyOptions};
+use iwa::analysis::{AnalysisCtx, CertifyOptions};
 use iwa::syncgraph::SyncGraph;
 use iwa::tasklang::parse;
 use iwa::wavesim::{explore, ExploreConfig};
@@ -31,7 +31,9 @@ fn main() {
     // One call runs the whole pipeline: validation, Lemma-1 unrolling if
     // needed, the naive §3.1 check, the refined §4.2 algorithm, and the
     // §5 stall analysis.
-    let cert = certify(&program, &CertifyOptions::default()).expect("valid program");
+    let cert = AnalysisCtx::new()
+        .certify(&program, &CertifyOptions::default())
+        .expect("valid program");
 
     println!("naive   (§3.1): deadlock-free = {}", cert.naive.deadlock_free);
     println!(

@@ -10,7 +10,8 @@
 //! cargo run --example sat_reduction
 //! ```
 
-use iwa::analysis::exact::{exact_deadlock_cycles, ConstraintSet, ExactBudget};
+use iwa::analysis::exact::{ConstraintSet, ExactBudget};
+use iwa::analysis::AnalysisCtx;
 use iwa::reductions::theorem2_program;
 use iwa::sat::{solve, Cnf};
 use iwa::syncgraph::SyncGraph;
@@ -51,7 +52,9 @@ fn demo(raw: &Cnf) {
         sg.num_sync_edges()
     );
 
-    let r = exact_deadlock_cycles(&sg, &ConstraintSet::c1_and_3a(), &ExactBudget::default());
+    let r = AnalysisCtx::new()
+        .exact_cycles(&sg, &ConstraintSet::c1_and_3a(), &ExactBudget::default())
+        .expect("unlimited");
     let has_cycle = r.any();
     println!(
         "  constrained deadlock cycle (constraints 1 + 3a): {}",

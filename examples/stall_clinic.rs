@@ -12,7 +12,7 @@
 //! cargo run --example stall_clinic
 //! ```
 
-use iwa::analysis::{stall_analysis, StallOptions, StallVerdict};
+use iwa::analysis::{AnalysisCtx, StallOptions, StallVerdict};
 use iwa::tasklang::parse;
 use iwa::workloads::figures;
 
@@ -35,14 +35,15 @@ fn main() {
 
 fn visit(name: &str, p: &iwa::tasklang::Program) {
     println!("=== {name} ===");
-    let raw = stall_analysis(
+    let ctx = AnalysisCtx::new();
+    let raw = ctx.stall(
         p,
         &StallOptions {
             apply_transforms: false,
             ..StallOptions::default()
         },
     );
-    let with = stall_analysis(p, &StallOptions::default());
+    let with = ctx.stall(p, &StallOptions::default());
     println!("  without transforms: {}", show(&raw.verdict));
     println!("  with transforms   : {}", show(&with.verdict));
     for (sig, sends, accepts) in &with.signal_counts {

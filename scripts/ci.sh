@@ -5,13 +5,36 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> multi-job determinism: iwa check corpus -j 1/2/8 agree byte-for-byte"
+# A step budget (not a wall-clock one) keeps trip-vs-complete independent
+# of scheduling; elapsed_ms is the only field allowed to vary, so mask it.
+# This also exercises the worker pool end to end on every CI run.
+mask='s/"elapsed_ms": [0-9][0-9]*/"elapsed_ms": 0/g'
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+for j in 1 2 8; do
+    status=0
+    ./target/release/iwa check corpus --json --max-steps 200000 -j "$j" \
+        > "$tmpdir/raw-j$j.json" || status=$?
+    # Exit 1 only means the corpus contains anomalies (it deliberately
+    # does); anything else is a real failure.
+    [ "$status" -eq 0 ] || [ "$status" -eq 1 ] || {
+        echo "iwa check -j $j exited $status" >&2
+        exit "$status"
+    }
+    grep -q '"schema_version"' "$tmpdir/raw-j$j.json"
+    sed "$mask" "$tmpdir/raw-j$j.json" > "$tmpdir/check-j$j.json"
+done
+diff "$tmpdir/check-j1.json" "$tmpdir/check-j2.json"
+diff "$tmpdir/check-j1.json" "$tmpdir/check-j8.json"
 
 echo "==> CI green"

@@ -1,7 +1,7 @@
 //! Facade-level smoke tests: the workflows the README advertises, driven
 //! through the `iwa` umbrella crate exactly as a downstream user would.
 
-use iwa::analysis::{certify, CertifyOptions, RefinedOptions, Tier};
+use iwa::analysis::{AnalysisCtx, CertifyOptions, RefinedOptions, Tier};
 use iwa::syncgraph::{Clg, SyncGraph};
 use iwa::tasklang::{parse, ProgramBuilder};
 use iwa::wavesim::{explore, simulate, ExploreConfig};
@@ -15,7 +15,7 @@ fn parse_certify_report() {
          task server { accept req; send client.reply; }",
     )
     .unwrap();
-    let cert = certify(&p, &CertifyOptions::default()).unwrap();
+    let cert = AnalysisCtx::new().certify(&p, &CertifyOptions::default()).unwrap();
     assert!(cert.anomaly_free());
     assert!(cert.warnings.is_empty());
 }
@@ -36,7 +36,8 @@ fn builder_api_matches_parser() {
     let built = b.build();
     let parsed = parse(&built.to_source()).unwrap();
     assert_eq!(built.to_source(), parsed.to_source());
-    assert!(certify(&built, &CertifyOptions::default())
+    assert!(AnalysisCtx::new()
+        .certify(&built, &CertifyOptions::default())
         .unwrap()
         .anomaly_free());
 }
@@ -65,8 +66,8 @@ fn oracle_and_simulation_compose() {
 #[test]
 fn tiers_form_a_precision_ladder_on_lemma2() {
     let p = iwa::workloads::figures::lemma2_coaccept();
-    let base = certify(&p, &CertifyOptions::default()).unwrap();
-    let pairs = certify(
+    let base = AnalysisCtx::new().certify(&p, &CertifyOptions::default()).unwrap();
+    let pairs = AnalysisCtx::new().certify(
         &p,
         &CertifyOptions {
             refined: RefinedOptions {
@@ -88,11 +89,13 @@ fn reduction_and_solver_agree_through_the_facade() {
     cnf.add_clause(&[(0, false), (2, true), (3, false)]);
     let sat = iwa::sat::solve(&cnf).is_sat();
     let sg = SyncGraph::from_program(&iwa::reductions::theorem2_program(&cnf));
-    let r = iwa::analysis::exact_deadlock_cycles(
-        &sg,
-        &iwa::analysis::ConstraintSet::c1_and_3a(),
-        &iwa::analysis::ExactBudget::default(),
-    );
+    let r = AnalysisCtx::new()
+        .exact_cycles(
+            &sg,
+            &iwa::analysis::ConstraintSet::c1_and_3a(),
+            &iwa::analysis::ExactBudget::default(),
+        )
+        .unwrap();
     assert_eq!(r.any(), sat);
 }
 

@@ -14,7 +14,7 @@
 //! * co-dependent pairs found by the §5.1 inference fire together or not
 //!   at all.
 
-use iwa::analysis::{stall_analysis, CoexecInfo, StallOptions, StallVerdict};
+use iwa::analysis::{AnalysisCtx, CoexecInfo, StallOptions, StallVerdict};
 use iwa::syncgraph::SyncGraph;
 use iwa::wavesim::{run_data_aware, InterpOutcome};
 use iwa::workloads::{random_conditioned, ConditionedConfig};
@@ -62,7 +62,7 @@ proptest! {
     fn certified_stall_freedom_holds_data_aware(seed in 0u64..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
         let p = random_conditioned(&mut rng, &ConditionedConfig::default());
-        let report = stall_analysis(&p, &StallOptions::default());
+        let report = AnalysisCtx::new().stall(&p, &StallOptions::default());
         if report.verdict != StallVerdict::StallFree {
             return Ok(());
         }

@@ -3,7 +3,7 @@
 //! oracle. Doubles as an end-to-end exercise of parser → inline → unroll
 //! → certify on non-synthetic inputs.
 
-use iwa::analysis::{certify, CertifyOptions, RefinedOptions, StallVerdict, Tier};
+use iwa::analysis::{AnalysisCtx, CertifyOptions, RefinedOptions, StallVerdict, Tier};
 use iwa::syncgraph::SyncGraph;
 use iwa::tasklang::transforms::{inline_procs, unroll_twice};
 use iwa::wavesim::{explore, ExploreConfig};
@@ -58,7 +58,7 @@ fn corpus_matches_expectations() {
         let program = iwa::tasklang::parse(&src)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
 
-        let cert = certify(
+        let cert = AnalysisCtx::new().certify(
             &program,
             &CertifyOptions {
                 refined: RefinedOptions {

@@ -1,0 +1,104 @@
+//! The deprecated free-function shims still work and agree with the
+//! [`AnalysisCtx`](iwa::analysis::AnalysisCtx) entry points they wrap.
+//!
+//! This file is the *only* place in the workspace allowed to call them:
+//! everything else has migrated, so a deprecation warning anywhere else
+//! is a regression (`cargo clippy -- -D warnings` enforces that).
+#![allow(deprecated)]
+
+use iwa::analysis::exact::{ConstraintSet, ExactBudget};
+use iwa::analysis::{AnalysisCtx, CertifyOptions, RefinedOptions, StallOptions};
+use iwa::core::Budget;
+use iwa::syncgraph::{Clg, SyncGraph};
+use iwa::tasklang::parse;
+
+const CROSSED: &str = "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }";
+
+#[test]
+fn certify_shims_agree_with_the_ctx() {
+    let p = parse(CROSSED).unwrap();
+    let opts = CertifyOptions::default();
+    let via_ctx = AnalysisCtx::new().certify(&p, &opts).unwrap();
+    let via_shim = iwa::analysis::certify(&p, &opts).unwrap();
+    assert_eq!(via_shim.deadlock_free(), via_ctx.deadlock_free());
+    let budgeted = iwa::analysis::certify_budgeted(&p, &opts, &Budget::unlimited()).unwrap();
+    assert_eq!(budgeted.deadlock_free(), via_ctx.deadlock_free());
+}
+
+#[test]
+fn refined_shims_agree_with_the_ctx() {
+    let p = parse(CROSSED).unwrap();
+    let sg = SyncGraph::from_program(&p);
+    let opts = RefinedOptions::default();
+    let via_ctx = AnalysisCtx::new().refined(&sg, &opts).unwrap();
+    assert_eq!(
+        iwa::analysis::refined_analysis(&sg, &opts).deadlock_free,
+        via_ctx.deadlock_free
+    );
+    assert_eq!(
+        iwa::analysis::refined_analysis_budgeted(&sg, &opts, &Budget::unlimited())
+            .unwrap()
+            .deadlock_free,
+        via_ctx.deadlock_free
+    );
+    let clg = Clg::build(&sg);
+    let seq = iwa::analysis::SequenceInfo::compute(&sg);
+    let cx = iwa::analysis::CoexecInfo::compute(&sg);
+    assert_eq!(
+        iwa::analysis::refined_with(&sg, &clg, &seq, &cx, &opts).deadlock_free,
+        via_ctx.deadlock_free
+    );
+    assert_eq!(
+        iwa::analysis::refined_with_budgeted(&sg, &clg, &seq, &cx, &opts, &Budget::unlimited())
+            .unwrap()
+            .deadlock_free,
+        via_ctx.deadlock_free
+    );
+}
+
+#[test]
+fn stall_and_exact_shims_agree_with_the_ctx() {
+    let p = parse(CROSSED).unwrap();
+    let sopts = StallOptions::default();
+    let via_ctx = AnalysisCtx::new().stall(&p, &sopts);
+    assert_eq!(
+        format!("{:?}", iwa::analysis::stall_analysis(&p, &sopts).verdict),
+        format!("{:?}", via_ctx.verdict)
+    );
+    assert_eq!(
+        format!(
+            "{:?}",
+            iwa::analysis::stall_analysis_budgeted(&p, &sopts, &Budget::unlimited()).verdict
+        ),
+        format!("{:?}", via_ctx.verdict)
+    );
+
+    let sg = SyncGraph::from_program(&p);
+    let (cs, eb) = (ConstraintSet::c1_only(), ExactBudget::default());
+    let via_ctx = AnalysisCtx::new().exact_cycles(&sg, &cs, &eb).unwrap();
+    assert_eq!(
+        iwa::analysis::exact_deadlock_cycles(&sg, &cs, &eb).any(),
+        via_ctx.any()
+    );
+    assert_eq!(
+        iwa::analysis::exact_deadlock_cycles_budgeted(&sg, &cs, &eb, &Budget::unlimited())
+            .unwrap()
+            .any(),
+        via_ctx.any()
+    );
+}
+
+#[test]
+fn check_paths_still_answers_like_check_batch() {
+    let dir = std::env::temp_dir().join(format!("iwa-shims-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("crossed.iwa");
+    std::fs::write(&path, CROSSED).unwrap();
+    let files = vec![path];
+    let old = iwa::engine::check_paths(&files, &iwa::engine::EngineOptions::default());
+    let new = iwa::engine::check_batch(&files, &iwa::engine::CheckOptions::default());
+    assert_eq!(old.exit_code(), new.exit_code());
+    assert_eq!(old.anomalous, new.anomalous);
+    assert_eq!(old.total, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -4,14 +4,31 @@
 //! algorithms, the exact checker, and the stall analysis, and assert the
 //! property the paper claims. `EXPERIMENTS.md` records the same matrix.
 
-use iwa::analysis::exact::{exact_deadlock_cycles, ConstraintSet, ExactBudget};
+use iwa::analysis::exact::{ConstraintSet, ExactBudget, ExactResult};
 use iwa::analysis::{
-    naive_analysis, refined_analysis, stall_analysis, RefinedOptions, SequenceInfo,
-    StallOptions, StallVerdict, Tier,
+    naive_analysis, AnalysisCtx, RefinedOptions, RefinedResult, SequenceInfo,
+    StallOptions, StallReport, StallVerdict, Tier,
 };
 use iwa::syncgraph::SyncGraph;
 use iwa::wavesim::{explore, ExploreConfig, Verdict};
 use iwa::workloads::figures;
+
+// Terse wrappers over the unlimited [`AnalysisCtx`] for the matrix.
+fn refined_analysis(sg: &SyncGraph, opts: &RefinedOptions) -> RefinedResult {
+    AnalysisCtx::new().refined(sg, opts).unwrap()
+}
+
+fn stall_analysis(p: &iwa::tasklang::Program, opts: &StallOptions) -> StallReport {
+    AnalysisCtx::new().stall(p, opts)
+}
+
+fn exact_deadlock_cycles(
+    sg: &SyncGraph,
+    constraints: &ConstraintSet,
+    budget: &ExactBudget,
+) -> ExactResult {
+    AnalysisCtx::new().exact_cycles(sg, constraints, budget).unwrap()
+}
 
 fn oracle(p: &iwa::tasklang::Program) -> iwa::wavesim::Exploration {
     explore(&SyncGraph::from_program(p), &ExploreConfig::default()).unwrap()

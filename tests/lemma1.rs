@@ -11,7 +11,12 @@
 //! * *structure*: `T(P)` is loop-free and grows at most geometrically in
 //!   the nesting depth.
 
-use iwa::analysis::{naive_analysis, refined_analysis, RefinedOptions};
+use iwa::analysis::{naive_analysis, AnalysisCtx, RefinedOptions, RefinedResult};
+use iwa::syncgraph::SyncGraph as Sg;
+
+fn refined_analysis(sg: &Sg, opts: &RefinedOptions) -> RefinedResult {
+    AnalysisCtx::new().refined(sg, opts).unwrap()
+}
 use iwa::syncgraph::SyncGraph;
 use iwa::tasklang::transforms::{linearize, unroll_twice};
 use iwa::wavesim::{explore, simulate, ExploreConfig, SimOutcome};

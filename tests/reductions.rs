@@ -3,7 +3,16 @@
 //! Beyond the unit tests in `iwa-reductions`, run the full iff on random
 //! 3-CNF instances across the SAT/UNSAT boundary, plus a proptest sweep.
 
-use iwa::analysis::exact::{exact_deadlock_cycles, ConstraintSet, ExactBudget};
+use iwa::analysis::exact::{ConstraintSet, ExactBudget, ExactResult};
+use iwa::analysis::AnalysisCtx;
+
+fn exact_deadlock_cycles(
+    sg: &iwa::syncgraph::SyncGraph,
+    constraints: &ConstraintSet,
+    budget: &ExactBudget,
+) -> ExactResult {
+    AnalysisCtx::new().exact_cycles(sg, constraints, budget).unwrap()
+}
 use iwa::reductions::{theorem2_program, theorem3_graph};
 use iwa::sat::{solve, Cnf};
 use iwa::syncgraph::SyncGraph;
@@ -63,10 +72,9 @@ fn refined_is_conservative_on_theorem2_programs() {
         }
         seen_sat += 1;
         let sg = SyncGraph::from_program(&theorem2_program(&cnf));
-        let r = iwa::analysis::refined_analysis(
-            &sg,
-            &iwa::analysis::RefinedOptions::default(),
-        );
+        let r = AnalysisCtx::new()
+            .refined(&sg, &iwa::analysis::RefinedOptions::default())
+            .unwrap();
         assert!(!r.deadlock_free, "missed the SAT-encoded cycle on {cnf}");
     }
     assert!(seen_sat > 0);

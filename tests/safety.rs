@@ -10,7 +10,11 @@
 //! a separate test pins at least one miss for each, so the distinction
 //! stays visible.
 
-use iwa::analysis::{naive_analysis, refined_analysis, RefinedOptions, Tier};
+use iwa::analysis::{naive_analysis, AnalysisCtx, RefinedOptions, RefinedResult, Tier};
+
+fn refined_analysis(sg: &iwa::syncgraph::SyncGraph, opts: &RefinedOptions) -> RefinedResult {
+    AnalysisCtx::new().refined(sg, opts).unwrap()
+}
 use iwa::syncgraph::SyncGraph;
 use iwa::tasklang::transforms::unroll_twice;
 use iwa::wavesim::{explore, ExploreConfig};

@@ -10,7 +10,11 @@
 //! * **Conservatism is real**: some `PossibleStall` answers are false
 //!   alarms, and the test suite pins one.
 
-use iwa::analysis::{stall_analysis, StallOptions, StallVerdict};
+use iwa::analysis::{AnalysisCtx, StallOptions, StallReport, StallVerdict};
+
+fn stall_analysis(p: &iwa::tasklang::Program, opts: &StallOptions) -> StallReport {
+    AnalysisCtx::new().stall(p, opts)
+}
 use iwa::syncgraph::SyncGraph;
 use iwa::wavesim::{explore, ExploreConfig};
 use iwa::workloads::{random_balanced, random_structured, BalancedConfig, StructuredConfig};
