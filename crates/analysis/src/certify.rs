@@ -20,7 +20,7 @@ use crate::stall::{StallOptions, StallReport};
 use iwa_core::{Budget, IwaError};
 use iwa_syncgraph::SyncGraph;
 use iwa_tasklang::transforms::{inline_procs, unroll_twice};
-use iwa_tasklang::validate::{validate, Warning};
+use iwa_tasklang::validate::{check_model, model_warnings, Warning};
 use iwa_tasklang::Program;
 
 /// Options for [`AnalysisCtx::certify`].
@@ -100,7 +100,8 @@ pub(crate) fn certify_impl(
     opts: &CertifyOptions,
     ctx: &AnalysisCtx,
 ) -> Result<Certificate, IwaError> {
-    let warnings = validate(p)?;
+    check_model(p)?;
+    let warnings = model_warnings(p);
     ctx.budget().probe("certify pipeline")?;
 
     // Interprocedural model (the paper's deferred extension): inline the

@@ -101,7 +101,7 @@ pub fn relay_chain(hops: usize) -> Program {
 mod tests {
     use super::*;
     use iwa_syncgraph::SyncGraph;
-    use iwa_tasklang::validate::validate;
+    use iwa_tasklang::validate::check_model;
     use iwa_wavesim::{explore, ExploreConfig, Verdict};
 
     #[test]
@@ -124,7 +124,7 @@ mod tests {
     fn relay_chain_is_clean_and_validates() {
         for hops in [1, 3, 6] {
             let p = relay_chain(hops);
-            validate(&p).unwrap();
+            check_model(&p).unwrap();
             let e = explore(&SyncGraph::from_program(&p), &ExploreConfig::default()).unwrap();
             assert_eq!(e.verdict, Verdict::AnomalyFree, "hops={hops}");
         }

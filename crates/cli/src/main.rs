@@ -17,7 +17,12 @@
 //! `1` anomalous, `2` usage or input error, `3` degraded or undecided.
 
 use iwa_analysis::{AnalysisCtx, CertifyOptions, RefinedOptions, StallOptions, StallVerdict, Tier};
-use iwa_engine::{CheckOptions, EngineOptions, EngineReport, EngineVerdict, Rung, SCHEMA_VERSION};
+use iwa_core::{Budget, IwaError};
+use iwa_engine::{
+    CheckOptions, EngineOptions, EngineReport, EngineVerdict, LintStage, Rung, SCHEMA_VERSION,
+};
+use iwa_lint::render::{render_diagnostic, render_diagnostics, render_parse_error};
+use iwa_lint::{quick_registry, registry, run_lints, Diagnostic, LintConfig, Severity};
 use iwa_syncgraph::{dot, Clg, SyncGraph};
 use iwa_tasklang::{parse, Program};
 use iwa_wavesim::{explore, ExploreConfig, Verdict};
@@ -39,6 +44,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
         Some("check") => check(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("graph") => graph(&args[1..]),
         Some("inline") => transform(&args[1..], Transform::Inline),
         Some("unroll") => transform(&args[1..], Transform::Unroll),
@@ -66,6 +72,7 @@ iwa — static infinite-wait anomaly detection (Masticola & Ryder, ICPP 1990)
 USAGE:
     iwa analyze <file.iwa | fixture:NAME> [OPTIONS]
     iwa check   <file.iwa | dir> [OPTIONS]     batch-check a corpus
+    iwa lint    <file.iwa | dir> [OPTIONS]     run the lint catalog
     iwa graph   <file.iwa | fixture:NAME> [--clg]
     iwa inline  <file.iwa | fixture:NAME>   print with procedures inlined
     iwa unroll  <file.iwa | fixture:NAME>   print the Lemma-1 unrolled form
@@ -82,6 +89,12 @@ COMMON OPTIONS (analyze and check):
     -j, --jobs N                   worker threads (analyze: per-head fan-out;
                                    check: files in parallel); 0 = all cores
 
+LINT OPTIONS:
+    --format text|json|sarif       output format (default: text)
+    -W, -A, -D <lint>              set a lint to warn, allow, or deny
+    --deny-warnings                promote every warning to an error
+    (exit 0: no denials; 1: at least one denial; 2: usage/parse error)
+
 ANALYZE OPTIONS:
     --tier heads|pairs|headtails   refined-algorithm tier (default: heads)
     --oracle                       also run the exhaustive wave oracle
@@ -93,17 +106,34 @@ EXIT CODES (analyze, check):
     2  usage or input error        3  degraded or undecided result
 ";
 
-fn load_program(spec: &str) -> Result<Program, String> {
+/// Load a program plus (for real files) its source text, which the
+/// diagnostic renderer needs for caret excerpts. Fixtures have no text.
+fn load_program(spec: &str) -> Result<(Program, Option<String>), String> {
     if let Some(name) = spec.strip_prefix("fixture:") {
         iwa_workloads::figures::all_figures()
             .into_iter()
             .find(|(n, _)| *n == name)
-            .map(|(_, p)| p)
+            .map(|(_, p)| (p, None))
             .ok_or_else(|| format!("unknown fixture '{name}' (see 'iwa fixtures')"))
     } else {
         let src = std::fs::read_to_string(spec)
             .map_err(|e| format!("cannot read {spec}: {e}"))?;
-        parse(&src).map_err(|e| e.to_string())
+        match parse(&src) {
+            Ok(p) => Ok((p, Some(src))),
+            Err(e) => Err(parse_failure(spec, &src, &e)),
+        }
+    }
+}
+
+/// The canonical `Display` line ("parse error at L:C: …"), followed by
+/// the same caret excerpt lint diagnostics get.
+fn parse_failure(path: &str, src: &str, e: &IwaError) -> String {
+    match render_parse_error(path, src, e) {
+        Some(block) => {
+            let excerpt: Vec<&str> = block.lines().skip(1).collect();
+            format!("{e}\n{}", excerpt.join("\n"))
+        }
+        None => e.to_string(),
     }
 }
 
@@ -119,7 +149,7 @@ struct AnalyzeReport {
     refined_tier: String,
     flagged_heads: Vec<String>,
     stall_verdict: String,
-    warnings: Vec<String>,
+    diagnostics: Vec<Diagnostic>,
     oracle: Option<OracleReport>,
 }
 
@@ -167,7 +197,7 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let spec = spec.ok_or("missing program (file path or fixture:NAME)")?;
-    let program = load_program(&spec)?;
+    let (program, source) = load_program(&spec)?;
 
     // Any budget flag switches from the single-tier pipeline to the
     // engine's degradation ladder.
@@ -283,7 +313,15 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
             ),
             StallVerdict::Unknown { reason } => format!("unknown ({reason})"),
         },
-        warnings: cert.warnings.iter().map(|w| format!("{w:?}")).collect(),
+        // The quick (AST-level) lints subsume the old validate warnings;
+        // `certify` succeeded, so the model is valid and this cannot fail.
+        diagnostics: run_lints(
+            &AnalysisCtx::new().workers(common.jobs()),
+            &program,
+            &LintConfig::default(),
+            &quick_registry(),
+        )
+        .unwrap_or_default(),
         oracle,
     };
 
@@ -293,7 +331,7 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
             serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
         );
     } else {
-        print_human(&report);
+        print_human(&report, source.as_deref());
     }
     let clean = report.refined_deadlock_free
         && report.stall_verdict == "stall-free";
@@ -449,6 +487,10 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             engine: opts,
             jobs: common.jobs(),
             batch_deadline: None,
+            // Surface the AST-level lints (the old validate warnings)
+            // with every batch check; graph lints stay behind `iwa lint`.
+            lint: LintStage::Quick,
+            lint_config: LintConfig::default(),
         },
     );
 
@@ -473,6 +515,10 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
                 print!("  ({e})");
             }
             println!();
+            if !f.diagnostics.is_empty() {
+                let src = std::fs::read_to_string(&f.path).unwrap_or_default();
+                print!("{}", render_diagnostics(&f.path, &src, &f.diagnostics));
+            }
         }
         println!(
             "checked {} files in {} ms: {} clean, {} anomalous, {} unknown, \
@@ -490,7 +536,158 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::from(summary.exit_code()))
 }
 
-fn print_human(r: &AnalyzeReport) {
+
+#[derive(Serialize)]
+struct LintReport {
+    schema_version: u32,
+    files: Vec<LintFileReport>,
+}
+
+#[derive(Serialize)]
+struct LintFileReport {
+    path: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+fn lint(args: &[String]) -> Result<ExitCode, String> {
+    let mut target = None;
+    let mut format: Option<String> = None;
+    let mut config = LintConfig::default();
+    let mut common = CommonOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if common.try_parse(a, &mut it)? {
+            continue;
+        }
+        match a.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                match v.as_str() {
+                    "text" | "json" | "sarif" => format = Some(v.clone()),
+                    other => return Err(format!("bad --format '{other}' (text|json|sarif)")),
+                }
+            }
+            "--deny-warnings" => config.deny_warnings = true,
+            "-W" | "-A" | "-D" => {
+                let sev = match a.as_str() {
+                    "-W" => Severity::Warn,
+                    "-A" => Severity::Allow,
+                    _ => Severity::Deny,
+                };
+                let name = it.next().ok_or_else(|| format!("{a} needs a lint name"))?;
+                if !LintConfig::is_known(name) {
+                    return Err(format!("unknown lint '{name}' (see 'iwa lint --help')"));
+                }
+                config.levels.push((name.clone(), sev));
+            }
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let target = target.ok_or("missing path (a .iwa file or a directory)")?;
+    if common.start.is_some() {
+        return Err("--start applies to analyze/check, not lint".into());
+    }
+    let format = match format {
+        Some(f) => f,
+        None if common.json => "json".to_owned(),
+        None => "text".to_owned(),
+    };
+
+    // The shared budget flags feed the graph lints through AnalysisCtx —
+    // an exhausted budget silences a graph lint, never corrupts it.
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = common.deadline_ms {
+        budget = budget.and_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(steps) = common.max_steps {
+        budget = budget.and_max_steps(steps);
+    }
+    let ctx = AnalysisCtx::with_budget(budget).workers(common.jobs());
+
+    let files =
+        iwa_engine::collect_files(std::path::Path::new(&target)).map_err(|e| e.to_string())?;
+    if files.is_empty() {
+        return Err(format!("no .iwa files under {target}"));
+    }
+
+    let passes = registry();
+    let mut per_file: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    let mut sources: Vec<String> = Vec::new();
+    for path in &files {
+        let display = path.display().to_string();
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {display}: {e}"))?;
+        let program = match parse(&src) {
+            Ok(p) => p,
+            Err(e) => return Err(parse_failure(&display, &src, &e)),
+        };
+        let diags =
+            run_lints(&ctx, &program, &config, &passes).map_err(|e| format!("{display}: {e}"))?;
+        sources.push(src);
+        per_file.push((display, diags));
+    }
+
+    match format.as_str() {
+        "sarif" => {
+            let doc = iwa_lint::sarif::to_sarif(&per_file);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+            );
+        }
+        "json" => {
+            let report = LintReport {
+                schema_version: SCHEMA_VERSION,
+                files: per_file
+                    .iter()
+                    .map(|(path, diagnostics)| LintFileReport {
+                        path: path.clone(),
+                        diagnostics: diagnostics.clone(),
+                    })
+                    .collect(),
+            };
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+            );
+        }
+        _ => {
+            for ((path, diags), src) in per_file.iter().zip(&sources) {
+                if !diags.is_empty() {
+                    print!("{}", render_diagnostics(path, src, diags));
+                }
+            }
+            let errors: usize = per_file
+                .iter()
+                .flat_map(|(_, d)| d)
+                .filter(|d| d.severity == Severity::Deny)
+                .count();
+            let warnings: usize = per_file
+                .iter()
+                .flat_map(|(_, d)| d)
+                .filter(|d| d.severity == Severity::Warn)
+                .count();
+            println!(
+                "linted {} file(s): {errors} error(s), {warnings} warning(s)",
+                per_file.len()
+            );
+        }
+    }
+
+    let denied = per_file
+        .iter()
+        .any(|(_, diags)| iwa_lint::has_denials(diags));
+    Ok(if denied {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn print_human(r: &AnalyzeReport, source: Option<&str>) {
     println!("program      : {}", r.program);
     println!("size         : {} tasks, {} rendezvous", r.tasks, r.rendezvous);
     if r.was_unrolled {
@@ -517,8 +714,10 @@ fn print_human(r: &AnalyzeReport) {
         println!("    flagged head: {f}");
     }
     println!("stall  (§5)  : {}", r.stall_verdict);
-    for w in &r.warnings {
-        println!("warning      : {w}");
+    for d in &r.diagnostics {
+        // With no source text (fixtures) the renderer degrades to the
+        // message plus a bare `--> path` line.
+        print!("{}", render_diagnostic(&r.program, source.unwrap_or(""), d));
     }
     if let Some(o) = &r.oracle {
         println!(
@@ -552,7 +751,7 @@ fn transform(args: &[String], which: Transform) -> Result<ExitCode, String> {
         .iter()
         .find(|a| !a.starts_with("--"))
         .ok_or("missing program (file path or fixture:NAME)")?;
-    let program = load_program(spec)?;
+    let (program, _) = load_program(spec)?;
     let out = match which {
         Transform::Inline => {
             iwa_tasklang::transforms::inline_procs(&program).map_err(|e| e.to_string())?
@@ -580,7 +779,7 @@ fn graph(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let spec = spec.ok_or("missing program (file path or fixture:NAME)")?;
-    let program = load_program(&spec)?;
+    let (program, _) = load_program(&spec)?;
     let program = iwa_tasklang::transforms::inline_procs(&program)
         .map_err(|e| e.to_string())?;
     let sg = SyncGraph::from_program(&program);

@@ -332,3 +332,113 @@ fn inline_and_unroll_print_transformed_programs() {
     assert!(!out.contains("while"), "unroll removes loops");
     assert_eq!(out.matches("send b.m;").count(), 2, "two copies");
 }
+
+// ---------------------------------------------------------------- lint
+
+/// The workspace root: lint goldens pin paths relative to it, so the
+/// binary must run from there (exactly as CI does).
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn iwa_at_root(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_iwa"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+fn golden(name: &str) -> String {
+    std::fs::read_to_string(repo_root().join("tests/golden").join(name)).unwrap()
+}
+
+#[test]
+fn lint_text_output_matches_the_golden_file() {
+    let (out, err, code) = iwa_at_root(&["lint", "corpus", "--format", "text"]);
+    assert_eq!(code, Some(1), "deadlock-head denials flag the corpus: {err}");
+    assert_eq!(out, golden("corpus_lints.txt"), "regenerate with: iwa lint corpus --format text > tests/golden/corpus_lints.txt");
+}
+
+#[test]
+fn lint_sarif_output_matches_the_golden_file() {
+    let (out, _, code) = iwa_at_root(&["lint", "corpus", "--format", "sarif"]);
+    assert_eq!(code, Some(1));
+    assert_eq!(out, golden("corpus_lints.sarif"), "regenerate with: iwa lint corpus --format sarif > tests/golden/corpus_lints.sarif");
+}
+
+#[test]
+fn lint_output_is_identical_across_job_counts() {
+    let (base, _, _) = iwa_at_root(&["lint", "corpus", "-j", "1"]);
+    for jobs in ["2", "8"] {
+        let (out, _, _) = iwa_at_root(&["lint", "corpus", "-j", jobs]);
+        assert_eq!(out, base, "-j {jobs} diverged from -j 1");
+    }
+}
+
+#[test]
+fn lint_deny_warnings_flips_the_exit_code() {
+    let fixture = "corpus/lints/silent_task.iwa";
+    let (out, _, code) = iwa_at_root(&["lint", fixture]);
+    assert_eq!(code, Some(0), "warnings alone exit 0: {out}");
+    assert!(out.contains("warning[silent-task]"));
+    let (out, _, code) = iwa_at_root(&["lint", fixture, "--deny-warnings"]);
+    assert_eq!(code, Some(1), "--deny-warnings promotes to a failure");
+    assert!(out.contains("error[silent-task]"));
+}
+
+#[test]
+fn lint_severity_flags_are_validated_and_applied() {
+    let fixture = "corpus/lints/silent_task.iwa";
+    let (out, _, code) = iwa_at_root(&["lint", fixture, "-A", "silent-task"]);
+    assert_eq!(code, Some(0));
+    assert!(out.contains("0 error(s), 0 warning(s)"), "{out}");
+    let (_, _, code) = iwa_at_root(&["lint", fixture, "-D", "silent-task"]);
+    assert_eq!(code, Some(1));
+    let (_, err, code) = iwa_at_root(&["lint", fixture, "-W", "no-such-lint"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("unknown lint"), "{err}");
+}
+
+#[test]
+fn lint_json_format_carries_the_schema_version() {
+    let (out, _, _) = iwa_at_root(&["lint", "corpus/lints/self_send.iwa", "--format", "json"]);
+    assert!(out.contains(&format!("\"schema_version\": {}", iwa_engine::SCHEMA_VERSION)));
+    assert!(out.contains("\"self-send\""));
+}
+
+#[test]
+fn lint_and_analyze_render_parse_errors_with_a_caret() {
+    let dir = scratch("lint-parse");
+    let path = dir.join("bad.iwa");
+    std::fs::write(&path, "task a { explode; }").unwrap();
+    for cmd in ["lint", "analyze"] {
+        let (_, err, code) = iwa(&[cmd, path.to_str().unwrap()]);
+        assert_eq!(code, Some(2), "{cmd}: {err}");
+        assert!(err.contains("parse error at 1:10"), "{cmd}: {err}");
+        assert!(err.contains("1 | task a { explode; }"), "{cmd}: {err}");
+        assert!(err.contains("^"), "{cmd}: caret missing: {err}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn check_surfaces_quick_lints_in_human_and_json_output() {
+    let dir = scratch("check-lints");
+    std::fs::write(dir.join("selfsend.iwa"), "task a { send a.m; accept m; }").unwrap();
+    let (out, _, _) = iwa(&["check", dir.to_str().unwrap()]);
+    assert!(out.contains("warning[self-send]"), "{out}");
+    assert!(out.contains("^^^^"), "caret under the send keyword: {out}");
+    let (out, _, _) = iwa(&["check", dir.to_str().unwrap(), "--json"]);
+    assert!(out.contains("\"diagnostics\""), "{out}");
+    assert!(out.contains("\"self-send\""), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -23,10 +23,12 @@ use std::fmt;
 pub mod budget;
 pub mod error;
 pub mod pool;
+pub mod span;
 pub mod symbols;
 
 pub use budget::{Budget, CancelToken};
 pub use error::IwaError;
+pub use span::Span;
 pub use symbols::Symbols;
 
 /// Identifier of a task (a statically created thread of control).

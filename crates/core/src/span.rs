@@ -1,0 +1,85 @@
+//! Source spans: where in the original `.iwa` text a construct came from.
+//!
+//! The lexer computes line/column positions anyway (it always has — parse
+//! errors report them); [`Span`] preserves that information through the
+//! AST, the per-task CFGs, the sync graph, and the Lemma-1 transforms so
+//! that diagnostics computed on *derived* programs (inlined, unrolled)
+//! still point at the statement the user actually wrote.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open source region: `len` characters starting at 1-based
+/// `line`:`col`.
+///
+/// Programs assembled through builders (rather than parsed from text)
+/// carry [`Span::DUMMY`] spans; renderers skip the source excerpt for
+/// those. Transform copies (unrolled loop bodies, inlined procedure
+/// expansions) *share* the span of the statement they were copied from —
+/// that is the whole point: a lint that fires on the second unrolled copy
+/// must still underline the single `while` body in the source file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based source line (0 for synthetic constructs).
+    pub line: u32,
+    /// 1-based source column (0 for synthetic constructs).
+    pub col: u32,
+    /// Width of the region in characters (0 for synthetic constructs).
+    pub len: u32,
+}
+
+impl Span {
+    /// The span of a synthetic construct with no source location.
+    pub const DUMMY: Span = Span {
+        line: 0,
+        col: 0,
+        len: 0,
+    };
+
+    /// A span at `line`:`col` covering `len` characters.
+    #[must_use]
+    pub fn new(line: u32, col: u32, len: u32) -> Span {
+        Span { line, col, len }
+    }
+
+    /// Does this span point at real source text?
+    #[must_use]
+    pub fn is_real(&self) -> bool {
+        self.line > 0 && self.col > 0
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::DUMMY
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_is_not_real() {
+        assert!(!Span::DUMMY.is_real());
+        assert!(Span::new(1, 1, 4).is_real());
+        assert_eq!(Span::default(), Span::DUMMY);
+    }
+
+    #[test]
+    fn display_is_line_colon_col() {
+        assert_eq!(Span::new(3, 7, 4).to_string(), "3:7");
+    }
+
+    #[test]
+    fn ordering_is_positional() {
+        assert!(Span::new(1, 9, 1) < Span::new(2, 1, 1));
+        assert!(Span::new(2, 1, 1) < Span::new(2, 3, 1));
+    }
+}

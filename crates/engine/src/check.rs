@@ -16,6 +16,7 @@
 
 use crate::ladder::{analyze, EngineOptions, EngineReport, EngineVerdict, Rung, SCHEMA_VERSION};
 use iwa_core::{pool, Budget, IwaError};
+use iwa_lint::{quick_registry, registry, run_lints, Diagnostic, LintConfig};
 use iwa_tasklang::parse;
 use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -46,6 +47,24 @@ pub struct FileOutcome {
     pub elapsed_ms: u64,
     /// The error or panic message (absent when `"ok"`).
     pub error: Option<String>,
+    /// Lint findings for this file (always empty when the batch ran with
+    /// [`LintStage::Off`], and on any non-`"ok"` status).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// How much linting a batch run performs per file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LintStage {
+    /// No lint stage; `diagnostics` stays empty.
+    #[default]
+    Off,
+    /// The AST-level lints only ([`quick_registry`]) — cheap enough to
+    /// ride along with every analysis, and the stage `iwa check` uses to
+    /// surface the legacy `validate` warnings it used to drop.
+    Quick,
+    /// The full catalog ([`registry`]), including the sync-graph lints
+    /// that re-run the refined and stall analyses.
+    Full,
 }
 
 /// Options for [`check_batch`].
@@ -64,6 +83,10 @@ pub struct CheckOptions {
     /// deadline is clamped to what remains of it, so no worker outlives
     /// the batch by more than one file's budget probe.
     pub batch_deadline: Option<Duration>,
+    /// Optional per-file lint stage.
+    pub lint: LintStage,
+    /// Severity configuration for the lint stage.
+    pub lint_config: LintConfig,
 }
 
 /// Roll-up of a whole [`check_batch`] run.
@@ -153,6 +176,8 @@ pub fn check_paths(paths: &[PathBuf], opts: &EngineOptions) -> CheckSummary {
             engine: opts.clone(),
             jobs: 1,
             batch_deadline: None,
+            lint: LintStage::Off,
+            lint_config: LintConfig::default(),
         },
     )
 }
@@ -186,7 +211,7 @@ pub fn check_batch(paths: &[PathBuf], opts: &CheckOptions) -> CheckSummary {
         if let Some(rem) = batch_budget.as_ref().and_then(Budget::remaining_time) {
             eopts.deadline = Some(eopts.deadline.map_or(rem, |d| d.min(rem)));
         }
-        check_one(&paths[i], &eopts)
+        check_one(&paths[i], &eopts, opts.lint, &opts.lint_config)
     });
 
     let count = |f: &dyn Fn(&FileOutcome) -> bool| files.iter().filter(|o| f(o)).count();
@@ -205,13 +230,18 @@ pub fn check_batch(paths: &[PathBuf], opts: &CheckOptions) -> CheckSummary {
 }
 
 enum Checked {
-    Report(EngineReport),
+    Report(EngineReport, Vec<Diagnostic>),
     Parse(IwaError),
     Invalid(IwaError),
     Io(String),
 }
 
-fn check_one(path: &Path, opts: &EngineOptions) -> FileOutcome {
+fn check_one(
+    path: &Path,
+    opts: &EngineOptions,
+    lint: LintStage,
+    lint_config: &LintConfig,
+) -> FileOutcome {
     let started = Instant::now();
     let display = path.display().to_string();
 
@@ -231,18 +261,34 @@ fn check_one(path: &Path, opts: &EngineOptions) -> FileOutcome {
             Ok(p) => p,
             Err(e) => return Checked::Parse(e),
         };
-        match analyze(&program, opts) {
-            Ok(report) => Checked::Report(report),
-            Err(e) => Checked::Invalid(e),
-        }
+        let report = match analyze(&program, opts) {
+            Ok(report) => report,
+            Err(e) => return Checked::Invalid(e),
+        };
+        // The program analysed cleanly, so the lint context builds; a
+        // budget-tripped graph lint degrades to silence, not an error.
+        let diagnostics = match lint {
+            LintStage::Off => Vec::new(),
+            LintStage::Quick => {
+                let ctx = iwa_analysis::AnalysisCtx::new();
+                run_lints(&ctx, &program, lint_config, &quick_registry()).unwrap_or_default()
+            }
+            LintStage::Full => {
+                let ctx = iwa_analysis::AnalysisCtx::new().workers(opts.workers);
+                run_lints(&ctx, &program, lint_config, &registry()).unwrap_or_default()
+            }
+        };
+        Checked::Report(report, diagnostics)
     }));
 
     let elapsed_ms = started.elapsed().as_millis().try_into().unwrap_or(u64::MAX);
-    let (status, verdict, rung, degraded, error) = match run {
-        Ok(Checked::Report(r)) => ("ok", Some(r.verdict), Some(r.rung), r.degraded, None),
-        Ok(Checked::Parse(e)) => ("parse-error", None, None, false, Some(e.to_string())),
-        Ok(Checked::Invalid(e)) => ("invalid-program", None, None, false, Some(e.to_string())),
-        Ok(Checked::Io(msg)) => ("io-error", None, None, false, Some(msg)),
+    let (status, verdict, rung, degraded, error, diagnostics) = match run {
+        Ok(Checked::Report(r, d)) => ("ok", Some(r.verdict), Some(r.rung), r.degraded, None, d),
+        Ok(Checked::Parse(e)) => ("parse-error", None, None, false, Some(e.to_string()), vec![]),
+        Ok(Checked::Invalid(e)) => {
+            ("invalid-program", None, None, false, Some(e.to_string()), vec![])
+        }
+        Ok(Checked::Io(msg)) => ("io-error", None, None, false, Some(msg), vec![]),
         Err(payload) => (
             "panicked",
             None,
@@ -250,6 +296,7 @@ fn check_one(path: &Path, opts: &EngineOptions) -> FileOutcome {
             false,
             // `as_ref` to downcast the *contents*, not the box itself.
             Some(panic_message(payload.as_ref())),
+            vec![],
         ),
     };
     FileOutcome {
@@ -260,6 +307,7 @@ fn check_one(path: &Path, opts: &EngineOptions) -> FileOutcome {
         degraded,
         elapsed_ms,
         error,
+        diagnostics,
     }
 }
 

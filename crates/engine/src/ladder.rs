@@ -31,7 +31,7 @@ use iwa_analysis::{
 use iwa_core::{Budget, CancelToken, IwaError};
 use iwa_syncgraph::SyncGraph;
 use iwa_tasklang::transforms::{inline_procs, unroll_twice};
-use iwa_tasklang::validate::validate;
+use iwa_tasklang::validate::check_model;
 use iwa_tasklang::Program;
 use iwa_wavesim::{explore_budgeted, AnomalyReport, ExploreConfig, Verdict};
 use serde::Serialize;
@@ -43,7 +43,7 @@ use std::time::Duration;
 /// [`CheckSummary`](crate::check::CheckSummary), and the CLI reports built
 /// on them). Bump on any field addition, removal, or rename; the golden
 /// schema test pins the shape for each version.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One rung of the degradation ladder, most precise first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize)]
@@ -221,7 +221,7 @@ pub struct EngineReport {
 /// assert!(!report.degraded);
 /// ```
 pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaError> {
-    validate(p)?;
+    check_model(p)?;
     let inlined;
     let p: &Program = if p.has_calls() {
         inlined = inline_procs(p)?;

@@ -27,7 +27,9 @@
 pub mod check;
 pub mod ladder;
 
-pub use check::{check_batch, collect_files, CheckOptions, CheckSummary, FileOutcome, FAULT_INJECT_ENV};
+pub use check::{
+    check_batch, collect_files, CheckOptions, CheckSummary, FileOutcome, LintStage, FAULT_INJECT_ENV,
+};
 pub use ladder::{
     analyze, EngineOptions, EngineReport, EngineVerdict, Rung, RungAttempt, LADDER,
     SCHEMA_VERSION,

@@ -251,6 +251,7 @@ fn the_summary_is_identical_for_any_job_count() {
         },
         jobs,
         batch_deadline: None,
+        ..CheckOptions::default()
     };
     let base = masked_json(&check_batch(&files, &opts(1)));
     for jobs in [2, 8] {
@@ -274,6 +275,7 @@ fn a_batch_deadline_stops_all_in_flight_workers_promptly() {
             engine: EngineOptions::default(),
             jobs: 4,
             batch_deadline: Some(Duration::from_millis(50)),
+            ..CheckOptions::default()
         },
     );
     // Every file still answers (degraded at worst) and the whole batch —
@@ -305,6 +307,7 @@ fn a_cancelled_token_degrades_the_whole_batch_but_still_answers() {
             },
             jobs: 2,
             batch_deadline: None,
+            ..CheckOptions::default()
         },
     );
     assert_eq!(summary.total, 2);
@@ -343,7 +346,10 @@ fn the_json_schema_is_pinned() {
     );
     assert_eq!(
         keys(&v["files"][0]),
-        ["path", "status", "verdict", "rung", "degraded", "elapsed_ms", "error"],
+        [
+            "path", "status", "verdict", "rung", "degraded", "elapsed_ms", "error",
+            "diagnostics",
+        ],
         "FileOutcome changed shape: bump SCHEMA_VERSION and update this test"
     );
 
@@ -362,6 +368,45 @@ fn the_json_schema_is_pinned() {
         keys(&v["attempts"][0]),
         ["rung", "outcome", "detail", "elapsed_ms", "steps"],
         "RungAttempt changed shape: bump SCHEMA_VERSION and update this test"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn the_lint_stage_populates_diagnostics_only_when_enabled() {
+    let dir = scratch("lint-stage");
+    std::fs::write(dir.join("selfsend.iwa"), "task a { send a.m; accept m; }").unwrap();
+    std::fs::write(dir.join("bad.iwa"), "task {{{").unwrap();
+    let files = collect_files(&dir).unwrap();
+
+    let off = check_batch(&files, &CheckOptions::default());
+    assert!(off.files.iter().all(|f| f.diagnostics.is_empty()));
+
+    let quick = check_batch(
+        &files,
+        &CheckOptions {
+            lint: iwa_engine::LintStage::Quick,
+            ..CheckOptions::default()
+        },
+    );
+    let ok = quick.files.iter().find(|f| f.status == "ok").unwrap();
+    assert!(ok.diagnostics.iter().any(|d| d.lint == "self-send"));
+    // Failed parses never reach the lint stage.
+    let bad = quick.files.iter().find(|f| f.status == "parse-error").unwrap();
+    assert!(bad.diagnostics.is_empty());
+
+    let full = check_batch(
+        &files,
+        &CheckOptions {
+            lint: iwa_engine::LintStage::Full,
+            ..CheckOptions::default()
+        },
+    );
+    let ok = full.files.iter().find(|f| f.status == "ok").unwrap();
+    assert!(
+        ok.diagnostics.iter().any(|d| d.lint == "self-rendezvous-cycle"),
+        "full stage runs the graph lints: {:?}",
+        ok.diagnostics
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,0 +1,102 @@
+//! Shared state lint passes read from.
+
+use iwa_analysis::AnalysisCtx;
+use iwa_core::{IwaError, SignalId, Span};
+use iwa_syncgraph::SyncGraph;
+use iwa_tasklang::transforms::{inline_procs, unroll_twice};
+use iwa_tasklang::validate::check_model;
+use iwa_tasklang::{Program, Stmt};
+
+/// Everything a [`LintPass`](crate::LintPass) may consult, derived once
+/// per linted program.
+///
+/// Three views of the program coexist:
+///
+/// * [`program`](Self::program) — the original, as parsed (spans point at
+///   exactly what the user wrote; procedures still present);
+/// * [`inlined`](Self::inlined) — procedures expanded; statement spans
+///   copied from the procedure bodies, so proc-hidden findings still map
+///   to source;
+/// * [`unrolled`](Self::unrolled) / [`unrolled_sg`](Self::unrolled_sg) —
+///   the Lemma-1 form the deadlock analyses run on. Both unrolled copies
+///   of a loop body *share* the original statement's span, which is what
+///   lets graph-level findings collapse back to one source location.
+pub struct LintContext<'a> {
+    /// The original program.
+    pub program: &'a Program,
+    /// The analysis context (budget, cancellation, workers) the
+    /// graph-level passes run under.
+    pub ctx: &'a AnalysisCtx,
+    /// The program with procedures inlined (identical to `program` when
+    /// it has no calls).
+    pub inlined: Program,
+    /// Sync graph of the inlined program.
+    pub sg: SyncGraph,
+    /// The inlined program unrolled twice (Lemma 1).
+    pub unrolled: Program,
+    /// Sync graph of the unrolled program — the one the refined deadlock
+    /// analysis certifies.
+    pub unrolled_sg: SyncGraph,
+    /// Whole-program send/accept counts per signal, on the inlined form
+    /// (so procedure bodies are counted against their call sites' tasks).
+    pub balance: Vec<(SignalId, usize, usize)>,
+}
+
+impl<'a> LintContext<'a> {
+    /// Derive the lint views of `program`.
+    ///
+    /// Fails when the program violates the model assumptions
+    /// ([`check_model`]) — lints describe *analysable* programs; hard
+    /// violations stay errors.
+    pub fn new(program: &'a Program, ctx: &'a AnalysisCtx) -> Result<Self, IwaError> {
+        check_model(program)?;
+        let inlined = inline_procs(program)?;
+        let sg = SyncGraph::from_program(&inlined);
+        let unrolled = unroll_twice(&inlined);
+        let unrolled_sg = SyncGraph::from_program(&unrolled);
+        let balance = iwa_analysis::stall::signal_balance(&inlined);
+        Ok(LintContext {
+            program,
+            ctx,
+            inlined,
+            sg,
+            unrolled,
+            unrolled_sg,
+            balance,
+        })
+    }
+
+    /// `(sends, accepts)` whole-program counts of `signal`.
+    #[must_use]
+    pub fn counts(&self, signal: SignalId) -> (usize, usize) {
+        self.balance
+            .iter()
+            .find(|(s, _, _)| *s == signal)
+            .map_or((0, 0), |(_, s, a)| (*s, *a))
+    }
+
+    /// The first (syntactic order, original program) rendezvous statement
+    /// on `signal`, preferring task bodies over procedure bodies.
+    #[must_use]
+    pub fn first_site_of(&self, signal: SignalId) -> Option<Span> {
+        let mut found = None;
+        let mut scan = |body: &[Stmt]| {
+            for s in body {
+                s.visit_rendezvous(&mut |st| {
+                    if found.is_none()
+                        && st.rendezvous().is_some_and(|r| r.signal == signal)
+                    {
+                        found = Some(st.span());
+                    }
+                });
+            }
+        };
+        for t in &self.program.tasks {
+            scan(&t.body);
+        }
+        for p in &self.program.procs {
+            scan(&p.body);
+        }
+        found
+    }
+}

@@ -1,0 +1,14 @@
+//! The lint catalog.
+//!
+//! Two families:
+//!
+//! * [`structural`] — AST-level passes over the parsed (and, where noted,
+//!   inlined) program: the migrated `validate` census plus reachability
+//!   and liveness checks that need no sync-graph analysis;
+//! * [`graph`] — passes that run the paper's analyses (stall balance,
+//!   refined deadlock certification) through the shared
+//!   [`AnalysisCtx`](iwa_analysis::AnalysisCtx) and map the graph-level
+//!   findings back to source spans.
+
+pub mod graph;
+pub mod structural;

@@ -1,0 +1,158 @@
+//! Rustc-style text rendering with source-excerpt caret lines.
+
+use crate::{Diagnostic, Severity};
+use iwa_core::{IwaError, Span};
+use std::fmt::Write;
+
+/// Render one diagnostic against its source text:
+///
+/// ```text
+/// warning[self-send]: task 'a' sends signal 'a.m' to itself
+///  --> demo.iwa:2:5
+///   |
+/// 2 |     send a.m;
+///   |     ^^^^
+/// ```
+///
+/// Synthetic spans ([`Span::DUMMY`]) skip the excerpt and position; a
+/// span whose line is out of range (stale source) degrades the same way.
+#[must_use]
+pub fn render_diagnostic(path: &str, source: &str, d: &Diagnostic) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", d.severity, d.lint, d.message);
+    render_snippet(&mut out, path, source, d.span);
+    out
+}
+
+/// Render a whole diagnostic list, separated by blank lines, followed by
+/// a count summary line when anything was reported.
+#[must_use]
+pub fn render_diagnostics(path: &str, source: &str, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&render_diagnostic(path, source, d));
+        out.push('\n');
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Deny).count();
+    let warnings = diags.iter().filter(|d| d.severity == Severity::Warn).count();
+    if errors + warnings > 0 {
+        let _ = writeln!(
+            out,
+            "{path}: {errors} error(s), {warnings} warning(s) emitted"
+        );
+    }
+    out
+}
+
+/// Render a parse error with the same caret display diagnostics get.
+/// Returns `None` for non-parse errors (the caller falls back to the
+/// plain `Display` form).
+#[must_use]
+pub fn render_parse_error(path: &str, source: &str, err: &IwaError) -> Option<String> {
+    let IwaError::Parse { line, col, message } = err else {
+        return None;
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "error[parse]: {message}");
+    render_snippet(
+        &mut out,
+        path,
+        source,
+        Span::new(*line as u32, *col as u32, 1),
+    );
+    Some(out)
+}
+
+fn render_snippet(out: &mut String, path: &str, source: &str, span: Span) {
+    let text = span
+        .is_real()
+        .then(|| source.lines().nth(span.line as usize - 1))
+        .flatten();
+    let Some(text) = text else {
+        let _ = writeln!(out, " --> {path}");
+        return;
+    };
+    let line_no = span.line.to_string();
+    let gutter = " ".repeat(line_no.len());
+    let _ = writeln!(out, "{gutter}--> {path}:{}:{}", span.line, span.col);
+    let _ = writeln!(out, "{gutter} |");
+    let _ = writeln!(out, "{line_no} | {text}");
+    // Columns are 1-based character counts, matching the lexer.
+    let pad = " ".repeat(span.col.saturating_sub(1) as usize);
+    let carets = "^".repeat(span.len.max(1) as usize);
+    let _ = writeln!(out, "{gutter} | {pad}{carets}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(span: Span) -> Diagnostic {
+        Diagnostic {
+            lint: "self-send".into(),
+            severity: Severity::Warn,
+            message: "task 'a' sends signal 'a.m' to itself".into(),
+            span,
+        }
+    }
+
+    #[test]
+    fn caret_sits_under_the_keyword() {
+        let src = "task a {\n    send a.m;\n}\n";
+        let text = render_diagnostic("demo.iwa", src, &diag(Span::new(2, 5, 4)));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            [
+                "warning[self-send]: task 'a' sends signal 'a.m' to itself",
+                " --> demo.iwa:2:5",
+                "  |",
+                "2 |     send a.m;",
+                "  |     ^^^^",
+            ]
+        );
+        // The caret starts at the same character offset as `send`.
+        let src_col = lines[3].find("send").unwrap();
+        let caret_col = lines[4].find('^').unwrap();
+        assert_eq!(src_col, caret_col);
+    }
+
+    #[test]
+    fn dummy_span_skips_the_excerpt() {
+        let text = render_diagnostic("demo.iwa", "task a { }\n", &diag(Span::DUMMY));
+        assert!(text.contains(" --> demo.iwa\n"));
+        assert!(!text.contains('^'));
+    }
+
+    #[test]
+    fn parse_error_gets_a_caret() {
+        let err = IwaError::Parse {
+            line: 1,
+            col: 6,
+            message: "expected task name".into(),
+        };
+        let text = render_parse_error("bad.iwa", "task {\n", &err).unwrap();
+        assert!(text.starts_with("error[parse]: expected task name"));
+        assert!(text.contains("1 | task {"));
+        assert!(text.contains("  |      ^"));
+        assert!(render_parse_error("x", "", &IwaError::Io("nope".into())).is_none());
+    }
+
+    #[test]
+    fn summary_line_counts_by_severity() {
+        let src = "task a {\n    send a.m;\n}\n";
+        let mut d1 = diag(Span::new(2, 5, 4));
+        let d2 = diag(Span::new(2, 5, 4));
+        d1.severity = Severity::Deny;
+        let text = render_diagnostics("demo.iwa", src, &[d1, d2]);
+        assert!(text.ends_with("demo.iwa: 1 error(s), 1 warning(s) emitted\n"));
+    }
+
+    #[test]
+    fn wide_line_numbers_widen_the_gutter() {
+        let src = "x\n".repeat(12);
+        let text = render_diagnostic("w.iwa", &src, &diag(Span::new(10, 1, 1)));
+        assert!(text.contains("  --> w.iwa:10:1"));
+        assert!(text.contains("10 | x"));
+    }
+}

@@ -1,6 +1,6 @@
 //! Sync graph construction and queries.
 
-use iwa_core::{Rendezvous, Sign, SignalId, Symbols, TaskId};
+use iwa_core::{Rendezvous, Sign, SignalId, Span, Symbols, TaskId};
 use iwa_graphs::{BitSet, DiGraph};
 use iwa_tasklang::cfg::{self, Guard, ProgramCfg};
 use iwa_tasklang::Program;
@@ -29,6 +29,9 @@ pub struct NodeData {
     pub carrying: Option<String>,
     /// Condition variable bound by an accept, if any.
     pub binding: Option<String>,
+    /// Source location of the originating statement ([`Span::DUMMY`] for
+    /// raw-built graphs and builder-made programs).
+    pub span: Span,
 }
 
 /// The sync graph `SG_P = (T, N, E_C, E_S)`.
@@ -91,6 +94,7 @@ impl SyncGraph {
                     rv.guards.clone(),
                     rv.carrying.clone(),
                     rv.binding.clone(),
+                    rv.span,
                 );
             }
             global.push(map);
@@ -305,11 +309,12 @@ impl SyncGraphBuilder {
         rendezvous: Rendezvous,
         label: Option<String>,
     ) -> usize {
-        self.add_node_full(task, rendezvous, label, Vec::new(), None, None)
+        self.add_node_full(task, rendezvous, label, Vec::new(), None, None, Span::DUMMY)
     }
 
-    /// Add a rendezvous node with full metadata (guards and carried/bound
-    /// condition variables).
+    /// Add a rendezvous node with full metadata (guards, carried/bound
+    /// condition variables, and source span).
+    #[allow(clippy::too_many_arguments)]
     pub fn add_node_full(
         &mut self,
         task: TaskId,
@@ -318,6 +323,7 @@ impl SyncGraphBuilder {
         guards: Vec<Guard>,
         carrying: Option<String>,
         binding: Option<String>,
+        span: Span,
     ) -> usize {
         assert!(task.index() < self.num_tasks, "task out of range");
         self.nodes.push(NodeData {
@@ -327,6 +333,7 @@ impl SyncGraphBuilder {
             guards,
             carrying,
             binding,
+            span,
         });
         FIRST_RV + self.nodes.len() - 1
     }

@@ -1,6 +1,6 @@
 //! Abstract syntax for the rendezvous tasking language.
 
-use iwa_core::{Rendezvous, Sign, SignalId, Symbols, TaskId};
+use iwa_core::{Rendezvous, Sign, SignalId, Span, Symbols, TaskId};
 use std::fmt;
 
 /// A branch/loop condition.
@@ -33,6 +33,12 @@ impl Cond {
 }
 
 /// One statement of a task body.
+///
+/// Every variant carries the [`Span`] of its leading keyword in the
+/// original source (or [`Span::DUMMY`] for builder-made programs).
+/// Transforms preserve spans — an unrolled or inlined copy keeps the span
+/// of the statement it was copied from, so diagnostics on derived
+/// programs map back to the line the user wrote.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Stmt {
     /// An entry call directed at `signal`'s receiving task. Suspends the
@@ -46,6 +52,8 @@ pub enum Stmt {
         /// Optional source label (`as r`), used by figure fixtures and
         /// diagnostics.
         label: Option<String>,
+        /// Source location of the `send` keyword.
+        span: Span,
     },
     /// An accept for `signal`, legal only inside `signal`'s receiving task.
     Accept {
@@ -55,6 +63,8 @@ pub enum Stmt {
         binding: Option<String>,
         /// Optional source label.
         label: Option<String>,
+        /// Source location of the `accept` keyword.
+        span: Span,
     },
     /// Two-way conditional; either arm may be empty.
     If {
@@ -64,6 +74,8 @@ pub enum Stmt {
         then_branch: Vec<Stmt>,
         /// Statements executed otherwise.
         else_branch: Vec<Stmt>,
+        /// Source location of the `if` keyword.
+        span: Span,
     },
     /// Pre-tested loop: the body executes **zero or more** times.
     While {
@@ -71,6 +83,8 @@ pub enum Stmt {
         cond: Cond,
         /// Loop body.
         body: Vec<Stmt>,
+        /// Source location of the `while` keyword.
+        span: Span,
     },
     /// Post-tested loop: the body executes **one or more** times.
     Repeat {
@@ -78,6 +92,8 @@ pub enum Stmt {
         body: Vec<Stmt>,
         /// Continuation condition (re-evaluated after each iteration).
         cond: Cond,
+        /// Source location of the `repeat` keyword.
+        span: Span,
     },
     /// Call of a named procedure (the paper's deferred *interprocedural
     /// model*, realised by inlining — see
@@ -88,6 +104,8 @@ pub enum Stmt {
     Call {
         /// The procedure's name.
         proc: String,
+        /// Source location of the `call` keyword.
+        span: Span,
     },
 }
 
@@ -99,6 +117,7 @@ impl Stmt {
             signal,
             carrying: None,
             label: None,
+            span: Span::DUMMY,
         }
     }
 
@@ -109,6 +128,20 @@ impl Stmt {
             signal,
             binding: None,
             label: None,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// The statement's source span ([`Span::DUMMY`] for synthetic code).
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Send { span, .. }
+            | Stmt::Accept { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Repeat { span, .. }
+            | Stmt::Call { span, .. } => *span,
         }
     }
 
@@ -211,6 +244,9 @@ pub struct Task {
     pub id: TaskId,
     /// The task body.
     pub body: Vec<Stmt>,
+    /// Source location of the task's name in its declaration
+    /// ([`Span::DUMMY`] for builder-made programs).
+    pub span: Span,
 }
 
 /// A named procedure, callable from any task (or another procedure).
@@ -224,6 +260,9 @@ pub struct Procedure {
     pub name: String,
     /// Its body.
     pub body: Vec<Stmt>,
+    /// Source location of the procedure's name in its declaration
+    /// ([`Span::DUMMY`] for builder-made programs).
+    pub span: Span,
 }
 
 /// A complete program: symbol table plus one body per task.
@@ -314,14 +353,17 @@ impl Program {
                             signal: r.signal,
                             carrying: None,
                             label,
+                            span: Span::DUMMY,
                         },
                         Sign::Minus => Stmt::Accept {
                             signal: r.signal,
                             binding: None,
                             label,
+                            span: Span::DUMMY,
                         },
                     })
                     .collect(),
+                span: Span::DUMMY,
             })
             .collect();
         Program {
@@ -387,6 +429,7 @@ impl ProgramBuilder {
         self.procs.push(Procedure {
             name: name.to_owned(),
             body: tb.stmts,
+            span: Span::DUMMY,
         });
     }
 
@@ -407,6 +450,7 @@ impl ProgramBuilder {
             .map(|(i, body)| Task {
                 id: TaskId(i as u32),
                 body,
+                span: Span::DUMMY,
             })
             .collect();
         Program {
@@ -436,6 +480,7 @@ impl TaskBuilder {
             signal,
             carrying: None,
             label: Some(label.to_owned()),
+            span: Span::DUMMY,
         });
         self
     }
@@ -446,6 +491,7 @@ impl TaskBuilder {
             signal,
             carrying: Some(var.to_owned()),
             label: None,
+            span: Span::DUMMY,
         });
         self
     }
@@ -462,6 +508,7 @@ impl TaskBuilder {
             signal,
             binding: None,
             label: Some(label.to_owned()),
+            span: Span::DUMMY,
         });
         self
     }
@@ -472,6 +519,7 @@ impl TaskBuilder {
             signal,
             binding: Some(var.to_owned()),
             label: None,
+            span: Span::DUMMY,
         });
         self
     }
@@ -500,6 +548,7 @@ impl TaskBuilder {
             cond,
             then_branch: tb.stmts,
             else_branch: eb.stmts,
+            span: Span::DUMMY,
         });
         self
     }
@@ -511,6 +560,7 @@ impl TaskBuilder {
         self.stmts.push(Stmt::While {
             cond: Cond::Unknown,
             body: bb.stmts,
+            span: Span::DUMMY,
         });
         self
     }
@@ -522,6 +572,7 @@ impl TaskBuilder {
         self.stmts.push(Stmt::Repeat {
             body: bb.stmts,
             cond: Cond::Unknown,
+            span: Span::DUMMY,
         });
         self
     }
@@ -530,6 +581,7 @@ impl TaskBuilder {
     pub fn call(&mut self, proc: &str) -> &mut Self {
         self.stmts.push(Stmt::Call {
             proc: proc.to_owned(),
+            span: Span::DUMMY,
         });
         self
     }
@@ -575,6 +627,7 @@ impl Program {
                 signal,
                 carrying,
                 label,
+                ..
             } => {
                 out.push_str(&format!("{pad}send {}", self.symbols.signal_name(*signal)));
                 if let Some(v) = carrying {
@@ -589,6 +642,7 @@ impl Program {
                 signal,
                 binding,
                 label,
+                ..
             } => {
                 let msg = self
                     .symbols
@@ -607,6 +661,7 @@ impl Program {
                 cond,
                 then_branch,
                 else_branch,
+                ..
             } => {
                 out.push_str(&format!("{pad}if{} {{\n", cond_suffix(cond)));
                 for s in then_branch {
@@ -622,21 +677,21 @@ impl Program {
                     out.push_str(&format!("{pad}}}\n"));
                 }
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 out.push_str(&format!("{pad}while{} {{\n", cond_suffix(cond)));
                 for s in body {
                     self.print_stmt(s, depth + 1, out);
                 }
                 out.push_str(&format!("{pad}}}\n"));
             }
-            Stmt::Repeat { body, cond } => {
+            Stmt::Repeat { body, cond, .. } => {
                 out.push_str(&format!("{pad}repeat{} {{\n", cond_suffix(cond)));
                 for s in body {
                     self.print_stmt(s, depth + 1, out);
                 }
                 out.push_str(&format!("{pad}}}\n"));
             }
-            Stmt::Call { proc } => {
+            Stmt::Call { proc, .. } => {
                 out.push_str(&format!("{pad}call {proc};\n"));
             }
         }

@@ -9,7 +9,7 @@
 //! rendezvous statements.
 
 use crate::ast::{Cond, Program, Stmt, Task};
-use iwa_core::{Rendezvous, TaskId};
+use iwa_core::{Rendezvous, Span, TaskId};
 use iwa_graphs::DiGraph;
 
 /// Index of the distinguished entry node in every [`TaskCfg`].
@@ -43,6 +43,9 @@ pub struct RvInfo {
     /// Encapsulated-variable guards lexically enclosing the statement
     /// (innermost last). Opaque (`Cond::Unknown`) guards do not appear.
     pub guards: Vec<Guard>,
+    /// Source location of the originating `send`/`accept` statement
+    /// ([`Span::DUMMY`] for builder-made programs).
+    pub span: Span,
 }
 
 /// The control-flow graph of one task, restricted to rendezvous points.
@@ -210,6 +213,7 @@ impl Lowering {
                 signal,
                 carrying,
                 label,
+                span,
             } => {
                 let info = RvInfo {
                     rendezvous: Rendezvous::send(*signal),
@@ -217,6 +221,7 @@ impl Lowering {
                     carrying: carrying.clone(),
                     binding: None,
                     guards: self.guards.clone(),
+                    span: *span,
                 };
                 let idx = self.rv_infos.len();
                 self.rv_infos.push(info);
@@ -227,6 +232,7 @@ impl Lowering {
                 signal,
                 binding,
                 label,
+                span,
             } => {
                 let info = RvInfo {
                     rendezvous: Rendezvous::accept(*signal),
@@ -234,6 +240,7 @@ impl Lowering {
                     carrying: None,
                     binding: binding.clone(),
                     guards: self.guards.clone(),
+                    span: *span,
                 };
                 let idx = self.rv_infos.len();
                 self.rv_infos.push(info);
@@ -244,6 +251,7 @@ impl Lowering {
                 cond,
                 then_branch,
                 else_branch,
+                ..
             } => {
                 let fork = self.node(MicroKind::Eps);
                 let join = self.node(MicroKind::Eps);
@@ -263,7 +271,7 @@ impl Lowering {
                 self.micro.add_arc(eo, join);
                 (fork, join)
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 let head = self.node(MicroKind::Eps);
                 let exit = self.node(MicroKind::Eps);
                 let pushed = self.push_guard(cond, true);
@@ -276,7 +284,7 @@ impl Lowering {
                 self.micro.add_arc(head, exit);
                 (head, exit)
             }
-            Stmt::Repeat { body, cond } => {
+            Stmt::Repeat { body, cond, .. } => {
                 let head = self.node(MicroKind::Eps);
                 let exit = self.node(MicroKind::Eps);
                 let pushed = self.push_guard(cond, true);

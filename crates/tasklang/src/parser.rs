@@ -22,7 +22,7 @@
 //! figures use to name rendezvous points.
 
 use crate::ast::{Cond, Procedure, Program, Stmt, Task};
-use iwa_core::{IwaError, Symbols, TaskId};
+use iwa_core::{IwaError, Span, Symbols, TaskId};
 use std::collections::HashSet;
 
 /// Parse `.iwa` source text into a [`Program`].
@@ -79,6 +79,15 @@ struct Spanned {
     tok: Tok,
     line: usize,
     col: usize,
+    /// Width of the token in characters (idents: their length; punctuation:
+    /// 1; EOF: 0). Becomes [`Span::len`] on AST nodes.
+    len: usize,
+}
+
+impl Spanned {
+    fn span(&self) -> Span {
+        Span::new(self.line as u32, self.col as u32, self.len as u32)
+    }
 }
 
 fn lex(src: &str) -> Result<Vec<Spanned>, IwaError> {
@@ -134,6 +143,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IwaError> {
                     tok,
                     line: tline,
                     col: tcol,
+                    len: 1,
                 });
             }
             c if c.is_alphanumeric() || c == '_' => {
@@ -147,10 +157,12 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IwaError> {
                         break;
                     }
                 }
+                let len = ident.chars().count();
                 out.push(Spanned {
                     tok: Tok::Ident(ident),
                     line: tline,
                     col: tcol,
+                    len,
                 });
             }
             other => {
@@ -166,6 +178,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>, IwaError> {
         tok: Tok::Eof,
         line,
         col,
+        len: 0,
     });
     Ok(out)
 }
@@ -271,6 +284,7 @@ impl Parser {
         }
         // Bodies keyed by task id; tasks may be referenced before declared.
         let mut bodies: Vec<Option<Vec<Stmt>>> = Vec::new();
+        let mut decl_spans: Vec<Span> = Vec::new();
         let mut procs: Vec<Procedure> = Vec::new();
         loop {
             if self.peek().tok == Tok::Eof {
@@ -288,8 +302,10 @@ impl Parser {
                     let body = self.block(Ctx::Task(id))?;
                     while bodies.len() <= id.index() {
                         bodies.push(None);
+                        decl_spans.push(Span::DUMMY);
                     }
                     bodies[id.index()] = Some(body);
+                    decl_spans[id.index()] = at.span();
                 }
                 Tok::Ident(s) if s == "proc" => {
                     let (name, at) = self.ident("procedure name")?;
@@ -300,7 +316,11 @@ impl Parser {
                     }
                     self.expect(&Tok::LBrace, "'{'")?;
                     let body = self.block(Ctx::Proc)?;
-                    procs.push(Procedure { name, body });
+                    procs.push(Procedure {
+                        name,
+                        body,
+                        span: at.span(),
+                    });
                 }
                 _ => return Err(self.err(&kw, "expected 'task' or 'proc'")),
             }
@@ -324,6 +344,7 @@ impl Parser {
             .map(|(i, b)| Task {
                 id: TaskId(i as u32),
                 body: b.unwrap_or_default(),
+                span: decl_spans.get(i).copied().unwrap_or(Span::DUMMY),
             })
             .collect();
         Ok(Program {
@@ -403,6 +424,7 @@ impl Parser {
                     signal,
                     carrying,
                     label,
+                    span: t.span(),
                 })
             }
             "accept" => {
@@ -430,12 +452,16 @@ impl Parser {
                     signal,
                     binding,
                     label,
+                    span: t.span(),
                 })
             }
             "call" => {
                 let (proc, _) = self.ident("procedure name")?;
                 self.expect(&Tok::Semi, "';'")?;
-                Ok(Stmt::Call { proc })
+                Ok(Stmt::Call {
+                    proc,
+                    span: t.span(),
+                })
             }
             "if" => {
                 let cond = self.cond()?;
@@ -451,19 +477,28 @@ impl Parser {
                     cond,
                     then_branch,
                     else_branch,
+                    span: t.span(),
                 })
             }
             "while" => {
                 let cond = self.cond()?;
                 self.expect(&Tok::LBrace, "'{'")?;
                 let body = self.block(ctx)?;
-                Ok(Stmt::While { cond, body })
+                Ok(Stmt::While {
+                    cond,
+                    body,
+                    span: t.span(),
+                })
             }
             "repeat" => {
                 let cond = self.cond()?;
                 self.expect(&Tok::LBrace, "'{'")?;
                 let body = self.block(ctx)?;
-                Ok(Stmt::Repeat { body, cond })
+                Ok(Stmt::Repeat {
+                    body,
+                    cond,
+                    span: t.span(),
+                })
             }
             other => Err(self.err(
                 &t,

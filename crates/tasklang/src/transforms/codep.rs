@@ -101,6 +101,7 @@ pub fn factor_codependent(p: &Program) -> Program {
             .map(|t| Task {
                 id: t.id,
                 body: hoist_block(&t.body, &targets, &mut changed),
+                span: t.span,
             })
             .collect();
         current = Program {
@@ -218,6 +219,7 @@ fn hoist_block(block: &[Stmt], targets: &[SignalId], changed: &mut bool) -> Vec<
                 cond: cond @ Cond::Var(_),
                 then_branch,
                 else_branch,
+                span,
             } => {
                 let mut tb = hoist_block(then_branch, targets, changed);
                 let mut eb = hoist_block(else_branch, targets, changed);
@@ -247,6 +249,7 @@ fn hoist_block(block: &[Stmt], targets: &[SignalId], changed: &mut bool) -> Vec<
                         cond: cond.clone(),
                         then_branch: tb,
                         else_branch: eb,
+                        span: *span,
                     });
                     out.extend(hoisted);
                 }
@@ -255,18 +258,22 @@ fn hoist_block(block: &[Stmt], targets: &[SignalId], changed: &mut bool) -> Vec<
                 cond,
                 then_branch,
                 else_branch,
+                span,
             } => out.push(Stmt::If {
                 cond: cond.clone(),
                 then_branch: hoist_block(then_branch, targets, changed),
                 else_branch: hoist_block(else_branch, targets, changed),
+                span: *span,
             }),
-            Stmt::While { cond, body } => out.push(Stmt::While {
+            Stmt::While { cond, body, span } => out.push(Stmt::While {
                 cond: cond.clone(),
                 body: hoist_block(body, targets, changed),
+                span: *span,
             }),
-            Stmt::Repeat { body, cond } => out.push(Stmt::Repeat {
+            Stmt::Repeat { body, cond, span } => out.push(Stmt::Repeat {
                 body: hoist_block(body, targets, changed),
                 cond: cond.clone(),
+                span: *span,
             }),
             other => out.push(other.clone()),
         }

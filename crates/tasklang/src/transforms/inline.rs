@@ -92,6 +92,7 @@ pub fn inline_procs(p: &Program) -> Result<Program, IwaError> {
             Ok(Task {
                 id: t.id,
                 body: inline_block(&t.body, &by_name, None, &mut counter)?,
+                span: t.span,
             })
         })
         .collect::<Result<Vec<_>, IwaError>>()?;
@@ -105,7 +106,7 @@ pub fn inline_procs(p: &Program) -> Result<Program, IwaError> {
 fn collect_callees(block: &[Stmt], out: &mut Vec<String>) {
     for s in block {
         match s {
-            Stmt::Call { proc } => out.push(proc.clone()),
+            Stmt::Call { proc, .. } => out.push(proc.clone()),
             Stmt::If {
                 then_branch,
                 else_branch,
@@ -131,7 +132,7 @@ fn inline_block(
     let mut out = Vec::with_capacity(block.len());
     for s in block {
         match s {
-            Stmt::Call { proc } => {
+            Stmt::Call { proc, .. } => {
                 let body = by_name
                     .get(proc.as_str())
                     .ok_or_else(|| {
@@ -149,36 +150,44 @@ fn inline_block(
                 signal,
                 carrying,
                 label,
+                span,
             } => out.push(Stmt::Send {
                 signal: *signal,
                 carrying: carrying.clone(),
                 label: suffixed(label, suffix),
+                span: *span,
             }),
             Stmt::Accept {
                 signal,
                 binding,
                 label,
+                span,
             } => out.push(Stmt::Accept {
                 signal: *signal,
                 binding: binding.clone(),
                 label: suffixed(label, suffix),
+                span: *span,
             }),
             Stmt::If {
                 cond,
                 then_branch,
                 else_branch,
+                span,
             } => out.push(Stmt::If {
                 cond: cond.clone(),
                 then_branch: inline_block(then_branch, by_name, suffix, counter)?,
                 else_branch: inline_block(else_branch, by_name, suffix, counter)?,
+                span: *span,
             }),
-            Stmt::While { cond, body } => out.push(Stmt::While {
+            Stmt::While { cond, body, span } => out.push(Stmt::While {
                 cond: cond.clone(),
                 body: inline_block(body, by_name, suffix, counter)?,
+                span: *span,
             }),
-            Stmt::Repeat { body, cond } => out.push(Stmt::Repeat {
+            Stmt::Repeat { body, cond, span } => out.push(Stmt::Repeat {
                 body: inline_block(body, by_name, suffix, counter)?,
                 cond: cond.clone(),
+                span: *span,
             }),
         }
     }

@@ -35,7 +35,11 @@ pub fn merge_branch_rendezvous(p: &Program) -> Program {
                         break;
                     }
                 }
-                Task { id: t.id, body }
+                Task {
+                    id: t.id,
+                    body,
+                    span: t.span,
+                }
             })
             .collect(),
     }
@@ -85,6 +89,7 @@ fn pass_block(block: &[Stmt]) -> (Vec<Stmt>, bool) {
                 cond,
                 then_branch,
                 else_branch,
+                span,
             } => {
                 let (mut tb, c1) = pass_block(then_branch);
                 let (mut eb, c2) = pass_block(else_branch);
@@ -117,24 +122,27 @@ fn pass_block(block: &[Stmt]) -> (Vec<Stmt>, bool) {
                         cond: cond.clone(),
                         then_branch: tb,
                         else_branch: eb,
+                        span: *span,
                     });
                 }
                 out.extend(suffix);
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, span } => {
                 let (b, c) = pass_block(body);
                 changed |= c;
                 out.push(Stmt::While {
                     cond: cond.clone(),
                     body: b,
+                    span: *span,
                 });
             }
-            Stmt::Repeat { body, cond } => {
+            Stmt::Repeat { body, cond, span } => {
                 let (b, c) = pass_block(body);
                 changed |= c;
                 out.push(Stmt::Repeat {
                     body: b,
                     cond: cond.clone(),
+                    span: *span,
                 });
             }
             other => out.push(other.clone()),

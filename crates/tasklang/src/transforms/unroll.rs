@@ -50,6 +50,7 @@ pub fn unroll_twice(p: &Program) -> Program {
             .map(|t| Task {
                 id: t.id,
                 body: unroll_block(&t.body),
+                span: t.span,
             })
             .collect(),
         procs: Vec::new(),
@@ -71,12 +72,14 @@ fn unroll_stmt(s: &Stmt, out: &mut Vec<Stmt>) {
             cond,
             then_branch,
             else_branch,
+            span,
         } => out.push(Stmt::If {
             cond: cond.clone(),
             then_branch: unroll_block(then_branch),
             else_branch: unroll_block(else_branch),
+            span: *span,
         }),
-        Stmt::While { cond, body } => {
+        Stmt::While { cond, body, span } => {
             // while c { B }  ⇒  if c { B₁ ; if c { B₂ } }
             let b1 = unroll_block(body);
             let b2 = relabel(&b1);
@@ -85,14 +88,16 @@ fn unroll_stmt(s: &Stmt, out: &mut Vec<Stmt>) {
                 cond: cond.clone(),
                 then_branch: b2,
                 else_branch: Vec::new(),
+                span: *span,
             });
             out.push(Stmt::If {
                 cond: cond.clone(),
                 then_branch,
                 else_branch: Vec::new(),
+                span: *span,
             });
         }
-        Stmt::Repeat { body, cond } => {
+        Stmt::Repeat { body, cond, span } => {
             // repeat { B } c  ⇒  B₁ ; if c { B₂ }
             let b1 = unroll_block(body);
             let b2 = relabel(&b1);
@@ -101,6 +106,7 @@ fn unroll_stmt(s: &Stmt, out: &mut Vec<Stmt>) {
                 cond: cond.clone(),
                 then_branch: b2,
                 else_branch: Vec::new(),
+                span: *span,
             });
         }
     }
@@ -118,36 +124,44 @@ fn relabel_stmt(s: &Stmt) -> Stmt {
             signal,
             carrying,
             label,
+            span,
         } => Stmt::Send {
             signal: *signal,
             carrying: carrying.clone(),
             label: bump(label),
+            span: *span,
         },
         Stmt::Accept {
             signal,
             binding,
             label,
+            span,
         } => Stmt::Accept {
             signal: *signal,
             binding: binding.clone(),
             label: bump(label),
+            span: *span,
         },
         Stmt::If {
             cond,
             then_branch,
             else_branch,
+            span,
         } => Stmt::If {
             cond: cond.clone(),
             then_branch: relabel(then_branch),
             else_branch: relabel(else_branch),
+            span: *span,
         },
-        Stmt::While { cond, body } => Stmt::While {
+        Stmt::While { cond, body, span } => Stmt::While {
             cond: cond.clone(),
             body: relabel(body),
+            span: *span,
         },
-        Stmt::Repeat { body, cond } => Stmt::Repeat {
+        Stmt::Repeat { body, cond, span } => Stmt::Repeat {
             body: relabel(body),
             cond: cond.clone(),
+            span: *span,
         },
         Stmt::Call { .. } => s.clone(),
     }

@@ -38,14 +38,44 @@ pub enum Warning {
     },
 }
 
-/// Check `p` against the model assumptions.
+/// Check `p` against the model assumptions, rejecting violations that make
+/// analysis meaningless:
 ///
-/// Errors (violations that make analysis meaningless):
 /// * an `accept` for a signal outside the signal's receiving task;
-/// * a task id out of range in a signal.
+/// * a task id out of range in a signal;
+/// * an `accept` inside a procedure, or a cyclic call graph.
 ///
-/// Warnings are returned for suspicious-but-analysable patterns.
+/// Suspicious-but-analysable patterns are *not* reported here — they are
+/// the lint registry's job (`iwa-lint`); [`model_warnings`] remains for
+/// callers that need the raw census without a lint context.
+pub fn check_model(p: &Program) -> Result<(), IwaError> {
+    census(p).map(|_| ())
+}
+
+/// The legacy warning census: the suspicious-but-analysable patterns
+/// ([`Warning`]) that predate the lint registry.
+///
+/// Prefer running the lint registry (`iwa-lint`), which covers these three
+/// patterns as the `self-send`, `unmatched-signal`/`entry-never-called`,
+/// and `silent-task` lints *with source spans*. This function backs the
+/// certificate's warning list and returns an empty vector for invalid
+/// programs (run [`check_model`] first to distinguish).
+#[must_use]
+pub fn model_warnings(p: &Program) -> Vec<Warning> {
+    census(p).unwrap_or_default()
+}
+
+/// Check `p` against the model assumptions and return the legacy warnings.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `check_model` for errors and the `iwa-lint` registry (or \
+            `model_warnings`) for diagnostics"
+)]
 pub fn validate(p: &Program) -> Result<Vec<Warning>, IwaError> {
+    census(p)
+}
+
+fn census(p: &Program) -> Result<Vec<Warning>, IwaError> {
     let mut warnings = Vec::new();
 
     // Procedure rules: accepts are forbidden inside procedures, calls must
@@ -154,7 +184,8 @@ mod tests {
     #[test]
     fn clean_program_validates() {
         let p = parse("task a { send b.m; } task b { accept m; }").unwrap();
-        assert!(validate(&p).unwrap().is_empty());
+        check_model(&p).unwrap();
+        assert!(model_warnings(&p).is_empty());
     }
 
     #[test]
@@ -171,14 +202,15 @@ mod tests {
             t.send(sig);
         });
         let p = b.build();
-        let err = validate(&p).unwrap_err();
+        let err = check_model(&p).unwrap_err();
         assert!(err.to_string().contains("belongs to task"));
+        assert!(model_warnings(&p).is_empty(), "invalid program: no census");
     }
 
     #[test]
     fn self_send_warns() {
         let p = parse("task a { send a.m; accept m; }").unwrap();
-        let ws = validate(&p).unwrap();
+        let ws = model_warnings(&p);
         assert!(ws
             .iter()
             .any(|w| matches!(w, Warning::SelfSend { .. })));
@@ -187,7 +219,7 @@ mod tests {
     #[test]
     fn unmatched_signal_warns() {
         let p = parse("task a { send b.m; } task b { }").unwrap();
-        let ws = validate(&p).unwrap();
+        let ws = model_warnings(&p);
         assert!(ws
             .iter()
             .any(|w| matches!(w, Warning::UnmatchedSignal { sends: 1, accepts: 0, .. })));
@@ -201,7 +233,7 @@ mod tests {
              task u { accept m; }",
         )
         .unwrap();
-        let ws = validate(&p).unwrap();
+        let ws = model_warnings(&p);
         assert!(
             ws.is_empty(),
             "no silent-task or unmatched-signal noise: {ws:?}"
@@ -218,7 +250,7 @@ mod tests {
         b.body(t, |tb| {
             tb.call("a");
         });
-        assert!(validate(&b.build()).is_err());
+        assert!(check_model(&b.build()).is_err());
     }
 
     #[test]
@@ -232,13 +264,13 @@ mod tests {
         b.body(t, |tb| {
             tb.call("bad");
         });
-        assert!(validate(&b.build()).is_err());
+        assert!(check_model(&b.build()).is_err());
     }
 
     #[test]
     fn silent_task_warns() {
         let p = parse("task a { } ").unwrap();
-        let ws = validate(&p).unwrap();
+        let ws = model_warnings(&p);
         assert!(ws.iter().any(|w| matches!(w, Warning::SilentTask { .. })));
     }
 }

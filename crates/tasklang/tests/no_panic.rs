@@ -5,7 +5,7 @@
 //! stack overflow, an uncatchable abort.
 
 use iwa_tasklang::parser::MAX_NESTING_DEPTH;
-use iwa_tasklang::{parse, validate::validate};
+use iwa_tasklang::{parse, validate::{check_model, model_warnings}};
 use proptest::prelude::*;
 
 /// Fragments a hostile-but-plausible `.iwa` file might contain: every
@@ -26,7 +26,8 @@ proptest! {
     fn parser_never_panics_on_byte_soup(bytes in proptest::collection::vec(0u8..=255, 0usize..256)) {
         let src = String::from_utf8_lossy(&bytes).into_owned();
         if let Ok(p) = parse(&src) {
-            let _ = validate(&p);
+            let _ = check_model(&p);
+            let _ = model_warnings(&p);
             let _ = parse(&p.to_source());
         }
     }
@@ -42,7 +43,8 @@ proptest! {
             .collect::<Vec<_>>()
             .join(" ");
         if let Ok(p) = parse(&src) {
-            let _ = validate(&p);
+            let _ = check_model(&p);
+            let _ = model_warnings(&p);
             let _ = parse(&p.to_source());
         }
     }

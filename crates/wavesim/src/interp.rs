@@ -306,6 +306,7 @@ fn compile_block(block: &[Stmt], nodes: &[usize], next: &mut usize, ops: &mut Ve
                 cond,
                 then_branch,
                 else_branch,
+                ..
             } => {
                 let br_at = ops.len();
                 ops.push(Op::Jmp(0)); // placeholder for Br
@@ -321,7 +322,7 @@ fn compile_block(block: &[Stmt], nodes: &[usize], next: &mut usize, ops: &mut Ve
                 };
                 ops[jmp_at] = Op::Jmp(after);
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 let head = ops.len();
                 ops.push(Op::Jmp(0)); // placeholder for Br
                 compile_block(body, nodes, next, ops);
@@ -332,7 +333,7 @@ fn compile_block(block: &[Stmt], nodes: &[usize], next: &mut usize, ops: &mut Ve
                     else_t: after,
                 };
             }
-            Stmt::Repeat { body, cond } => {
+            Stmt::Repeat { body, cond, .. } => {
                 let head = ops.len();
                 compile_block(body, nodes, next, ops);
                 let br_at = ops.len();

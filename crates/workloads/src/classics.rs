@@ -426,7 +426,7 @@ pub fn sleeping_barber_ticketed(customers: usize) -> Program {
 mod tests {
     use super::*;
     use iwa_syncgraph::SyncGraph;
-    use iwa_tasklang::validate::validate;
+    use iwa_tasklang::validate::{check_model, model_warnings};
     use iwa_wavesim::{explore, ExploreConfig, Verdict};
 
     fn oracle(p: &Program) -> iwa_wavesim::Exploration {
@@ -473,7 +473,8 @@ mod tests {
     #[test]
     fn looping_pipeline_validates_and_has_loops() {
         let p = pipeline_looping(3);
-        assert!(validate(&p).unwrap().is_empty());
+        check_model(&p).unwrap();
+        assert!(model_warnings(&p).is_empty());
         assert!(!p.is_loop_free());
     }
 
@@ -545,7 +546,7 @@ mod tests {
             sleeping_barber(2),
             sleeping_barber_ticketed(2),
         ] {
-            validate(&p).expect("classic validates");
+            check_model(&p).expect("classic validates");
         }
     }
 }

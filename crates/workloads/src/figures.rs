@@ -188,13 +188,14 @@ pub fn all_figures() -> Vec<(&'static str, Program)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iwa_tasklang::validate::validate;
+    use iwa_tasklang::validate::{check_model, model_warnings};
 
     #[test]
     fn all_fixtures_parse_and_validate() {
         for (name, p) in all_figures() {
             // fig2a deliberately has an unmatched signal (the stall).
-            let ws = validate(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+            check_model(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let ws = model_warnings(&p);
             if name != "fig2a" {
                 assert!(
                     ws.iter().all(|w| !matches!(

@@ -95,6 +95,7 @@ pub fn random_balanced(rng: &mut impl Rng, config: &BalancedConfig) -> Program {
             .map(|(i, body)| Task {
                 id: TaskId(i as u32),
                 body,
+                span: iwa_core::Span::DUMMY,
             })
             .collect(),
         procs: Vec::new(),
@@ -154,7 +155,11 @@ pub fn random_structured(rng: &mut impl Rng, config: &StructuredConfig) -> Progr
     for (i, &tid) in task_ids.iter().enumerate() {
         let mut budget = config.rendezvous_per_task;
         let body = gen_block(rng, config, &signals_of, i, &mut budget, 0);
-        tasks.push(Task { id: tid, body });
+        tasks.push(Task {
+            id: tid,
+            body,
+            span: iwa_core::Span::DUMMY,
+        });
     }
     Program {
         symbols,
@@ -186,6 +191,7 @@ fn gen_block(
                 cond: iwa_tasklang::Cond::Unknown,
                 then_branch,
                 else_branch,
+                span: iwa_core::Span::DUMMY,
             });
         } else if depth < 3 && roll < config.branch_prob + config.loop_prob {
             *budget = budget.saturating_sub(1);
@@ -193,6 +199,7 @@ fn gen_block(
             out.push(Stmt::While {
                 cond: iwa_tasklang::Cond::Unknown,
                 body,
+                span: iwa_core::Span::DUMMY,
             });
         } else {
             *budget -= 1;
@@ -272,11 +279,13 @@ pub fn random_conditioned(rng: &mut impl Rng, config: &ConditionedConfig) -> Pro
             signal: sig,
             carrying: Some("v".into()),
             label: None,
+            span: iwa_core::Span::DUMMY,
         });
         bodies[i].push(Stmt::Accept {
             signal: sig,
             binding: Some("v".into()),
             label: None,
+            span: iwa_core::Span::DUMMY,
         });
     }
 
@@ -304,6 +313,7 @@ pub fn random_conditioned(rng: &mut impl Rng, config: &ConditionedConfig) -> Pro
                 cond: iwa_tasklang::Cond::Var("v".into()),
                 then_branch,
                 else_branch,
+                span: iwa_core::Span::DUMMY,
             });
         }
     }
@@ -316,6 +326,7 @@ pub fn random_conditioned(rng: &mut impl Rng, config: &ConditionedConfig) -> Pro
             .map(|(i, body)| Task {
                 id: TaskId(i as u32),
                 body,
+                span: iwa_core::Span::DUMMY,
             })
             .collect(),
         procs: Vec::new(),
@@ -344,7 +355,7 @@ pub fn census(p: &Program) -> (usize, usize) {
 mod tests {
     use super::*;
     use iwa_syncgraph::SyncGraph;
-    use iwa_tasklang::validate::validate;
+    use iwa_tasklang::validate::check_model;
     use iwa_wavesim::{explore, ExploreConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -354,7 +365,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
             let p = random_balanced(&mut rng, &BalancedConfig::default());
-            validate(&p).expect("valid");
+            check_model(&p).expect("valid");
             assert!(p.is_straight_line());
             let (s, a) = census(&p);
             assert_eq!(s, a);
@@ -412,7 +423,7 @@ mod tests {
         };
         for seed in 0..30 {
             let p = gen(seed);
-            validate(&p).expect("valid");
+            check_model(&p).expect("valid");
             assert_eq!(p.to_source(), gen(seed).to_source(), "deterministic");
         }
     }

@@ -37,4 +37,16 @@ done
 diff "$tmpdir/check-j1.json" "$tmpdir/check-j2.json"
 diff "$tmpdir/check-j1.json" "$tmpdir/check-j8.json"
 
+echo "==> lint goldens: iwa lint corpus matches tests/golden byte-for-byte"
+# Exit 1 is expected: the fixture corpus deliberately contains denials.
+status=0
+./target/release/iwa lint corpus --format text > "$tmpdir/lint.txt" || status=$?
+[ "$status" -eq 1 ] || { echo "iwa lint (text) exited $status, want 1" >&2; exit 1; }
+diff tests/golden/corpus_lints.txt "$tmpdir/lint.txt"
+status=0
+./target/release/iwa lint corpus --format sarif > "$tmpdir/lint.sarif" || status=$?
+[ "$status" -eq 1 ] || { echo "iwa lint (sarif) exited $status, want 1" >&2; exit 1; }
+grep -q '"\$schema": "https://json.schemastore.org/sarif-2.1.0.json"' "$tmpdir/lint.sarif"
+diff tests/golden/corpus_lints.sarif "$tmpdir/lint.sarif"
+
 echo "==> CI green"

@@ -138,7 +138,7 @@ fn corpus_files_validate_and_roundtrip() {
         }
         let src = std::fs::read_to_string(&path).unwrap();
         let p = iwa::tasklang::parse(&src).unwrap();
-        iwa::tasklang::validate::validate(&p).unwrap();
+        iwa::tasklang::validate::check_model(&p).unwrap();
         let reprinted = p.to_source();
         let q = iwa::tasklang::parse(&reprinted).unwrap();
         assert_eq!(q.to_source(), reprinted);

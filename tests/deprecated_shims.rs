@@ -102,3 +102,12 @@ fn check_paths_still_answers_like_check_batch() {
     assert_eq!(old.total, 1);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn validate_shim_agrees_with_check_model_plus_model_warnings() {
+    let p = parse("task a { send a.m; accept m; } task b { }").unwrap();
+    let via_shim = iwa::tasklang::validate::validate(&p).unwrap();
+    iwa::tasklang::validate::check_model(&p).unwrap();
+    assert_eq!(via_shim, iwa::tasklang::validate::model_warnings(&p));
+    assert!(!via_shim.is_empty(), "self-send and silent-task expected");
+}
