@@ -17,7 +17,11 @@ use crate::ctx::AnalysisCtx;
 use crate::naive::{naive_analysis, NaiveResult};
 use crate::refined::{RefinedOptions, RefinedResult};
 use crate::stall::{StallOptions, StallReport};
-use iwa_core::{Budget, IwaError};
+use iwa_core::obs::Counters;
+use iwa_core::IwaError;
+
+#[cfg(feature = "legacy-api")]
+use iwa_core::Budget;
 use iwa_syncgraph::SyncGraph;
 use iwa_tasklang::transforms::{inline_procs, unroll_twice};
 use iwa_tasklang::validate::{check_model, model_warnings, Warning};
@@ -73,19 +77,21 @@ impl Certificate {
 }
 
 /// Deprecated unbudgeted entry point.
+#[cfg(feature = "legacy-api")]
 #[deprecated(note = "use AnalysisCtx::certify — the ctx carries budget, cancellation, and workers")]
 pub fn certify(p: &Program, opts: &CertifyOptions) -> Result<Certificate, IwaError> {
-    AnalysisCtx::new().certify(p, opts)
+    AnalysisCtx::builder().build().certify(p, opts)
 }
 
 /// Deprecated budgeted twin of [`certify`].
-#[deprecated(note = "use AnalysisCtx::with_budget(..).certify(..)")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(note = "use AnalysisCtx::builder().budget(..).build().certify(..)")]
 pub fn certify_budgeted(
     p: &Program,
     opts: &CertifyOptions,
     budget: &Budget,
 ) -> Result<Certificate, IwaError> {
-    AnalysisCtx::with_budget(budget.clone()).certify(p, opts)
+    AnalysisCtx::builder().budget(budget.clone()).build().certify(p, opts)
 }
 
 /// [`AnalysisCtx::certify`]: the full pipeline, with the ctx budget
@@ -100,7 +106,11 @@ pub(crate) fn certify_impl(
     opts: &CertifyOptions,
     ctx: &AnalysisCtx,
 ) -> Result<Certificate, IwaError> {
-    check_model(p)?;
+    let pipeline_span = ctx.span("pipeline", "certify");
+    {
+        let _span = ctx.span("pipeline", "validate");
+        check_model(p)?;
+    }
     let warnings = model_warnings(p);
     ctx.budget().probe("certify pipeline")?;
 
@@ -109,6 +119,7 @@ pub(crate) fn certify_impl(
     let was_inlined = p.has_calls();
     let inlined;
     let p: &Program = if was_inlined {
+        let _span = ctx.span("pipeline", "inline");
         inlined = inline_procs(p)?;
         &inlined
     } else {
@@ -118,19 +129,36 @@ pub(crate) fn certify_impl(
     let was_unrolled = !p.is_loop_free();
     let analysed;
     let target: &Program = if was_unrolled {
+        let _span = ctx.span("pipeline", "unroll");
         analysed = unroll_twice(p);
         &analysed
     } else {
         p
     };
 
-    let sg = SyncGraph::from_program(target);
+    let sg = {
+        let _span = ctx.span("pipeline", "syncgraph");
+        SyncGraph::from_program(target)
+    };
     let graph_size = (
         sg.num_nodes(),
         sg.control.num_edges(),
         sg.num_sync_edges(),
     );
-    let naive = naive_analysis(&sg);
+    let naive = {
+        let _span = ctx.span("pipeline", "naive");
+        naive_analysis(&sg)
+    };
+    // The pipeline's own counters commit only when the whole call
+    // succeeds, matching the commit-on-completion discipline of the
+    // analyses it drives.
+    let delta = Counters {
+        sg_nodes: graph_size.0 as u64,
+        sg_control_edges: graph_size.1 as u64,
+        sg_sync_edges: graph_size.2 as u64,
+        clg_cycles: naive.cycle_components.len() as u64,
+        ..Counters::default()
+    };
     // Constraint 4 is wave-semantic and only valid on the program's own
     // graph (see `RefinedOptions::apply_constraint4`): drop it when the
     // graph is a Lemma-1 unrolled image.
@@ -138,8 +166,19 @@ pub(crate) fn certify_impl(
     if was_unrolled {
         refined_opts.apply_constraint4 = false;
     }
-    let refined = ctx.refined(&sg, &refined_opts)?;
-    let stall = ctx.stall(p, &opts.stall);
+    let refined = {
+        let _span = ctx.span("pipeline", "refined");
+        ctx.refined(&sg, &refined_opts)?
+    };
+    let stall = {
+        let _span = ctx.span("pipeline", "stall");
+        ctx.stall(p, &opts.stall)
+    };
+    ctx.commit_metrics(&delta);
+    if let Some(mut span) = pipeline_span {
+        span.note("sg_nodes", graph_size.0 as u64);
+        span.note("steps", ctx.budget().steps());
+    }
 
     Ok(Certificate {
         warnings,
@@ -160,7 +199,7 @@ mod tests {
 
     /// Local ctx-backed stand-in (shadows the glob-imported deprecated shim).
     fn certify(p: &Program, opts: &CertifyOptions) -> Result<Certificate, IwaError> {
-        AnalysisCtx::new().certify(p, opts)
+        AnalysisCtx::builder().build().certify(p, opts)
     }
 
     fn run(src: &str) -> Certificate {

@@ -5,12 +5,16 @@
 //! multiplied as soon as budgets had to thread through worker closures.
 //! `AnalysisCtx` collapses the pairs: it carries the execution
 //! environment (work [`Budget`] with its deadline and [`CancelToken`],
-//! plus the worker count for the parallel stages), and each analysis is a
-//! method on it. The old free functions remain as `#[deprecated]` shims.
+//! the worker count for the parallel stages, and optional observability
+//! sinks), and each analysis is a method on it. The old free functions
+//! remain as `#[deprecated]` shims behind the `legacy-api` feature.
+//!
+//! Since the observability redesign, [`AnalysisCtx::builder`] is the one
+//! construction path:
 //!
 //! ```
 //! use iwa_analysis::{AnalysisCtx, CertifyOptions};
-//! use iwa_core::Budget;
+//! use iwa_core::{Budget, Metrics};
 //! use std::time::Duration;
 //!
 //! let p = iwa_tasklang::parse(
@@ -18,13 +22,19 @@
 //! ).unwrap();
 //!
 //! // Unlimited, single-threaded: the default context.
-//! let cert = AnalysisCtx::new().certify(&p, &CertifyOptions::default()).unwrap();
+//! let cert = AnalysisCtx::builder().build()
+//!     .certify(&p, &CertifyOptions::default()).unwrap();
 //! assert!(cert.anomaly_free());
 //!
-//! // Deadline + 4 workers: same call shape, no `_budgeted` variant.
-//! let ctx = AnalysisCtx::with_budget(Budget::with_deadline(Duration::from_secs(5)))
-//!     .workers(4);
+//! // Deadline + 4 workers + metrics: same call shape, no `_budgeted` twin.
+//! let metrics = Metrics::new();
+//! let ctx = AnalysisCtx::builder()
+//!     .budget(Budget::with_deadline(Duration::from_secs(5)))
+//!     .workers(4)
+//!     .metrics(metrics.clone())
+//!     .build();
 //! assert!(ctx.certify(&p, &CertifyOptions::default()).unwrap().anomaly_free());
+//! assert!(metrics.snapshot().sg_nodes > 0);
 //! ```
 //!
 //! # Determinism
@@ -35,7 +45,10 @@
 //! any worker count. Only budget *trips* are scheduling-sensitive — which
 //! worker observes an exhausted budget first — and those surface as
 //! [`IwaError::BudgetExceeded`](iwa_core::IwaError), never as a wrong
-//! verdict.
+//! verdict. The same discipline covers the [`Metrics`] sink: analyses
+//! accumulate into a local delta and commit it only on completion, so a
+//! tripped attempt contributes zero and the committed counters are
+//! byte-identical for any worker count too.
 
 use crate::certify::{Certificate, CertifyOptions};
 use crate::coexec::CoexecInfo;
@@ -43,46 +56,124 @@ use crate::exact::{ConstraintSet, ExactBudget, ExactResult};
 use crate::refined::{RefinedOptions, RefinedResult};
 use crate::sequence::SequenceInfo;
 use crate::stall::{StallOptions, StallReport};
+use iwa_core::obs::{Counters, Metrics, SpanGuard, TraceSink};
 use iwa_core::{Budget, CancelToken, IwaError};
 use iwa_syncgraph::{Clg, SyncGraph};
 use iwa_tasklang::Program;
 
 /// The execution environment shared by every analysis entry point: a
 /// cooperative [`Budget`] (deadline, step ceiling, cancel token, progress
-/// counters) and the worker count for the parallel stages.
+/// counters), the worker count for the parallel stages, and the optional
+/// observability sinks ([`TraceSink`] spans, [`Metrics`] counters).
+///
+/// Construct via [`AnalysisCtx::builder`].
 #[derive(Clone, Debug)]
 pub struct AnalysisCtx {
     budget: Budget,
     workers: usize,
+    trace: Option<TraceSink>,
+    metrics: Option<Metrics>,
 }
 
 impl Default for AnalysisCtx {
     fn default() -> Self {
-        AnalysisCtx::new()
+        AnalysisCtx::builder().build()
     }
 }
 
-impl AnalysisCtx {
-    /// An unlimited, single-threaded context — the drop-in replacement
-    /// for the old budget-free entry points.
-    #[must_use]
-    pub fn new() -> Self {
-        AnalysisCtx {
-            budget: Budget::unlimited(),
-            workers: 1,
-        }
-    }
+/// Builder for [`AnalysisCtx`] — the one construction path.
+///
+/// Defaults: unlimited budget, one worker, no observability sinks.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisCtxBuilder {
+    budget: Option<Budget>,
+    workers: usize,
+    cancel: Option<CancelToken>,
+    trace: Option<TraceSink>,
+    metrics: Option<Metrics>,
+}
 
-    /// A single-threaded context under `budget`. The budget is shared,
-    /// not copied: clones (and the caller's handle) see the same step
-    /// counters and cancel token.
+impl AnalysisCtxBuilder {
+    /// Run analyses under `budget`. The budget is shared, not copied:
+    /// clones (and the caller's handle) see the same step counters and
+    /// cancel token. Default: [`Budget::unlimited`].
     #[must_use]
-    pub fn with_budget(budget: Budget) -> Self {
-        AnalysisCtx { budget, workers: 1 }
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
     }
 
     /// Set the worker count for parallel stages. `0` means one worker
     /// per available core; `1` (the default) runs everything inline.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = iwa_core::pool::resolve_workers(n);
+        self
+    }
+
+    /// Attach an external cancel token (tightened into the budget, so
+    /// cancelling it trips every analysis under the built context).
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a phase-trace sink; analyses record hierarchical spans
+    /// into it. Default: no tracing (and no tracing overhead).
+    #[must_use]
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Attach a deterministic-metrics accumulator; completed analyses
+    /// commit their counter deltas into it. Default: no metrics.
+    #[must_use]
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Finish: resolve defaults and produce the context.
+    #[must_use]
+    pub fn build(self) -> AnalysisCtx {
+        let mut budget = self.budget.unwrap_or_else(Budget::unlimited);
+        if let Some(token) = self.cancel {
+            budget = budget.and_cancel_token(token);
+        }
+        AnalysisCtx {
+            budget,
+            workers: self.workers.max(1),
+            trace: self.trace,
+            metrics: self.metrics,
+        }
+    }
+}
+
+impl AnalysisCtx {
+    /// Start building a context. See [`AnalysisCtxBuilder`].
+    #[must_use]
+    pub fn builder() -> AnalysisCtxBuilder {
+        AnalysisCtxBuilder::default()
+    }
+
+    /// An unlimited, single-threaded context.
+    #[deprecated(note = "use AnalysisCtx::builder().build()")]
+    #[must_use]
+    pub fn new() -> Self {
+        AnalysisCtx::builder().build()
+    }
+
+    /// A single-threaded context under `budget`.
+    #[deprecated(note = "use AnalysisCtx::builder().budget(..).build()")]
+    #[must_use]
+    pub fn with_budget(budget: Budget) -> Self {
+        AnalysisCtx::builder().budget(budget).build()
+    }
+
+    /// Set the worker count on an already-built context.
+    #[deprecated(note = "use AnalysisCtx::builder().workers(..).build()")]
     #[must_use]
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = iwa_core::pool::resolve_workers(n);
@@ -106,6 +197,39 @@ impl AnalysisCtx {
     #[must_use]
     pub fn cancel_token(&self) -> &CancelToken {
         self.budget.cancel_token()
+    }
+
+    /// The attached trace sink, if any.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// The attached metrics accumulator, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Open a phase span when tracing is enabled; `None` (and zero
+    /// work) otherwise. Hold the guard for the duration of the phase.
+    #[must_use]
+    pub fn span(&self, cat: &'static str, name: impl Into<String>) -> Option<SpanGuard> {
+        self.trace.as_ref().map(|t| t.span(cat, name))
+    }
+
+    /// Commit a completed analysis's counter delta, if metrics are on.
+    pub fn commit_metrics(&self, delta: &Counters) {
+        if let Some(m) = &self.metrics {
+            m.commit(delta);
+        }
+    }
+
+    /// Record scheduling-dependent pool steals, if metrics are on.
+    pub fn record_steals(&self, n: u64) {
+        if let Some(m) = &self.metrics {
+            m.record_steals(n);
+        }
     }
 
     /// Run the full certification pipeline (validate → inline → unroll →
@@ -169,25 +293,41 @@ mod tests {
     const CLEAN: &str = "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }";
     const CROSSED: &str = "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }";
 
+    fn ctx() -> AnalysisCtx {
+        AnalysisCtx::builder().build()
+    }
+
     #[test]
     fn the_default_ctx_is_unlimited_and_single_threaded() {
-        let ctx = AnalysisCtx::new();
+        let ctx = ctx();
         assert_eq!(ctx.num_workers(), 1);
         assert!(!ctx.budget().is_limited());
         assert!(!ctx.cancel_token().is_cancelled());
+        assert!(ctx.trace().is_none());
+        assert!(ctx.metrics().is_none());
+        assert!(ctx.span("test", "nothing").is_none());
     }
 
     #[test]
     fn workers_zero_resolves_to_the_core_count() {
-        assert!(AnalysisCtx::new().workers(0).num_workers() >= 1);
-        assert_eq!(AnalysisCtx::new().workers(5).num_workers(), 5);
+        assert!(AnalysisCtx::builder().workers(0).build().num_workers() >= 1);
+        assert_eq!(AnalysisCtx::builder().workers(5).build().num_workers(), 5);
+    }
+
+    #[test]
+    fn an_external_cancel_token_is_tightened_into_the_budget() {
+        let token = CancelToken::new();
+        let ctx = AnalysisCtx::builder().cancel(token.clone()).build();
+        assert!(!ctx.cancel_token().is_cancelled());
+        token.cancel();
+        assert!(ctx.cancel_token().is_cancelled());
     }
 
     #[test]
     fn every_entry_point_answers_through_the_ctx() {
         let clean = parse(CLEAN).unwrap();
         let crossed = parse(CROSSED).unwrap();
-        let ctx = AnalysisCtx::new();
+        let ctx = ctx();
 
         assert!(ctx.certify(&clean, &CertifyOptions::default()).unwrap().anomaly_free());
         let sg = SyncGraph::from_program(&crossed);
@@ -202,7 +342,7 @@ mod tests {
 
     #[test]
     fn a_cancelled_ctx_trips_instead_of_answering() {
-        let ctx = AnalysisCtx::new();
+        let ctx = ctx();
         ctx.cancel_token().cancel();
         let sg = SyncGraph::from_program(&parse(CROSSED).unwrap());
         let err = ctx.refined(&sg, &RefinedOptions::default()).unwrap_err();
@@ -218,12 +358,11 @@ mod tests {
              task c { send a.z; accept y; }
              task d { if { send a.z; } else { send b.x; } }";
         let sg = SyncGraph::from_program(&parse(src).unwrap());
-        let base = AnalysisCtx::new()
-            .refined(&sg, &RefinedOptions::default())
-            .unwrap();
+        let base = ctx().refined(&sg, &RefinedOptions::default()).unwrap();
         for workers in [2, 4, 8] {
-            let r = AnalysisCtx::new()
+            let r = AnalysisCtx::builder()
                 .workers(workers)
+                .build()
                 .refined(&sg, &RefinedOptions::default())
                 .unwrap();
             assert_eq!(r.deadlock_free, base.deadlock_free);
@@ -240,9 +379,47 @@ mod tests {
     fn a_dead_deadline_trips_on_every_worker_count() {
         let sg = SyncGraph::from_program(&parse(CROSSED).unwrap());
         for workers in [1, 4] {
-            let ctx = AnalysisCtx::with_budget(Budget::with_deadline(Duration::from_millis(0)))
-                .workers(workers);
+            let ctx = AnalysisCtx::builder()
+                .budget(Budget::with_deadline(Duration::from_millis(0)))
+                .workers(workers)
+                .build();
             assert!(ctx.refined(&sg, &RefinedOptions::default()).is_err());
+        }
+    }
+
+    #[test]
+    fn metrics_are_committed_only_on_completion() {
+        let crossed = parse(CROSSED).unwrap();
+        let sg = SyncGraph::from_program(&crossed);
+
+        // A tripped analysis commits nothing.
+        let metrics = iwa_core::Metrics::new();
+        let ctx = AnalysisCtx::builder()
+            .budget(Budget::with_deadline(Duration::from_millis(0)))
+            .metrics(metrics.clone())
+            .build();
+        assert!(ctx.refined(&sg, &RefinedOptions::default()).is_err());
+        assert!(metrics.snapshot().is_zero(), "tripped run must commit zero");
+
+        // A completed one commits its head and pruning counters.
+        let metrics = iwa_core::Metrics::new();
+        let ctx = AnalysisCtx::builder().metrics(metrics.clone()).build();
+        ctx.refined(&sg, &RefinedOptions::default()).unwrap();
+        assert!(metrics.snapshot().heads_examined > 0);
+    }
+
+    #[test]
+    fn spans_cover_the_certify_pipeline() {
+        let trace = iwa_core::TraceSink::new();
+        let ctx = AnalysisCtx::builder().trace(trace.clone()).build();
+        ctx.certify(&parse(CLEAN).unwrap(), &CertifyOptions::default())
+            .unwrap();
+        let names: Vec<String> = trace.events().into_iter().map(|e| e.name).collect();
+        for phase in ["syncgraph", "naive", "refined", "stall"] {
+            assert!(
+                names.iter().any(|n| n == phase),
+                "missing span {phase}: {names:?}"
+            );
         }
     }
 }

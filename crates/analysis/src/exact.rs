@@ -20,6 +20,7 @@
 use crate::coexec::CoexecInfo;
 use crate::ctx::AnalysisCtx;
 use crate::sequence::SequenceInfo;
+use iwa_core::obs::Counters;
 use iwa_core::{Budget, IwaError};
 use iwa_syncgraph::{Clg, ClgEdge, SyncGraph};
 
@@ -149,27 +150,35 @@ impl Default for ExactBudget {
 }
 
 /// Deprecated unbudgeted entry point.
-#[deprecated(note = "use AnalysisCtx::exact_cycles — the ctx carries budget and cancellation")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(
+    note = "use AnalysisCtx::builder().build().exact_cycles(..) — the ctx carries budget and cancellation"
+)]
 #[must_use]
 pub fn exact_deadlock_cycles(
     sg: &SyncGraph,
     constraints: &ConstraintSet,
     budget: &ExactBudget,
 ) -> ExactResult {
-    AnalysisCtx::new()
+    AnalysisCtx::builder()
+        .build()
         .exact_cycles(sg, constraints, budget)
         .expect("unlimited budget cannot trip")
 }
 
 /// Deprecated budgeted twin of [`exact_deadlock_cycles`].
-#[deprecated(note = "use AnalysisCtx::with_budget(..).exact_cycles(..)")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(note = "use AnalysisCtx::builder().budget(..).build().exact_cycles(..)")]
 pub fn exact_deadlock_cycles_budgeted(
     sg: &SyncGraph,
     constraints: &ConstraintSet,
     budget: &ExactBudget,
     wallclock: &Budget,
 ) -> Result<ExactResult, IwaError> {
-    AnalysisCtx::with_budget(wallclock.clone()).exact_cycles(sg, constraints, budget)
+    AnalysisCtx::builder()
+        .budget(wallclock.clone())
+        .build()
+        .exact_cycles(sg, constraints, budget)
 }
 
 /// [`AnalysisCtx::exact_cycles`]: enumerate constraint-valid deadlock
@@ -196,6 +205,7 @@ pub(crate) fn exact_impl(
     ctx: &AnalysisCtx,
 ) -> Result<ExactResult, IwaError> {
     let wallclock = ctx.budget();
+    let span = ctx.span("analysis", "exact cycles");
     let clg = Clg::build(sg);
     let seq = if constraints.c3a.is_some() {
         Some(SequenceInfo::compute(sg))
@@ -273,6 +283,16 @@ pub(crate) fn exact_impl(
     }
     if let Some(err) = search.budget_err {
         return Err(err);
+    }
+    // Commit-on-completion: a budget-tripped run leaves the metrics
+    // untouched so counters stay deterministic under wall-clock trips.
+    ctx.commit_metrics(&Counters {
+        exact_cycles: search.cycles.len() as u64,
+        ..Counters::default()
+    });
+    if let Some(mut span) = span {
+        span.note("scanned", search.scanned as u64);
+        span.note("witnesses", search.cycles.len() as u64);
     }
     Ok(ExactResult {
         cycles: search.cycles,
@@ -453,7 +473,7 @@ mod tests {
         cs: &ConstraintSet,
         budget: &ExactBudget,
     ) -> ExactResult {
-        AnalysisCtx::new().exact_cycles(sg, cs, budget).unwrap()
+        AnalysisCtx::builder().build().exact_cycles(sg, cs, budget).unwrap()
     }
 
     fn exact(src: &str, cs: ConstraintSet) -> (SyncGraph, ExactResult) {

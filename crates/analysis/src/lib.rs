@@ -44,11 +44,17 @@ pub use stall::{StallOptions, StallReport, StallVerdict};
 
 // The deprecated `foo`/`foo_budgeted` twins stay re-exported so old code
 // keeps compiling (with deprecation warnings at the *use* sites only).
+// The whole family is gated behind the default-on `legacy-api` feature;
+// build with `--no-default-features` to prove a crate is off them.
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use certify::{certify, certify_budgeted};
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use exact::{exact_deadlock_cycles, exact_deadlock_cycles_budgeted};
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use refined::{refined_analysis, refined_analysis_budgeted, refined_with, refined_with_budgeted};
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use stall::{stall_analysis, stall_analysis_budgeted};

@@ -34,9 +34,13 @@
 use crate::coexec::CoexecInfo;
 use crate::ctx::AnalysisCtx;
 use crate::sequence::SequenceInfo;
-use iwa_core::{pool, Budget, IwaError};
+use iwa_core::obs::Counters;
+use iwa_core::{pool, IwaError};
 use iwa_graphs::{BitSet, DiGraph, Scc};
 use iwa_syncgraph::{Clg, ClgEdge, SyncGraph};
+
+#[cfg(feature = "legacy-api")]
+use iwa_core::Budget;
 
 /// Which accuracy/cost point of the paper's spectrum to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -139,25 +143,32 @@ pub struct RefinedResult {
 }
 
 /// Deprecated single-threaded, unbudgeted entry point.
+#[cfg(feature = "legacy-api")]
 #[deprecated(note = "use AnalysisCtx::refined — the ctx carries budget, cancellation, and workers")]
 #[must_use]
 pub fn refined_analysis(sg: &SyncGraph, opts: &RefinedOptions) -> RefinedResult {
-    AnalysisCtx::new()
+    AnalysisCtx::builder()
+        .build()
         .refined(sg, opts)
         .expect("unlimited budget cannot trip")
 }
 
 /// Deprecated budgeted twin of [`refined_analysis`].
-#[deprecated(note = "use AnalysisCtx::with_budget(..).refined(..)")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(note = "use AnalysisCtx::builder().budget(..).build().refined(..)")]
 pub fn refined_analysis_budgeted(
     sg: &SyncGraph,
     opts: &RefinedOptions,
     budget: &Budget,
 ) -> Result<RefinedResult, IwaError> {
-    AnalysisCtx::with_budget(budget.clone()).refined(sg, opts)
+    AnalysisCtx::builder()
+        .budget(budget.clone())
+        .build()
+        .refined(sg, opts)
 }
 
 /// Deprecated precomputed-tables entry point.
+#[cfg(feature = "legacy-api")]
 #[deprecated(note = "use AnalysisCtx::refined_with")]
 #[must_use]
 pub fn refined_with(
@@ -167,13 +178,15 @@ pub fn refined_with(
     cx: &CoexecInfo,
     opts: &RefinedOptions,
 ) -> RefinedResult {
-    AnalysisCtx::new()
+    AnalysisCtx::builder()
+        .build()
         .refined_with(sg, clg, seq, cx, opts)
         .expect("unlimited budget cannot trip")
 }
 
 /// Deprecated budgeted twin of [`refined_with`].
-#[deprecated(note = "use AnalysisCtx::with_budget(..).refined_with(..)")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(note = "use AnalysisCtx::builder().budget(..).build().refined_with(..)")]
 pub fn refined_with_budgeted(
     sg: &SyncGraph,
     clg: &Clg,
@@ -182,7 +195,10 @@ pub fn refined_with_budgeted(
     opts: &RefinedOptions,
     budget: &Budget,
 ) -> Result<RefinedResult, IwaError> {
-    AnalysisCtx::with_budget(budget.clone()).refined_with(sg, clg, seq, cx, opts)
+    AnalysisCtx::builder()
+        .budget(budget.clone())
+        .build()
+        .refined_with(sg, clg, seq, cx, opts)
 }
 
 /// [`AnalysisCtx::refined`]: build the supporting tables, then run the
@@ -202,19 +218,29 @@ pub(crate) fn refined_impl(
     opts: &RefinedOptions,
     ctx: &AnalysisCtx,
 ) -> Result<RefinedResult, IwaError> {
-    let clg = Clg::build(sg);
-    let seq = SequenceInfo::compute(sg);
-    let cx = if opts.use_condition_coexec {
-        CoexecInfo::compute_with_conditions(sg)
-    } else {
-        CoexecInfo::compute(sg)
+    let clg = {
+        let _span = ctx.span("analysis", "clg");
+        Clg::build(sg)
+    };
+    let seq = {
+        let _span = ctx.span("analysis", "sequence");
+        SequenceInfo::compute(sg)
+    };
+    let cx = {
+        let _span = ctx.span("analysis", "coexec");
+        if opts.use_condition_coexec {
+            CoexecInfo::compute_with_conditions(sg)
+        } else {
+            CoexecInfo::compute(sg)
+        }
     };
     refined_with_impl(sg, &clg, &seq, &cx, opts, ctx)
 }
 
-/// The outcome of one head hypothesis: SCC searches performed, and the
-/// surviving flag (if any).
-type HeadOutcome = (usize, Option<FlaggedHead>);
+/// The outcome of one head hypothesis: SCC searches performed, the
+/// surviving flag (if any), and the head's deterministic counter delta
+/// (committed only if the whole refined call completes).
+type HeadOutcome = (usize, Option<FlaggedHead>, Counters);
 
 /// [`AnalysisCtx::refined_with`]: the per-head search loop.
 ///
@@ -231,7 +257,6 @@ pub(crate) fn refined_with_impl(
     opts: &RefinedOptions,
     ctx: &AnalysisCtx,
 ) -> Result<RefinedResult, IwaError> {
-    let budget = ctx.budget();
     let rescued = if opts.apply_constraint4 {
         constraint4_rescued(sg, seq)
     } else {
@@ -245,17 +270,37 @@ pub(crate) fn refined_with_impl(
         .filter(|h| !rescued.contains(h))
         .collect();
 
-    let outcomes: Vec<HeadOutcome> =
-        pool::try_map(ctx.num_workers(), heads.len(), |i| {
-            examine_head(sg, clg, seq, cx, opts, heads[i], &rescued, budget)
-        })?;
+    let mut search_span = ctx
+        .span("analysis", "head search")
+        .map(|s| s.arg("heads", heads.len() as u64));
+    let (outcomes, pool_stats) = pool::try_map_stats(ctx.num_workers(), heads.len(), |i| {
+        examine_head(sg, clg, seq, cx, opts, heads[i], &rescued, ctx)
+    });
+    // Steal counts are scheduling-dependent by nature; recording them
+    // even for a tripped run keeps the quarantined sched stats honest.
+    ctx.record_steals(pool_stats.steals);
+    let outcomes: Vec<HeadOutcome> = outcomes?;
 
     let mut runs = 0usize;
     let mut flagged = Vec::new();
-    for (head_runs, flag) in outcomes {
+    let mut delta = Counters {
+        clg_nodes: clg.num_nodes() as u64,
+        clg_edges: clg.graph.num_edges() as u64,
+        constraint4_rescues: rescued.len() as u64,
+        pool_tasks: pool_stats.tasks,
+        ..Counters::default()
+    };
+    for (head_runs, flag, head_delta) in outcomes {
         runs += head_runs;
         flagged.extend(flag);
+        delta.absorb(&head_delta);
     }
+    if let Some(span) = &mut search_span {
+        span.note("scc_runs", runs as u64);
+    }
+    drop(search_span);
+    // Commit-on-completion: a tripped call (above `?`) commits nothing.
+    ctx.commit_metrics(&delta);
     Ok(RefinedResult {
         deadlock_free: flagged.is_empty(),
         flagged,
@@ -276,13 +321,21 @@ fn examine_head(
     opts: &RefinedOptions,
     h: usize,
     rescued: &[usize],
-    budget: &Budget,
+    ctx: &AnalysisCtx,
 ) -> Result<HeadOutcome, IwaError> {
+    let budget = ctx.budget();
     budget.probe("refined head hypotheses")?;
+    let _span = ctx.span("refined", format!("head {h}"));
+    let mut delta = Counters {
+        heads_examined: 1,
+        ..Counters::default()
+    };
     let mut runs = 1usize;
-    let Some(component) = marked_search(sg, clg, seq, cx, &[h], None, rescued, opts, budget)?
+    let Some(component) =
+        marked_search(sg, clg, seq, cx, &[h], None, rescued, opts, ctx, &mut delta)?
     else {
-        return Ok((runs, None)); // h certified
+        delta.scc_runs = runs as u64;
+        return Ok((runs, None, delta)); // h certified
     };
     let single_task = component
         .iter()
@@ -303,7 +356,7 @@ fn examine_head(
             })
         }
         Tier::HeadPairs => confirm_with_second_head(
-            sg, clg, seq, cx, opts, h, &component, rescued, &mut runs, budget,
+            sg, clg, seq, cx, opts, h, &component, rescued, &mut runs, ctx, &mut delta,
         )?
         .map(|(h2, comp2)| FlaggedHead {
             head: h,
@@ -311,7 +364,7 @@ fn examine_head(
             component: comp2,
         }),
         Tier::HeadTails => confirm_with_tail(
-            sg, clg, seq, cx, opts, h, &component, rescued, &mut runs, budget,
+            sg, clg, seq, cx, opts, h, &component, rescued, &mut runs, ctx, &mut delta,
         )?
         .map(|(t, comp2)| FlaggedHead {
             head: h,
@@ -319,7 +372,8 @@ fn examine_head(
             component: comp2,
         }),
     };
-    Ok((runs, flag))
+    delta.scc_runs = runs as u64;
+    Ok((runs, flag, delta))
 }
 
 /// The marked SCC search shared by all tiers.
@@ -339,8 +393,10 @@ fn marked_search(
     tail: Option<usize>,
     rescued: &[usize],
     opts: &RefinedOptions,
-    budget: &Budget,
+    ctx: &AnalysisCtx,
+    delta: &mut Counters,
 ) -> Result<Option<Vec<usize>>, IwaError> {
+    let budget = ctx.budget();
     // One checkpoint per SCC pass: the unit of work the paper's cost
     // bound counts, and the step currency of the engine's rung budgets.
     budget.checkpoint("refined marked SCC search")?;
@@ -365,6 +421,7 @@ fn marked_search(
                 seq.sequenceable_with(sg, h)
             };
             for k in marked {
+                delta.sequenceable_hits += 1;
                 sync_in_banned.insert(clg.in_node(k));
                 if opts.strict_sequenceable_marking {
                     sync_out_banned.insert(clg.out_node(k));
@@ -373,12 +430,14 @@ fn marked_search(
         }
         if opts.use_coaccept && tail.is_none() {
             for k in sg.coaccept(h) {
+                delta.coaccept_hits += 1;
                 sync_in_banned.insert(clg.in_node(k));
                 sync_out_banned.insert(clg.out_node(k));
             }
         }
         if opts.use_not_coexec {
             for k in cx.not_coexec_with(sg, h) {
+                delta.not_coexec_hits += 1;
                 do_not_enter.insert(clg.in_node(k));
                 do_not_enter.insert(clg.out_node(k));
             }
@@ -387,6 +446,7 @@ fn marked_search(
     if let Some(t) = tail {
         if opts.use_not_coexec {
             for k in cx.not_coexec_with(sg, t) {
+                delta.not_coexec_hits += 1;
                 do_not_enter.insert(clg.in_node(k));
                 do_not_enter.insert(clg.out_node(k));
             }
@@ -452,11 +512,12 @@ fn confirm_with_second_head(
     component: &[usize],
     rescued: &[usize],
     runs: &mut usize,
-    budget: &Budget,
+    ctx: &AnalysisCtx,
+    delta: &mut Counters,
 ) -> Result<Option<(usize, Vec<usize>)>, IwaError> {
     let poss: Vec<usize> = sg.poss_heads();
     for &h2 in component {
-        budget.checkpoint("head-pair confirmation candidates")?;
+        ctx.budget().checkpoint("head-pair confirmation candidates")?;
         if h2 == h || !poss.contains(&h2) || rescued.contains(&h2) {
             continue;
         }
@@ -470,7 +531,7 @@ fn confirm_with_second_head(
         }
         *runs += 1;
         if let Some(comp2) =
-            marked_search(sg, clg, seq, cx, &[h, h2], None, rescued, opts, budget)?
+            marked_search(sg, clg, seq, cx, &[h, h2], None, rescued, opts, ctx, delta)?
         {
             return Ok(Some((h2, comp2)));
         }
@@ -491,7 +552,8 @@ fn confirm_with_tail(
     component: &[usize],
     rescued: &[usize],
     runs: &mut usize,
-    budget: &Budget,
+    ctx: &AnalysisCtx,
+    delta: &mut Counters,
 ) -> Result<Option<(usize, Vec<usize>)>, IwaError> {
     let coaccept = sg.coaccept(h);
     // Strict control descendants of h (within its task).
@@ -503,7 +565,7 @@ fn confirm_with_tail(
         }
     }
     for t in sg.rendezvous_nodes() {
-        budget.checkpoint("head-tail confirmation candidates")?;
+        ctx.budget().checkpoint("head-tail confirmation candidates")?;
         if !descendants.contains(t) || !component.contains(&t) {
             continue;
         }
@@ -515,7 +577,7 @@ fn confirm_with_tail(
         }
         *runs += 1;
         if let Some(comp2) =
-            marked_search(sg, clg, seq, cx, &[h], Some(t), rescued, opts, budget)?
+            marked_search(sg, clg, seq, cx, &[h], Some(t), rescued, opts, ctx, delta)?
         {
             return Ok(Some((t, comp2)));
         }
@@ -573,7 +635,7 @@ mod tests {
     /// Local ctx-backed stand-in for the deprecated free function (shadows
     /// the glob-imported shim, keeping these tests deprecation-free).
     fn refined_analysis(sg: &SyncGraph, opts: &RefinedOptions) -> RefinedResult {
-        AnalysisCtx::new().refined(sg, opts).unwrap()
+        AnalysisCtx::builder().build().refined(sg, opts).unwrap()
     }
 
     fn run(src: &str, tier: Tier) -> (SyncGraph, RefinedResult) {
@@ -689,7 +751,8 @@ mod tests {
             "hypotheses headed on the exclusive arms are suppressed"
         );
         // The exact checker with constraint 3b proves no valid cycle exists.
-        let ex = AnalysisCtx::new()
+        let ex = AnalysisCtx::builder()
+            .build()
             .exact_cycles(
                 &sg,
                 &crate::exact::ConstraintSet::all(),

@@ -19,6 +19,7 @@
 //! unless the transforms eliminate every conditional rendezvous.
 
 use crate::ctx::AnalysisCtx;
+use iwa_core::obs::Counters;
 use iwa_core::{Budget, IwaError, SignalId};
 use iwa_tasklang::cfg::{ProgramCfg, EXIT};
 use iwa_tasklang::transforms::{factor_codependent, merge_branch_rendezvous};
@@ -179,21 +180,23 @@ fn task_path_signatures(
 }
 
 /// Deprecated unbudgeted entry point.
+#[cfg(feature = "legacy-api")]
 #[deprecated(note = "use AnalysisCtx::stall — the ctx carries budget, cancellation, and workers")]
 #[must_use]
 pub fn stall_analysis(p: &Program, opts: &StallOptions) -> StallReport {
-    AnalysisCtx::new().stall(p, opts)
+    AnalysisCtx::builder().build().stall(p, opts)
 }
 
 /// Deprecated budgeted twin of [`stall_analysis`].
-#[deprecated(note = "use AnalysisCtx::with_budget(..).stall(..)")]
+#[cfg(feature = "legacy-api")]
+#[deprecated(note = "use AnalysisCtx::builder().budget(..).build().stall(..)")]
 #[must_use]
 pub fn stall_analysis_budgeted(
     p: &Program,
     opts: &StallOptions,
     budget: &Budget,
 ) -> StallReport {
-    AnalysisCtx::with_budget(budget.clone()).stall(p, opts)
+    AnalysisCtx::builder().budget(budget.clone()).build().stall(p, opts)
 }
 
 /// [`AnalysisCtx::stall`]: the stall analysis pipeline.
@@ -204,7 +207,24 @@ pub fn stall_analysis_budgeted(
 /// deadlock half of the certificate.
 #[must_use]
 pub(crate) fn stall_impl(p: &Program, opts: &StallOptions, ctx: &AnalysisCtx) -> StallReport {
-    let budget = ctx.budget();
+    let mut span = ctx.span("analysis", "stall combinations");
+    let report = stall_run(p, opts, ctx.budget());
+    if let Some(span) = &mut span {
+        span.note("combinations", report.combinations_checked as u64);
+    }
+    // The odometer is sequential, so its partial progress under a *step*
+    // trip is as deterministic as a completed run; only wall-clock trips
+    // perturb it, and those change the verdict itself anyway.
+    ctx.commit_metrics(&Counters {
+        stall_combinations: report.combinations_checked as u64,
+        ..Counters::default()
+    });
+    report
+}
+
+/// The analysis body, budget-driven and sink-free.
+#[must_use]
+fn stall_run(p: &Program, opts: &StallOptions, budget: &Budget) -> StallReport {
     // Rendezvous hidden in procedures must be counted: inline first.
     let inlined;
     let p: &Program = if p.has_calls() {
@@ -387,7 +407,7 @@ mod tests {
 
     /// Local ctx-backed stand-in (shadows the glob-imported deprecated shim).
     fn stall_analysis(p: &Program, opts: &StallOptions) -> StallReport {
-        AnalysisCtx::new().stall(p, opts)
+        AnalysisCtx::builder().build().stall(p, opts)
     }
 
     fn analyse(src: &str) -> StallReport {

@@ -19,7 +19,7 @@ fn bench_baselines(c: &mut Criterion) {
     for (k, sg) in &graphs {
         g.bench_with_input(BenchmarkId::from_parameter(k), sg, |b, sg| {
             b.iter(|| {
-                AnalysisCtx::new()
+                AnalysisCtx::builder().build()
                     .refined(black_box(sg), &RefinedOptions::default())
                     .unwrap()
             })

@@ -10,7 +10,7 @@ fn bench_figures(c: &mut Criterion) {
     for (name, p) in figures::all_figures() {
         g.bench_function(name, |b| {
             b.iter(|| {
-                AnalysisCtx::new()
+                AnalysisCtx::builder().build()
                     .certify(black_box(&p), &CertifyOptions::default())
                     .unwrap()
             })

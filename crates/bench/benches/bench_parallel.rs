@@ -63,8 +63,9 @@ fn bench_parallel(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    AnalysisCtx::new()
+                    AnalysisCtx::builder()
                         .workers(workers)
+                        .build()
                         .refined(black_box(&sg), &RefinedOptions::default())
                         .unwrap()
                 })

@@ -44,7 +44,7 @@ fn bench_precision(c: &mut Criterion) {
             b.iter(|| {
                 for sg in &graphs {
                     black_box(
-                        AnalysisCtx::new()
+                        AnalysisCtx::builder().build()
                             .refined(
                                 sg,
                                 &RefinedOptions {

@@ -41,7 +41,7 @@ fn bench_reduction(c: &mut Criterion) {
         let sg = SyncGraph::from_program(&theorem2_program(&cnf));
         g.bench_with_input(BenchmarkId::from_parameter(m), &sg, |b, sg| {
             b.iter(|| {
-                AnalysisCtx::new()
+                AnalysisCtx::builder().build()
                     .exact_cycles(
                         black_box(sg),
                         &ConstraintSet::c1_and_3a(),
@@ -59,7 +59,7 @@ fn bench_reduction(c: &mut Criterion) {
         let sg = theorem3_graph(&cnf);
         g.bench_with_input(BenchmarkId::from_parameter(m), &sg, |b, sg| {
             b.iter(|| {
-                AnalysisCtx::new()
+                AnalysisCtx::builder().build()
                     .exact_cycles(
                         black_box(sg),
                         &ConstraintSet::c1_and_2(),

@@ -28,7 +28,7 @@ fn bench_scaling(c: &mut Criterion) {
     for (s, sg) in &graphs {
         g.bench_with_input(BenchmarkId::from_parameter(s), sg, |b, sg| {
             b.iter(|| {
-                AnalysisCtx::new()
+                AnalysisCtx::builder().build()
                     .refined(black_box(sg), &RefinedOptions::default())
                     .unwrap()
             })

@@ -22,7 +22,7 @@ fn bench_unroll(c: &mut Criterion) {
         let sg = SyncGraph::from_program(&unroll_twice(&pipeline_looping(stages)));
         g.bench_with_input(BenchmarkId::from_parameter(stages), &sg, |b, sg| {
             b.iter(|| {
-                AnalysisCtx::new()
+                AnalysisCtx::builder().build()
                     .refined(black_box(sg), &RefinedOptions::default())
                     .unwrap()
             })

@@ -77,13 +77,13 @@ fn main() {
 // Terse wrappers over the unlimited single-threaded [`AnalysisCtx`]:
 // the report binary calls these hundreds of times per table.
 fn refined_analysis(sg: &SyncGraph, opts: &RefinedOptions) -> RefinedResult {
-    AnalysisCtx::new()
+    AnalysisCtx::builder().build()
         .refined(sg, opts)
         .expect("unlimited budget cannot trip")
 }
 
 fn stall_analysis(p: &Program, opts: &StallOptions) -> StallReport {
-    AnalysisCtx::new().stall(p, opts)
+    AnalysisCtx::builder().build().stall(p, opts)
 }
 
 fn exact_deadlock_cycles(
@@ -91,7 +91,7 @@ fn exact_deadlock_cycles(
     constraints: &ConstraintSet,
     budget: &ExactBudget,
 ) -> ExactResult {
-    AnalysisCtx::new()
+    AnalysisCtx::builder().build()
         .exact_cycles(sg, constraints, budget)
         .expect("unlimited budget cannot trip")
 }
@@ -329,7 +329,7 @@ fn e9_scaling(ctx: &Ctx) -> Table {
             let seq = SequenceInfo::compute(&sg);
             let cx = iwa_analysis::CoexecInfo::compute(&sg);
             let search_d = median_time(3, || {
-                AnalysisCtx::new()
+                AnalysisCtx::builder().build()
                     .refined_with(&sg, &clg, &seq, &cx, &RefinedOptions::default())
                     .expect("unlimited budget cannot trip")
             });

@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod families;
+pub mod suite;
 pub mod tables;
 
 use std::time::{Duration, Instant};

@@ -1,0 +1,223 @@
+//! The `iwa bench` pipeline: drive the workload families through the
+//! engine and emit one machine-readable report (`BENCH_core.json`).
+//!
+//! The report serves two masters. As a *benchmark*, each row records the
+//! wall-clock cost of analysing one family member. As a *regression
+//! oracle*, each row embeds the engine's deterministic
+//! [`Counters`] — nodes built, cycles enumerated, pruning-rule hits —
+//! which must not drift across refactors: `scripts/ci.sh` diffs the
+//! metric halves (never the timings) of smoke runs.
+//!
+//! Every family is analysed from the [`Rung::Heads`](iwa_engine::Rung)
+//! rung under a *step* ceiling, so rung selection (and with it every
+//! counter) is reproducible for a given mode — wall-clock never decides
+//! anything here.
+
+use crate::families::{relay_chain, replicated_pairs, sized_random};
+use crate::timed;
+use iwa_core::obs::{Counters, Metrics};
+use iwa_engine::{analyze, EngineOptions, Rung};
+use iwa_tasklang::ast::Program;
+use iwa_workloads::adversarial::{deep_loop_nest, rendezvous_mesh, wide_branch};
+use serde::Serialize;
+use serde_json::Value;
+
+/// Version of the `BENCH_core.json` shape. Bump on any field addition,
+/// removal, or rename; [`validate_report`] enforces the current shape.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One analysed family member.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRow {
+    /// Stable family name (`replicated_pairs`, `relay_chain`, ...).
+    pub family: String,
+    /// The family's scale parameter (pairs, hops, tasks, width, ...).
+    pub size: u64,
+    /// Tasks in the generated program.
+    pub tasks: u64,
+    /// Rendezvous in the generated program.
+    pub rendezvous: u64,
+    /// Wall-clock milliseconds for the whole `analyze` call. The only
+    /// machine-dependent field; comparisons must mask it.
+    pub wall_ms: u64,
+    /// Cooperative budget steps the ladder consumed (deterministic).
+    pub steps: u64,
+    /// The engine's deterministic counter block for this run, including
+    /// the per-rule pruning hit counts.
+    pub metrics: Counters,
+}
+
+/// The whole suite's output.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    /// The JSON shape version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// `"smoke"` or `"full"`.
+    pub mode: String,
+    /// One row per family member, in a fixed order.
+    pub rows: Vec<BenchRow>,
+}
+
+/// The suite: `(family, size, program)` triples for one mode. Smoke mode
+/// shrinks every family to CI-friendly sizes without dropping any family —
+/// the regression oracle needs every counter source exercised.
+fn members(smoke: bool) -> Vec<(&'static str, u64, Program)> {
+    let mut out: Vec<(&'static str, u64, Program)> = Vec::new();
+    let pair_sizes: &[u64] = if smoke { &[4] } else { &[4, 8, 16] };
+    for &n in pair_sizes {
+        out.push(("replicated_pairs", n, replicated_pairs(n as usize, 2)));
+    }
+    let hop_sizes: &[u64] = if smoke { &[8] } else { &[8, 16, 32] };
+    for &n in hop_sizes {
+        out.push(("relay_chain", n, relay_chain(n as usize)));
+    }
+    let random_sizes: &[u64] = if smoke { &[4] } else { &[4, 8, 12] };
+    for &n in random_sizes {
+        out.push(("sized_random", n, sized_random(7, n as usize, 6)));
+    }
+    let nest_sizes: &[u64] = if smoke { &[2] } else { &[2, 3] };
+    for &n in nest_sizes {
+        out.push(("deep_loop_nest", n, deep_loop_nest(n as usize, 2)));
+    }
+    let mesh_sizes: &[u64] = if smoke { &[4] } else { &[4, 6, 8] };
+    for &n in mesh_sizes {
+        out.push(("rendezvous_mesh", n, rendezvous_mesh(n as usize, true)));
+    }
+    let branch_sizes: &[u64] = if smoke { &[4] } else { &[4, 6, 8] };
+    for &n in branch_sizes {
+        out.push(("wide_branch", n, wide_branch(n as usize)));
+    }
+    out
+}
+
+/// Run the whole suite. `smoke` shrinks the sizes for CI; the row set and
+/// schema are identical in both modes.
+#[must_use]
+pub fn run_suite(smoke: bool) -> BenchReport {
+    let max_steps = if smoke { 500_000 } else { 20_000_000 };
+    let rows = members(smoke)
+        .into_iter()
+        .map(|(family, size, program)| {
+            let metrics = Metrics::new();
+            let opts = EngineOptions {
+                // Heads keeps every family polynomial; the step ceiling
+                // (never a wall-clock deadline) keeps rung selection — and
+                // therefore every counter — deterministic.
+                start: Rung::Heads,
+                max_steps: Some(max_steps),
+                metrics: Some(metrics.clone()),
+                ..EngineOptions::default()
+            };
+            let (report, wall) = timed(|| analyze(&program, &opts));
+            let report = report.expect("generated families are valid programs");
+            BenchRow {
+                family: family.to_owned(),
+                size,
+                tasks: program.num_tasks() as u64,
+                rendezvous: program.num_rendezvous() as u64,
+                wall_ms: wall.as_millis().try_into().unwrap_or(u64::MAX),
+                steps: report.attempts.iter().map(|a| a.steps).sum(),
+                metrics: metrics.snapshot(),
+            }
+        })
+        .collect();
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        mode: if smoke { "smoke" } else { "full" }.to_owned(),
+        rows,
+    }
+}
+
+/// Validate a parsed `BENCH_core.json` against the current schema:
+/// version, mode, row fields, and a complete counter block per row.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_report(v: &Value) -> Result<(), String> {
+    let version = v
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or("missing numeric schema_version")?;
+    if version != u64::from(BENCH_SCHEMA_VERSION) {
+        return Err(format!(
+            "schema_version {version} != supported {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    match v.get("mode").and_then(Value::as_str) {
+        Some("smoke" | "full") => {}
+        other => return Err(format!("mode must be \"smoke\" or \"full\", got {other:?}")),
+    }
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("missing rows array")?;
+    if rows.is_empty() {
+        return Err("rows is empty".to_owned());
+    }
+    // The counter block must carry exactly the keys `Counters` serializes
+    // today — derived from the type, so this check can never go stale.
+    let counter_keys: Vec<String> = match serde_json::to_value(&Counters::default()) {
+        Ok(Value::Object(entries)) => entries.into_iter().map(|(k, _)| k).collect(),
+        _ => unreachable!("Counters serializes as an object"),
+    };
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |what: &str| format!("rows[{i}]: {what}");
+        if row.get("family").and_then(Value::as_str).is_none() {
+            return Err(ctx("missing string family"));
+        }
+        for field in ["size", "tasks", "rendezvous", "wall_ms", "steps"] {
+            if row.get(field).and_then(Value::as_u64).is_none() {
+                return Err(ctx(&format!("missing numeric {field}")));
+            }
+        }
+        let metrics = row.get("metrics").ok_or_else(|| ctx("missing metrics"))?;
+        for key in &counter_keys {
+            if metrics.get(key).and_then(Value::as_u64).is_none() {
+                return Err(ctx(&format!("metrics missing numeric {key}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_smoke_suite_validates_against_its_own_schema() {
+        let report = run_suite(true);
+        let v = serde_json::to_value(&report).unwrap();
+        validate_report(&v).unwrap();
+        assert!(report.rows.iter().any(|r| r.family == "rendezvous_mesh"));
+        // The suite must exercise the refined pipeline: some family
+        // produces head examinations, else the regression oracle is blind.
+        assert!(report.rows.iter().any(|r| r.metrics.heads_examined > 0));
+    }
+
+    #[test]
+    fn smoke_metrics_are_reproducible() {
+        let a = run_suite(true);
+        let b = run_suite(true);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.family, rb.family);
+            assert_eq!(ra.metrics, rb.metrics, "family {}", ra.family);
+            assert_eq!(ra.steps, rb.steps, "family {}", ra.family);
+        }
+    }
+
+    #[test]
+    fn the_validator_rejects_a_wrong_version_and_missing_counters() {
+        let mut v = serde_json::to_value(&run_suite(true)).unwrap();
+        if let Value::Object(entries) = &mut v {
+            for (k, val) in entries.iter_mut() {
+                if k == "schema_version" {
+                    *val = Value::UInt(999);
+                }
+            }
+        }
+        assert!(validate_report(&v).unwrap_err().contains("schema_version"));
+        assert!(validate_report(&Value::Object(vec![])).is_err());
+    }
+}

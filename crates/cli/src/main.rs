@@ -17,6 +17,7 @@
 //! `1` anomalous, `2` usage or input error, `3` degraded or undecided.
 
 use iwa_analysis::{AnalysisCtx, CertifyOptions, RefinedOptions, StallOptions, StallVerdict, Tier};
+use iwa_core::obs::{Meta, Metrics, TraceSink};
 use iwa_core::{Budget, IwaError};
 use iwa_engine::{
     CheckOptions, EngineOptions, EngineReport, EngineVerdict, LintStage, Rung, SCHEMA_VERSION,
@@ -45,6 +46,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("analyze") => analyze(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("lint") => lint(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some("graph") => graph(&args[1..]),
         Some("inline") => transform(&args[1..], Transform::Inline),
         Some("unroll") => transform(&args[1..], Transform::Unroll),
@@ -73,6 +75,7 @@ USAGE:
     iwa analyze <file.iwa | fixture:NAME> [OPTIONS]
     iwa check   <file.iwa | dir> [OPTIONS]     batch-check a corpus
     iwa lint    <file.iwa | dir> [OPTIONS]     run the lint catalog
+    iwa bench   [--smoke] [--out PATH] [--validate FILE]
     iwa graph   <file.iwa | fixture:NAME> [--clg]
     iwa inline  <file.iwa | fixture:NAME>   print with procedures inlined
     iwa unroll  <file.iwa | fixture:NAME>   print the Lemma-1 unrolled form
@@ -99,7 +102,17 @@ ANALYZE OPTIONS:
     --tier heads|pairs|headtails   refined-algorithm tier (default: heads)
     --oracle                       also run the exhaustive wave oracle
     --no-transforms                skip the §5.1 stall transforms
+    --trace-out PATH               write a Chrome trace_event JSON of every
+                                   analysis phase (open in about:tracing
+                                   or https://ui.perfetto.dev)
     (a budget flag switches analyze to the degradation ladder)
+
+BENCH OPTIONS:
+    --smoke                        CI-sized workloads (same schema)
+    --out PATH                     where to write the report
+                                   (default: BENCH_core.json)
+    --validate FILE                validate an existing report against the
+                                   schema instead of running the suite
 
 EXIT CODES (analyze, check):
     0  clean at full precision     1  anomaly flagged
@@ -151,6 +164,7 @@ struct AnalyzeReport {
     stall_verdict: String,
     diagnostics: Vec<Diagnostic>,
     oracle: Option<OracleReport>,
+    meta: Meta,
 }
 
 #[derive(Serialize)]
@@ -172,6 +186,7 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut tier_given = false;
     let mut want_oracle = false;
     let mut transforms = true;
+    let mut trace_out: Option<String> = None;
     let mut common = CommonOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -190,6 +205,10 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
             }
             "--oracle" => want_oracle = true,
             "--no-transforms" => transforms = false,
+            "--trace-out" => {
+                trace_out =
+                    Some(it.next().ok_or("--trace-out needs a path")?.to_owned());
+            }
             other if spec.is_none() && !other.starts_with("--") => {
                 spec = Some(other.to_owned());
             }
@@ -198,6 +217,7 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
     }
     let spec = spec.ok_or("missing program (file path or fixture:NAME)")?;
     let (program, source) = load_program(&spec)?;
+    let trace = trace_out.as_ref().map(|_| TraceSink::new());
 
     // Any budget flag switches from the single-tier pipeline to the
     // engine's degradation ladder.
@@ -214,7 +234,11 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
         let mut opts = common.engine_options(fallback)?;
         opts.apply_transforms = transforms;
         opts.workers = common.jobs();
+        opts.trace = trace.clone();
         let report = iwa_engine::analyze(&program, &opts).map_err(|e| e.to_string())?;
+        if let (Some(path), Some(sink)) = (&trace_out, &trace) {
+            write_trace(path, sink)?;
+        }
         if common.json {
             println!(
                 "{}",
@@ -236,10 +260,20 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
             ..StallOptions::default()
         },
     };
-    let cert = AnalysisCtx::new()
+    let metrics = Metrics::new();
+    let mut builder = AnalysisCtx::builder()
         .workers(common.jobs())
+        .metrics(metrics.clone());
+    if let Some(sink) = &trace {
+        builder = builder.trace(sink.clone());
+    }
+    let cert = builder
+        .build()
         .certify(&program, &opts)
         .map_err(|e| e.to_string())?;
+    if let (Some(path), Some(sink)) = (&trace_out, &trace) {
+        write_trace(path, sink)?;
+    }
 
     // Downstream graph consumers need the inlined form.
     let program_inlined = iwa_tasklang::transforms::inline_procs(&program)
@@ -316,13 +350,14 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
         // The quick (AST-level) lints subsume the old validate warnings;
         // `certify` succeeded, so the model is valid and this cannot fail.
         diagnostics: run_lints(
-            &AnalysisCtx::new().workers(common.jobs()),
+            &AnalysisCtx::builder().workers(common.jobs()).build(),
             &program,
             &LintConfig::default(),
             &quick_registry(),
         )
         .unwrap_or_default(),
         oracle,
+        meta: metrics.meta(),
     };
 
     if common.json {
@@ -537,6 +572,60 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
 }
 
 
+/// Serialize the recorded spans in Chrome `trace_event` format, loadable
+/// by `about:tracing` and Perfetto.
+fn write_trace(path: &str, sink: &TraceSink) -> Result<(), String> {
+    let doc = sink.to_chrome_trace();
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("trace written to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    Ok(())
+}
+
+fn bench(args: &[String]) -> Result<ExitCode, String> {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.to_owned()),
+            "--validate" => {
+                validate = Some(it.next().ok_or("--validate needs a file")?.to_owned());
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+
+    if let Some(path) = validate {
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let v = serde_json::from_str(&src)
+            .map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        iwa_bench::suite::validate_report(&v).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: valid (schema v{})", iwa_bench::suite::BENCH_SCHEMA_VERSION);
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let report = iwa_bench::suite::run_suite(smoke);
+    for row in &report.rows {
+        println!(
+            "{:<18} size {:>3}  {:>6} ms {:>12} steps  {:>5} heads examined",
+            row.family, row.size, row.wall_ms, row.steps, row.metrics.heads_examined
+        );
+    }
+    let path = out.unwrap_or_else(|| "BENCH_core.json".to_owned());
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "wrote {path} ({} rows, mode {})",
+        report.rows.len(),
+        report.mode
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 #[derive(Serialize)]
 struct LintReport {
     schema_version: u32,
@@ -605,7 +694,10 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
     if let Some(steps) = common.max_steps {
         budget = budget.and_max_steps(steps);
     }
-    let ctx = AnalysisCtx::with_budget(budget).workers(common.jobs());
+    let ctx = AnalysisCtx::builder()
+        .budget(budget)
+        .workers(common.jobs())
+        .build();
 
     let files =
         iwa_engine::collect_files(std::path::Path::new(&target)).map_err(|e| e.to_string())?;

@@ -239,33 +239,18 @@ fn check_runs_the_repo_corpus_with_json_output() {
     assert_eq!(v["errors"], 0);
 }
 
-/// Zero every timing field: timings are the only legitimate
-/// run-to-run variation in the JSON reports.
-fn mask_timings(json: &str) -> String {
-    json.lines()
-        .map(|line| {
-            if let Some(prefix) = line.split("\"elapsed_ms\":").next().filter(|p| p.len() < line.len()) {
-                let suffix = if line.trim_end().ends_with(',') { "," } else { "" };
-                format!("{prefix}\"elapsed_ms\": 0{suffix}")
-            } else {
-                line.to_owned()
-            }
-        })
-        .collect::<Vec<_>>()
-        .join("\n")
-}
-
 #[test]
 fn check_output_is_byte_identical_for_any_job_count() {
     let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
     let corpus = corpus.to_str().unwrap();
     // A step budget (not a wall-clock one) keeps trip-vs-complete
-    // deterministic regardless of scheduling.
+    // deterministic regardless of scheduling. Timings and steal counts are
+    // the only legitimate run-to-run variation; `masked` zeroes them.
     let run = |jobs: &str| {
         let (out, err, code) =
             iwa(&["check", corpus, "--json", "--max-steps", "200000", "-j", jobs]);
         assert_eq!(code, Some(1), "stdout: {out}\nstderr: {err}");
-        mask_timings(&out)
+        iwa_testsupport::masked(&out)
     };
     let sequential = run("1");
     assert_eq!(sequential, run("2"), "-j 2 must match -j 1");
@@ -277,7 +262,7 @@ fn analyze_output_is_identical_for_any_job_count() {
     let run = |jobs: &str| {
         let (out, _, code) = iwa(&["analyze", "fixture:fig2b", "--json", "--jobs", jobs]);
         assert_eq!(code, Some(1), "{out}");
-        out
+        iwa_testsupport::masked(&out)
     };
     let sequential = run("1");
     assert_eq!(sequential, run("4"), "--jobs 4 must match --jobs 1");
@@ -440,5 +425,103 @@ fn check_surfaces_quick_lints_in_human_and_json_output() {
     let (out, _, _) = iwa(&["check", dir.to_str().unwrap(), "--json"]);
     assert!(out.contains("\"diagnostics\""), "{out}");
     assert!(out.contains("\"self-send\""), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ------------------------------------------------------------- tracing
+
+/// `--trace-out` must produce a document Chrome's `about:tracing` and
+/// Perfetto actually load: a `traceEvents` array of complete (`ph: "X"`)
+/// events with numeric `ts`/`dur`.
+fn assert_loadable_chrome_trace(path: &std::path::Path) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).expect("trace file written");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("trace is valid JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty(), "trace has no spans");
+    for ev in events {
+        assert_eq!(ev["ph"], "X", "complete events only: {ev:?}");
+        assert!(ev["name"].as_str().is_some(), "{ev:?}");
+        assert!(ev["ts"].as_u64().is_some(), "{ev:?}");
+        assert!(ev["dur"].as_u64().is_some(), "{ev:?}");
+        assert!(ev["pid"].as_u64().is_some(), "{ev:?}");
+        assert!(ev["tid"].as_u64().is_some(), "{ev:?}");
+    }
+    doc
+}
+
+#[test]
+fn analyze_trace_out_writes_a_loadable_chrome_trace() {
+    let dir = scratch("trace-plain");
+    let trace = dir.join("trace.json");
+    let (_, err, code) = iwa(&["analyze", "fixture:fig1", "--trace-out", trace.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "fig1 flags: {err}");
+    let doc = assert_loadable_chrome_trace(&trace);
+    let names: Vec<&str> = doc["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|e| e["name"].as_str())
+        .collect();
+    for phase in ["syncgraph", "refined", "stall"] {
+        assert!(names.contains(&phase), "missing {phase} span: {names:?}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ladder_mode_trace_out_records_rung_spans() {
+    let dir = scratch("trace-ladder");
+    let trace = dir.join("trace.json");
+    let (_, err, code) = iwa(&[
+        "analyze",
+        "fixture:fig2b",
+        "--max-steps",
+        "200000",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1), "fig2b deadlocks: {err}");
+    let doc = assert_loadable_chrome_trace(&trace);
+    let names: Vec<String> = doc["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|e| e["name"].as_str().map(str::to_owned))
+        .collect();
+    assert!(names.iter().any(|n| n == "ladder"), "{names:?}");
+    assert!(names.iter().any(|n| n.starts_with("rung ")), "{names:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// --------------------------------------------------------------- bench
+
+#[test]
+fn bench_smoke_writes_a_report_that_its_own_validator_accepts() {
+    let dir = scratch("bench-smoke");
+    let out_path = dir.join("BENCH_core.json");
+    let (out, err, code) = iwa(&["bench", "--smoke", "--out", out_path.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{err}");
+    assert!(out.contains("wrote"), "{out}");
+
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(v["schema_version"], 1);
+    assert_eq!(v["mode"], "smoke");
+    assert!(!v["rows"].as_array().unwrap().is_empty());
+
+    let (out, err, code) = iwa(&["bench", "--validate", out_path.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{err}");
+    assert!(out.contains("valid"), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bench_validate_rejects_a_malformed_report() {
+    let dir = scratch("bench-invalid");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{}").unwrap();
+    let (_, err, code) = iwa(&["bench", "--validate", bad.to_str().unwrap()]);
+    assert_ne!(code, Some(0));
+    assert!(!err.is_empty());
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -22,12 +22,14 @@ use std::fmt;
 
 pub mod budget;
 pub mod error;
+pub mod obs;
 pub mod pool;
 pub mod span;
 pub mod symbols;
 
 pub use budget::{Budget, CancelToken};
 pub use error::IwaError;
+pub use obs::{Counters, Meta, Metrics, SchedStats, SpanGuard, TraceSink};
 pub use span::Span;
 pub use symbols::Symbols;
 

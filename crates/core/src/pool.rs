@@ -137,9 +137,23 @@ where
     }
 }
 
-/// What one worker brings home: completed `(index, value)` pairs plus
-/// the `(index, error)` that stopped it, if any.
-type WorkerHaul<T, E> = (Vec<(usize, T)>, Option<(usize, E)>);
+/// What one worker brings home: completed `(index, value)` pairs, the
+/// `(index, error)` that stopped it (if any), and its steal count.
+type WorkerHaul<T, E> = (Vec<(usize, T)>, Option<(usize, E)>, u64);
+
+/// Per-call scheduling statistics from one pool fan-out.
+///
+/// `tasks` is the fan-out width `n` — deterministic by construction.
+/// `steals` counts successful work-steals and depends on scheduling;
+/// observability keeps it quarantined in
+/// [`SchedStats`](crate::obs::SchedStats) accordingly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Indices fanned out (always `n`, regardless of errors).
+    pub tasks: u64,
+    /// Successful steals across all workers (scheduling-dependent).
+    pub steals: u64,
+}
 
 /// [`map`] for fallible tasks: stop scheduling new tasks at the first
 /// failure and return the error with the lowest index (so the reported
@@ -152,13 +166,31 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
+    try_map_stats(workers, n, f).0
+}
+
+/// [`try_map`] that additionally reports [`PoolStats`] for the fan-out
+/// (the stats come back even when the result is an error).
+pub fn try_map_stats<T, E, F>(workers: usize, n: usize, f: F) -> (Result<Vec<T>, E>, PoolStats)
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let stats = PoolStats {
+        tasks: n as u64,
+        steals: 0,
+    };
     let workers = resolve_workers(workers).min(n.max(1));
     if workers <= 1 {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            out.push(f(i)?);
+            match f(i) {
+                Ok(v) => out.push(v),
+                Err(e) => return (Err(e), stats),
+            }
         }
-        return Ok(out);
+        return (Ok(out), stats);
     }
 
     // One contiguous chunk per worker, balanced to within one index.
@@ -174,9 +206,17 @@ where
                 scope.spawn(move || {
                     let mut done: Vec<(usize, T)> = Vec::new();
                     let mut failed: Option<(usize, E)> = None;
+                    let mut steals: u64 = 0;
                     while !abort.load(Ordering::Relaxed) {
-                        let Some(i) = pop_front(&slots[me]).or_else(|| steal(slots, me)) else {
-                            break; // no work anywhere visible
+                        let i = match pop_front(&slots[me]) {
+                            Some(i) => i,
+                            None => match steal(slots, me) {
+                                Some(i) => {
+                                    steals += 1;
+                                    i
+                                }
+                                None => break, // no work anywhere visible
+                            },
                         };
                         match f(i) {
                             Ok(v) => done.push((i, v)),
@@ -187,7 +227,7 @@ where
                             }
                         }
                     }
-                    (done, failed)
+                    (done, failed, steals)
                 })
             })
             .collect();
@@ -200,10 +240,12 @@ where
             .collect()
     });
 
+    let mut stats = stats;
     let mut first_err: Option<(usize, E)> = None;
     let mut items: Vec<(usize, T)> = Vec::with_capacity(n);
-    for (done, failed) in per_worker {
+    for (done, failed, steals) in per_worker {
         items.extend(done);
+        stats.steals += steals;
         if let Some((i, e)) = failed {
             if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
                 first_err = Some((i, e));
@@ -211,11 +253,11 @@ where
         }
     }
     if let Some((_, e)) = first_err {
-        return Err(e);
+        return (Err(e), stats);
     }
     items.sort_unstable_by_key(|&(i, _)| i);
     debug_assert_eq!(items.len(), n, "every index executed exactly once");
-    Ok(items.into_iter().map(|(_, v)| v).collect())
+    (Ok(items.into_iter().map(|(_, v)| v).collect()), stats)
 }
 
 #[cfg(test)]
@@ -329,6 +371,29 @@ mod tests {
         assert!(started.elapsed() < Duration::from_secs(10));
         let msg = r.unwrap_err().to_string();
         assert!(msg.contains("cancelled"), "got: {msg}");
+    }
+
+    #[test]
+    fn try_map_stats_reports_the_fanout_width() {
+        let (r, stats) = try_map_stats(1, 10, |i| Ok::<usize, ()>(i));
+        assert_eq!(r.unwrap().len(), 10);
+        assert_eq!(
+            stats,
+            PoolStats {
+                tasks: 10,
+                steals: 0
+            }
+        );
+        // Uneven work invites stealing; the steal count is
+        // scheduling-dependent, so only the task width is asserted.
+        let (r, stats) = try_map_stats(8, 200, |i| {
+            if i < 4 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok::<usize, ()>(i)
+        });
+        assert_eq!(r.unwrap().len(), 200);
+        assert_eq!(stats.tasks, 200);
     }
 
     #[test]

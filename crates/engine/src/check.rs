@@ -15,6 +15,7 @@
 //! path makes the driver panic deliberately while checking that file.
 
 use crate::ladder::{analyze, EngineOptions, EngineReport, EngineVerdict, Rung, SCHEMA_VERSION};
+use iwa_core::obs::Meta;
 use iwa_core::{pool, Budget, IwaError};
 use iwa_lint::{quick_registry, registry, run_lints, Diagnostic, LintConfig};
 use iwa_tasklang::parse;
@@ -113,6 +114,10 @@ pub struct CheckSummary {
     pub panicked: usize,
     /// Wall-clock milliseconds for the whole run.
     pub elapsed_ms: u64,
+    /// Deterministic analysis counters plus scheduling stats, summed over
+    /// every file in the batch. The counter half is byte-identical for any
+    /// [`jobs`](CheckOptions::jobs) value; only `sched` varies.
+    pub meta: Meta,
 }
 
 impl CheckSummary {
@@ -167,6 +172,7 @@ pub fn collect_files(root: &Path) -> Result<Vec<PathBuf>, IwaError> {
 }
 
 /// Deprecated sequential batch entry point.
+#[cfg(feature = "legacy-api")]
 #[deprecated(note = "use check_batch — CheckOptions carries the job count and batch deadline")]
 #[must_use]
 pub fn check_paths(paths: &[PathBuf], opts: &EngineOptions) -> CheckSummary {
@@ -202,17 +208,25 @@ pub fn check_batch(paths: &[PathBuf], opts: &CheckOptions) -> CheckSummary {
         .batch_deadline
         .map(|d| Budget::with_deadline(d).and_cancel_token(cancel.clone()));
 
-    let files: Vec<FileOutcome> = pool::map(opts.jobs, paths.len(), |i| {
+    // One accumulator shared by every per-file ladder. Counter commits are
+    // saturating adds of non-negative deltas, so the summed totals are
+    // independent of worker interleaving — identical for any job count.
+    let metrics = opts.engine.metrics.clone().unwrap_or_default();
+
+    let (files, stats) = pool::try_map_stats(opts.jobs, paths.len(), |i| {
         let mut eopts = opts.engine.clone();
         eopts.cancel = Some(cancel.clone());
+        eopts.metrics = Some(metrics.clone());
         // Clamp the per-file deadline to what remains of the batch; an
         // already-exhausted batch leaves each remaining file a zero
         // deadline, degrading it straight to the naive floor.
         if let Some(rem) = batch_budget.as_ref().and_then(Budget::remaining_time) {
             eopts.deadline = Some(eopts.deadline.map_or(rem, |d| d.min(rem)));
         }
-        check_one(&paths[i], &eopts, opts.lint, &opts.lint_config)
+        Ok::<_, IwaError>(check_one(&paths[i], &eopts, opts.lint, &opts.lint_config))
     });
+    let files: Vec<FileOutcome> = files.expect("per-file closure is infallible");
+    metrics.record_steals(stats.steals);
 
     let count = |f: &dyn Fn(&FileOutcome) -> bool| files.iter().filter(|o| f(o)).count();
     CheckSummary {
@@ -225,6 +239,7 @@ pub fn check_batch(paths: &[PathBuf], opts: &CheckOptions) -> CheckSummary {
         errors: count(&|o| matches!(o.status.as_str(), "parse-error" | "invalid-program" | "io-error")),
         panicked: count(&|o| o.status == "panicked"),
         elapsed_ms: started.elapsed().as_millis().try_into().unwrap_or(u64::MAX),
+        meta: metrics.meta(),
         files,
     }
 }
@@ -270,11 +285,13 @@ fn check_one(
         let diagnostics = match lint {
             LintStage::Off => Vec::new(),
             LintStage::Quick => {
-                let ctx = iwa_analysis::AnalysisCtx::new();
+                let ctx = iwa_analysis::AnalysisCtx::builder().build();
                 run_lints(&ctx, &program, lint_config, &quick_registry()).unwrap_or_default()
             }
             LintStage::Full => {
-                let ctx = iwa_analysis::AnalysisCtx::new().workers(opts.workers);
+                let ctx = iwa_analysis::AnalysisCtx::builder()
+                    .workers(opts.workers)
+                    .build();
                 run_lints(&ctx, &program, lint_config, &registry()).unwrap_or_default()
             }
         };

@@ -28,6 +28,7 @@ use iwa_analysis::stall::signal_balance;
 use iwa_analysis::{
     naive_analysis, AnalysisCtx, CertifyOptions, RefinedOptions, StallOptions, StallVerdict, Tier,
 };
+use iwa_core::obs::{Counters, Meta, Metrics, TraceSink};
 use iwa_core::{Budget, CancelToken, IwaError};
 use iwa_syncgraph::SyncGraph;
 use iwa_tasklang::transforms::{inline_procs, unroll_twice};
@@ -43,7 +44,12 @@ use std::time::Duration;
 /// [`CheckSummary`](crate::check::CheckSummary), and the CLI reports built
 /// on them). Bump on any field addition, removal, or rename; the golden
 /// schema test pins the shape for each version.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// Version history: `2` added `schema_version` itself and the batch
+/// summary; `3` added the shared `meta` observability block
+/// ([`Meta`]) to [`EngineReport`] and
+/// [`CheckSummary`](crate::check::CheckSummary).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One rung of the degradation ladder, most precise first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize)]
@@ -134,6 +140,14 @@ pub struct EngineOptions {
     /// one per available core; `1` (the default) runs inline. The verdict
     /// is identical for any value — only wall-clock time changes.
     pub workers: usize,
+    /// Optional phase-trace sink: when set, every rung and every analysis
+    /// phase under it records a hierarchical span (exportable as Chrome
+    /// `trace_event` JSON). `None` (the default) costs nothing.
+    pub trace: Option<TraceSink>,
+    /// Optional metrics accumulator shared with the caller. When absent
+    /// the engine still meters itself into a private accumulator so the
+    /// report's [`meta`](EngineReport::meta) block is always populated.
+    pub metrics: Option<Metrics>,
 }
 
 impl Default for EngineOptions {
@@ -146,6 +160,8 @@ impl Default for EngineOptions {
             oracle_config: ExploreConfig::default(),
             cancel: None,
             workers: 1,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -201,6 +217,10 @@ pub struct EngineReport {
     pub flagged: Vec<String>,
     /// Total wall-clock milliseconds across the whole ladder.
     pub elapsed_ms: u64,
+    /// Deterministic analysis counters plus scheduling stats for this run
+    /// (only this run's deltas when the caller supplied no shared
+    /// [`EngineOptions::metrics`]; cumulative totals otherwise).
+    pub meta: Meta,
 }
 
 /// Run the degradation ladder on `p`.
@@ -238,6 +258,9 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
         outer = outer.and_cancel_token(token);
     }
 
+    let metrics = opts.metrics.clone().unwrap_or_default();
+    let ladder_span = opts.trace.as_ref().map(|t| t.span("engine", "ladder"));
+
     let rungs = opts.start.ladder();
     let mut attempts = Vec::with_capacity(rungs.len());
     let mut spent = 0u64;
@@ -254,8 +277,15 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
             slice = slice.and_max_steps((left / rungs_left).max(1));
         }
 
-        let run = run_rung(p, rung, opts, &slice);
+        let rung_span = opts
+            .trace
+            .as_ref()
+            .map(|t| t.span("engine", format!("rung {rung}")));
+        let run = run_rung(p, rung, opts, &slice, &metrics);
         let steps = slice.steps();
+        if let Some(mut span) = rung_span {
+            span.note("steps", steps);
+        }
         spent += steps;
         let elapsed_ms = ms(slice.elapsed());
         match run {
@@ -271,6 +301,15 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
                 break;
             }
             Err(mut e) => {
+                // An abandoned rung is itself an observable event — and
+                // unlike the rung's internal counters (which follow
+                // commit-on-completion and stay untouched), the abandonment
+                // count is exactly as deterministic as rung selection: step
+                // ceilings trip reproducibly, wall-clock deadlines do not.
+                metrics.commit(&Counters {
+                    ladder_rungs_abandoned: 1,
+                    ..Counters::default()
+                });
                 let cheaper_rungs_remain = i + 1 < rungs.len();
                 let outcome = if let IwaError::BudgetExceeded { degraded, .. } = &mut e {
                     *degraded = cheaper_rungs_remain;
@@ -288,6 +327,7 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
             }
         }
     }
+    drop(ladder_span);
 
     let (rung, verdict, flagged) = produced.expect("the naive floor cannot fail");
     Ok(EngineReport {
@@ -298,6 +338,7 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
         attempts,
         flagged,
         elapsed_ms: ms(outer.elapsed()),
+        meta: metrics.meta(),
     })
 }
 
@@ -310,6 +351,7 @@ fn run_rung(
     rung: Rung,
     opts: &EngineOptions,
     budget: &Budget,
+    metrics: &Metrics,
 ) -> Result<(EngineVerdict, Vec<String>), IwaError> {
     match rung {
         Rung::Oracle => {
@@ -318,6 +360,10 @@ fn run_rung(
             budget.probe("oracle exploration")?;
             let sg = SyncGraph::from_program(p);
             let e = explore_budgeted(&sg, &opts.oracle_config, budget)?;
+            metrics.commit(&Counters {
+                sg_nodes: sg.num_nodes() as u64,
+                ..Counters::default()
+            });
             let verdict = match e.verdict {
                 Verdict::AnomalyFree => EngineVerdict::Clean,
                 Verdict::Anomalous => EngineVerdict::Anomalous,
@@ -345,9 +391,14 @@ fn run_rung(
                     ..StallOptions::default()
                 },
             };
-            let cert = AnalysisCtx::with_budget(budget.clone())
+            let mut builder = AnalysisCtx::builder()
+                .budget(budget.clone())
                 .workers(opts.workers)
-                .certify(p, &copts)?;
+                .metrics(metrics.clone());
+            if let Some(t) = &opts.trace {
+                builder = builder.trace(t.clone());
+            }
+            let cert = builder.build().certify(p, &copts)?;
             let mut flagged: Vec<String> = cert
                 .refined
                 .flagged
@@ -386,14 +437,14 @@ fn run_rung(
             };
             Ok((verdict, flagged))
         }
-        Rung::Naive => Ok(naive_floor(p)),
+        Rung::Naive => Ok(naive_floor(p, metrics)),
     }
 }
 
 /// The budget-free floor: §3.1 CLG cycle detection for the deadlock half
 /// and the Lemma 3 whole-program balance for the stall half. Linear time,
 /// consults no budget, always answers — possibly `Unknown`, but promptly.
-fn naive_floor(p: &Program) -> (EngineVerdict, Vec<String>) {
+fn naive_floor(p: &Program, metrics: &Metrics) -> (EngineVerdict, Vec<String>) {
     let analysed;
     let target: &Program = if p.is_loop_free() {
         p
@@ -403,6 +454,11 @@ fn naive_floor(p: &Program) -> (EngineVerdict, Vec<String>) {
     };
     let sg = SyncGraph::from_program(target);
     let naive = naive_analysis(&sg);
+    metrics.commit(&Counters {
+        sg_nodes: sg.num_nodes() as u64,
+        clg_cycles: naive.cycle_components.len() as u64,
+        ..Counters::default()
+    });
 
     let mut flagged: Vec<String> = naive
         .cycle_components

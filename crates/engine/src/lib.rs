@@ -36,6 +36,8 @@ pub use ladder::{
 };
 
 // The deprecated sequential batch entry point stays re-exported so old
-// code keeps compiling (with a deprecation warning at the use site).
+// code keeps compiling (with a deprecation warning at the use site),
+// gated behind the default-on `legacy-api` feature.
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use check::check_paths;

@@ -206,27 +206,10 @@ fn summaries_serialize_to_json_with_a_schema_version() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// Serialize a summary with every wall-clock field zeroed, so runs can be
-/// compared across job counts.
+/// Serialize a summary with every wall-clock and scheduler-dependent
+/// field zeroed, so runs can be compared across job counts.
 fn masked_json(summary: &iwa_engine::CheckSummary) -> String {
-    fn mask(v: &mut serde_json::Value) {
-        match v {
-            serde_json::Value::Object(map) => {
-                for (k, v) in map.iter_mut() {
-                    if k == "elapsed_ms" {
-                        *v = serde_json::Value::UInt(0);
-                    } else {
-                        mask(v);
-                    }
-                }
-            }
-            serde_json::Value::Array(items) => items.iter_mut().for_each(mask),
-            _ => {}
-        }
-    }
-    let mut v = serde_json::to_value(summary).unwrap();
-    mask(&mut v);
-    serde_json::to_string_pretty(&v).unwrap()
+    iwa_testsupport::masked(&serde_json::to_string_pretty(summary).unwrap())
 }
 
 #[test]
@@ -340,9 +323,14 @@ fn the_json_schema_is_pinned() {
         keys(&v),
         [
             "schema_version", "files", "total", "clean", "anomalous", "unknown",
-            "degraded", "errors", "panicked", "elapsed_ms",
+            "degraded", "errors", "panicked", "elapsed_ms", "meta",
         ],
         "CheckSummary changed shape: bump SCHEMA_VERSION and update this test"
+    );
+    assert_eq!(
+        keys(&v["meta"]),
+        ["metrics", "sched"],
+        "Meta changed shape: bump SCHEMA_VERSION and update this test"
     );
     assert_eq!(
         keys(&v["files"][0]),
@@ -360,7 +348,7 @@ fn the_json_schema_is_pinned() {
         keys(&v),
         [
             "schema_version", "verdict", "rung", "degraded", "attempts", "flagged",
-            "elapsed_ms",
+            "elapsed_ms", "meta",
         ],
         "EngineReport changed shape: bump SCHEMA_VERSION and update this test"
     );

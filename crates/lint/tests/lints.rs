@@ -8,7 +8,7 @@ use iwa_tasklang::parse;
 fn lint(src: &str) -> Vec<Diagnostic> {
     let p = parse(src).unwrap();
     run_lints(
-        &AnalysisCtx::new(),
+        &AnalysisCtx::builder().build(),
         &p,
         &LintConfig::default(),
         &registry(),
@@ -140,7 +140,7 @@ fn transform_copies_dedup_to_one_finding_per_source_site() {
 #[test]
 fn severity_overrides_and_deny_warnings_change_the_outcome() {
     let p = parse("task a { send a.m; accept m; }").unwrap();
-    let ctx = AnalysisCtx::new();
+    let ctx = AnalysisCtx::builder().build();
 
     let allow_all = LintConfig {
         levels: registry()
@@ -168,10 +168,10 @@ fn lint_output_is_deterministic_across_worker_counts() {
                task quiet { }\n";
     let p = parse(src).unwrap();
     let cfg = LintConfig::default();
-    let base = run_lints(&AnalysisCtx::new().workers(1), &p, &cfg, &registry()).unwrap();
+    let base = run_lints(&AnalysisCtx::builder().workers(1).build(), &p, &cfg, &registry()).unwrap();
     for workers in [2, 8] {
         let other =
-            run_lints(&AnalysisCtx::new().workers(workers), &p, &cfg, &registry()).unwrap();
+            run_lints(&AnalysisCtx::builder().workers(workers).build(), &p, &cfg, &registry()).unwrap();
         assert_eq!(base, other, "-j {workers} diverged");
     }
 }
@@ -190,5 +190,5 @@ fn invalid_programs_are_errors_not_lints() {
         t.send(sig);
     });
     let p = b.build();
-    assert!(run_lints(&AnalysisCtx::new(), &p, &LintConfig::default(), &registry()).is_err());
+    assert!(run_lints(&AnalysisCtx::builder().build(), &p, &LintConfig::default(), &registry()).is_err());
 }

@@ -176,7 +176,7 @@ mod tests {
     fn reduction_says_sat(cnf: &Cnf) -> bool {
         let p = theorem2_program(cnf);
         let sg = SyncGraph::from_program(&p);
-        let r = AnalysisCtx::new()
+        let r = AnalysisCtx::builder().build()
             .exact_cycles(&sg, &ConstraintSet::c1_and_3a(), &ExactBudget::default())
             .unwrap();
         assert!(r.any() || r.complete, "inconclusive search at test sizes");

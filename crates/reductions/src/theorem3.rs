@@ -108,7 +108,7 @@ mod tests {
 
     fn reduction_says_sat(cnf: &Cnf) -> bool {
         let sg = theorem3_graph(cnf);
-        let r = AnalysisCtx::new()
+        let r = AnalysisCtx::builder().build()
             .exact_cycles(&sg, &ConstraintSet::c1_and_2(), &ExactBudget::default())
             .unwrap();
         assert!(r.any() || r.complete, "inconclusive search at test sizes");
@@ -165,7 +165,7 @@ mod tests {
         with_clash.add_clause(&[(0, true), (1, true), (2, true)]);
         with_clash.add_clause(&[(0, false), (1, true), (2, true)]);
         let g1 = theorem3_graph(&with_clash);
-        let r1 = AnalysisCtx::new()
+        let r1 = AnalysisCtx::builder().build()
             .exact_cycles(&g1, &ConstraintSet::c1_only(), &ExactBudget::default())
             .unwrap();
 
@@ -173,7 +173,7 @@ mod tests {
         without.add_clause(&[(0, true), (1, true), (2, true)]);
         without.add_clause(&[(3, true), (1, true), (2, true)]);
         let g2 = theorem3_graph(&without);
-        let r2 = AnalysisCtx::new()
+        let r2 = AnalysisCtx::builder().build()
             .exact_cycles(&g2, &ConstraintSet::c1_only(), &ExactBudget::default())
             .unwrap();
         assert_eq!(r1.cycles.len(), r2.cycles.len());

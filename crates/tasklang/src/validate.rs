@@ -66,6 +66,7 @@ pub fn model_warnings(p: &Program) -> Vec<Warning> {
 }
 
 /// Check `p` against the model assumptions and return the legacy warnings.
+#[cfg(feature = "legacy-api")]
 #[deprecated(
     since = "0.2.0",
     note = "use `check_model` for errors and the `iwa-lint` registry (or \

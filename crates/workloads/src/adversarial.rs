@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn wide_branch_exhausts_the_stall_path_budget() {
         let p = wide_branch(12); // 4096 signatures > the 1024 default budget
-        let r = iwa_analysis::AnalysisCtx::new().stall(&p, &iwa_analysis::StallOptions::default());
+        let r = iwa_analysis::AnalysisCtx::builder().build().stall(&p, &iwa_analysis::StallOptions::default());
         assert!(
             matches!(r.verdict, iwa_analysis::StallVerdict::Unknown { .. }),
             "got {:?}",
@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn narrow_wide_branch_is_a_possible_stall() {
         let p = wide_branch(2);
-        let r = iwa_analysis::AnalysisCtx::new().stall(&p, &iwa_analysis::StallOptions::default());
+        let r = iwa_analysis::AnalysisCtx::builder().build().stall(&p, &iwa_analysis::StallOptions::default());
         assert!(matches!(
             r.verdict,
             iwa_analysis::StallVerdict::PossibleStall { .. }

@@ -492,7 +492,7 @@ mod tests {
         // And the analysis flags the broken one, of course.
         let sg = SyncGraph::from_program(&sleeping_barber(2));
         assert!(
-            !iwa_analysis::AnalysisCtx::new()
+            !iwa_analysis::AnalysisCtx::builder().build()
                 .refined(&sg, &iwa_analysis::RefinedOptions::default())
                 .unwrap()
                 .deadlock_free
@@ -513,7 +513,7 @@ mod tests {
         // rendezvous (constraint 2) — the head-pair tier's case.
         let p = rpc_with_procedures(2);
         assert!(p.has_calls());
-        let cert = iwa_analysis::AnalysisCtx::new().certify(
+        let cert = iwa_analysis::AnalysisCtx::builder().build().certify(
             &p,
             &iwa_analysis::CertifyOptions {
                 refined: iwa_analysis::RefinedOptions {

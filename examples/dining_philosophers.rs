@@ -29,7 +29,7 @@ fn main() {
         ] {
             let sg = SyncGraph::from_program(&program);
             let naive = naive_analysis(&sg).deadlock_free;
-            let ctx = AnalysisCtx::new();
+            let ctx = AnalysisCtx::builder().build();
             let refined = ctx
                 .refined(&sg, &RefinedOptions::default())
                 .expect("unlimited")

@@ -48,7 +48,7 @@ fn main() {
 
 fn audit(name: &str, p: &iwa::tasklang::Program) {
     println!("=== {name} ===");
-    let cert = AnalysisCtx::new().certify(
+    let cert = AnalysisCtx::builder().build().certify(
         p,
         &CertifyOptions {
             refined: RefinedOptions {

@@ -49,7 +49,7 @@ fn audit(name: &str, program: &iwa::tasklang::Program) {
         },
         ..CertifyOptions::default()
     };
-    let cert = AnalysisCtx::new().certify(program, &opts).expect("valid");
+    let cert = AnalysisCtx::builder().build().certify(program, &opts).expect("valid");
     println!(
         "naive: {}   refined(pairs): {}   stall: {:?}",
         if cert.naive.deadlock_free { "free" } else { "FLAG" },

@@ -31,7 +31,7 @@ fn main() {
     // One call runs the whole pipeline: validation, Lemma-1 unrolling if
     // needed, the naive §3.1 check, the refined §4.2 algorithm, and the
     // §5 stall analysis.
-    let cert = AnalysisCtx::new()
+    let cert = AnalysisCtx::builder().build()
         .certify(&program, &CertifyOptions::default())
         .expect("valid program");
 

@@ -52,7 +52,7 @@ fn demo(raw: &Cnf) {
         sg.num_sync_edges()
     );
 
-    let r = AnalysisCtx::new()
+    let r = AnalysisCtx::builder().build()
         .exact_cycles(&sg, &ConstraintSet::c1_and_3a(), &ExactBudget::default())
         .expect("unlimited");
     let has_cycle = r.any();

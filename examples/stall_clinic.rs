@@ -35,7 +35,7 @@ fn main() {
 
 fn visit(name: &str, p: &iwa::tasklang::Program) {
     println!("=== {name} ===");
-    let ctx = AnalysisCtx::new();
+    let ctx = AnalysisCtx::builder().build();
     let raw = ctx.stall(
         p,
         &StallOptions {

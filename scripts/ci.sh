@@ -14,11 +14,18 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo clippy (legacy-api off) -- -D warnings"
+# The deprecated PR-2 surface lives behind the default-on `legacy-api`
+# feature; the workspace must stay lint-clean with it disabled too.
+cargo clippy -p iwa --no-default-features --all-targets -- -D warnings
+
 echo "==> multi-job determinism: iwa check corpus -j 1/2/8 agree byte-for-byte"
 # A step budget (not a wall-clock one) keeps trip-vs-complete independent
-# of scheduling; elapsed_ms is the only field allowed to vary, so mask it.
+# of scheduling. Only wall-clock fields and the quarantined scheduling
+# stats (meta.sched.pool_steals) may vary across job counts, so mask
+# exactly those — the deterministic meta.metrics block is diffed raw.
 # This also exercises the worker pool end to end on every CI run.
-mask='s/"elapsed_ms": [0-9][0-9]*/"elapsed_ms": 0/g'
+mask='s/"elapsed_ms": [0-9][0-9]*/"elapsed_ms": 0/g;s/"wall_ms": [0-9][0-9]*/"wall_ms": 0/g;s/"pool_steals": [0-9][0-9]*/"pool_steals": 0/g'
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 for j in 1 2 8; do
@@ -36,6 +43,10 @@ for j in 1 2 8; do
 done
 diff "$tmpdir/check-j1.json" "$tmpdir/check-j2.json"
 diff "$tmpdir/check-j1.json" "$tmpdir/check-j8.json"
+
+echo "==> bench pipeline: iwa bench --smoke writes a valid BENCH_core.json"
+./target/release/iwa bench --smoke --out "$tmpdir/BENCH_core.json"
+./target/release/iwa bench --validate "$tmpdir/BENCH_core.json"
 
 echo "==> lint goldens: iwa lint corpus matches tests/golden byte-for-byte"
 # Exit 1 is expected: the fixture corpus deliberately contains denials.

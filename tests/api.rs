@@ -15,7 +15,7 @@ fn parse_certify_report() {
          task server { accept req; send client.reply; }",
     )
     .unwrap();
-    let cert = AnalysisCtx::new().certify(&p, &CertifyOptions::default()).unwrap();
+    let cert = AnalysisCtx::builder().build().certify(&p, &CertifyOptions::default()).unwrap();
     assert!(cert.anomaly_free());
     assert!(cert.warnings.is_empty());
 }
@@ -36,7 +36,7 @@ fn builder_api_matches_parser() {
     let built = b.build();
     let parsed = parse(&built.to_source()).unwrap();
     assert_eq!(built.to_source(), parsed.to_source());
-    assert!(AnalysisCtx::new()
+    assert!(AnalysisCtx::builder().build()
         .certify(&built, &CertifyOptions::default())
         .unwrap()
         .anomaly_free());
@@ -66,8 +66,8 @@ fn oracle_and_simulation_compose() {
 #[test]
 fn tiers_form_a_precision_ladder_on_lemma2() {
     let p = iwa::workloads::figures::lemma2_coaccept();
-    let base = AnalysisCtx::new().certify(&p, &CertifyOptions::default()).unwrap();
-    let pairs = AnalysisCtx::new().certify(
+    let base = AnalysisCtx::builder().build().certify(&p, &CertifyOptions::default()).unwrap();
+    let pairs = AnalysisCtx::builder().build().certify(
         &p,
         &CertifyOptions {
             refined: RefinedOptions {
@@ -89,7 +89,7 @@ fn reduction_and_solver_agree_through_the_facade() {
     cnf.add_clause(&[(0, false), (2, true), (3, false)]);
     let sat = iwa::sat::solve(&cnf).is_sat();
     let sg = SyncGraph::from_program(&iwa::reductions::theorem2_program(&cnf));
-    let r = AnalysisCtx::new()
+    let r = AnalysisCtx::builder().build()
         .exact_cycles(
             &sg,
             &iwa::analysis::ConstraintSet::c1_and_3a(),

@@ -62,7 +62,7 @@ proptest! {
     fn certified_stall_freedom_holds_data_aware(seed in 0u64..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
         let p = random_conditioned(&mut rng, &ConditionedConfig::default());
-        let report = AnalysisCtx::new().stall(&p, &StallOptions::default());
+        let report = AnalysisCtx::builder().build().stall(&p, &StallOptions::default());
         if report.verdict != StallVerdict::StallFree {
             return Ok(());
         }

@@ -58,7 +58,7 @@ fn corpus_matches_expectations() {
         let program = iwa::tasklang::parse(&src)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
 
-        let cert = AnalysisCtx::new().certify(
+        let cert = AnalysisCtx::builder().build().certify(
             &program,
             &CertifyOptions {
                 refined: RefinedOptions {

@@ -4,6 +4,11 @@
 //! This file is the *only* place in the workspace allowed to call them:
 //! everything else has migrated, so a deprecation warning anywhere else
 //! is a regression (`cargo clippy -- -D warnings` enforces that).
+//!
+//! The whole file compiles only with the default-on `legacy-api`
+//! feature; `--no-default-features` builds prove the rest of the
+//! workspace is off the deprecated surface.
+#![cfg(feature = "legacy-api")]
 #![allow(deprecated)]
 
 use iwa::analysis::exact::{ConstraintSet, ExactBudget};
@@ -13,6 +18,28 @@ use iwa::syncgraph::{Clg, SyncGraph};
 use iwa::tasklang::parse;
 
 const CROSSED: &str = "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }";
+
+#[test]
+fn deprecated_ctx_constructors_agree_with_the_builder() {
+    let p = parse(CROSSED).unwrap();
+    let opts = CertifyOptions::default();
+    let via_builder = AnalysisCtx::builder().build().certify(&p, &opts).unwrap();
+
+    // `new()`, `with_budget(..)`, and the post-build `workers(..)` setter
+    // all still produce contexts that answer identically.
+    let via_new = AnalysisCtx::new().certify(&p, &opts).unwrap();
+    assert_eq!(via_new.deadlock_free(), via_builder.deadlock_free());
+
+    let via_budget = AnalysisCtx::with_budget(Budget::unlimited())
+        .certify(&p, &opts)
+        .unwrap();
+    assert_eq!(via_budget.deadlock_free(), via_builder.deadlock_free());
+
+    let ctx = AnalysisCtx::new().workers(2);
+    assert_eq!(ctx.num_workers(), 2);
+    let via_workers = ctx.certify(&p, &opts).unwrap();
+    assert_eq!(via_workers.deadlock_free(), via_builder.deadlock_free());
+}
 
 #[test]
 fn certify_shims_agree_with_the_ctx() {

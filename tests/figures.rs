@@ -15,11 +15,11 @@ use iwa::workloads::figures;
 
 // Terse wrappers over the unlimited [`AnalysisCtx`] for the matrix.
 fn refined_analysis(sg: &SyncGraph, opts: &RefinedOptions) -> RefinedResult {
-    AnalysisCtx::new().refined(sg, opts).unwrap()
+    AnalysisCtx::builder().build().refined(sg, opts).unwrap()
 }
 
 fn stall_analysis(p: &iwa::tasklang::Program, opts: &StallOptions) -> StallReport {
-    AnalysisCtx::new().stall(p, opts)
+    AnalysisCtx::builder().build().stall(p, opts)
 }
 
 fn exact_deadlock_cycles(
@@ -27,7 +27,7 @@ fn exact_deadlock_cycles(
     constraints: &ConstraintSet,
     budget: &ExactBudget,
 ) -> ExactResult {
-    AnalysisCtx::new().exact_cycles(sg, constraints, budget).unwrap()
+    AnalysisCtx::builder().build().exact_cycles(sg, constraints, budget).unwrap()
 }
 
 fn oracle(p: &iwa::tasklang::Program) -> iwa::wavesim::Exploration {

@@ -15,7 +15,7 @@ use iwa::analysis::{naive_analysis, AnalysisCtx, RefinedOptions, RefinedResult};
 use iwa::syncgraph::SyncGraph as Sg;
 
 fn refined_analysis(sg: &Sg, opts: &RefinedOptions) -> RefinedResult {
-    AnalysisCtx::new().refined(sg, opts).unwrap()
+    AnalysisCtx::builder().build().refined(sg, opts).unwrap()
 }
 use iwa::syncgraph::SyncGraph;
 use iwa::tasklang::transforms::{linearize, unroll_twice};

@@ -11,7 +11,7 @@ fn exact_deadlock_cycles(
     constraints: &ConstraintSet,
     budget: &ExactBudget,
 ) -> ExactResult {
-    AnalysisCtx::new().exact_cycles(sg, constraints, budget).unwrap()
+    AnalysisCtx::builder().build().exact_cycles(sg, constraints, budget).unwrap()
 }
 use iwa::reductions::{theorem2_program, theorem3_graph};
 use iwa::sat::{solve, Cnf};
@@ -72,7 +72,7 @@ fn refined_is_conservative_on_theorem2_programs() {
         }
         seen_sat += 1;
         let sg = SyncGraph::from_program(&theorem2_program(&cnf));
-        let r = AnalysisCtx::new()
+        let r = AnalysisCtx::builder().build()
             .refined(&sg, &iwa::analysis::RefinedOptions::default())
             .unwrap();
         assert!(!r.deadlock_free, "missed the SAT-encoded cycle on {cnf}");

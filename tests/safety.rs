@@ -13,7 +13,7 @@
 use iwa::analysis::{naive_analysis, AnalysisCtx, RefinedOptions, RefinedResult, Tier};
 
 fn refined_analysis(sg: &iwa::syncgraph::SyncGraph, opts: &RefinedOptions) -> RefinedResult {
-    AnalysisCtx::new().refined(sg, opts).unwrap()
+    AnalysisCtx::builder().build().refined(sg, opts).unwrap()
 }
 use iwa::syncgraph::SyncGraph;
 use iwa::tasklang::transforms::unroll_twice;

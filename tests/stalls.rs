@@ -13,7 +13,7 @@
 use iwa::analysis::{AnalysisCtx, StallOptions, StallReport, StallVerdict};
 
 fn stall_analysis(p: &iwa::tasklang::Program, opts: &StallOptions) -> StallReport {
-    AnalysisCtx::new().stall(p, opts)
+    AnalysisCtx::builder().build().stall(p, opts)
 }
 use iwa::syncgraph::SyncGraph;
 use iwa::wavesim::{explore, ExploreConfig};
