@@ -18,7 +18,7 @@
 
 use iwa_analysis::{AnalysisCtx, CertifyOptions, RefinedOptions, StallOptions, StallVerdict, Tier};
 use iwa_core::obs::{Meta, Metrics, TraceSink};
-use iwa_core::{Budget, IwaError};
+use iwa_core::{Budget, FaultPlan, IwaError};
 use iwa_engine::{
     CheckOptions, EngineOptions, EngineReport, EngineVerdict, LintStage, Rung, SCHEMA_VERSION,
 };
@@ -47,6 +47,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("check") => check(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("serve-bench") => serve_bench(&args[1..]),
         Some("graph") => graph(&args[1..]),
         Some("inline") => transform(&args[1..], Transform::Inline),
         Some("unroll") => transform(&args[1..], Transform::Unroll),
@@ -76,6 +78,8 @@ USAGE:
     iwa check   <file.iwa | dir> [OPTIONS]     batch-check a corpus
     iwa lint    <file.iwa | dir> [OPTIONS]     run the lint catalog
     iwa bench   [--smoke] [--out PATH] [--validate FILE]
+    iwa serve   [OPTIONS]                      persistent analysis daemon
+    iwa serve-bench [OPTIONS]                  replay benchmark against a daemon
     iwa graph   <file.iwa | fixture:NAME> [--clg]
     iwa inline  <file.iwa | fixture:NAME>   print with procedures inlined
     iwa unroll  <file.iwa | fixture:NAME>   print the Lemma-1 unrolled form
@@ -113,6 +117,34 @@ BENCH OPTIONS:
                                    (default: BENCH_core.json)
     --validate FILE                validate an existing report against the
                                    schema instead of running the suite
+
+SERVE OPTIONS:
+    --addr HOST:PORT               bind address (default 127.0.0.1:0)
+    --workers N                    worker threads (default 2)
+    --queue N                      admission-queue depth; a full queue sheds
+                                   with an explicit retry-after hint
+    --deadline-ms N                default per-request deadline (default 2000);
+                                   overloaded requests degrade down the ladder
+    --grace-ms N                   watchdog grace past the deadline before a
+                                   stalled worker is abandoned (default 250)
+    --drain-ms N                   graceful-drain budget on shutdown
+    --cache N                      verdict-cache capacity (default 4096)
+    --start RUNG                   default starting rung for requests
+    --fault PLAN                   inject faults (site=action[:ms][:skip=N]
+                                   [:times=N][:label=S];...)
+    --port-file PATH               write the bound port for scripts to read
+    (runs until a client sends the 'shutdown' op)
+
+SERVE-BENCH OPTIONS:
+    --corpus PATH                  .iwa corpus to replay (default: corpus)
+    --rounds N --clients N         replay shape (defaults 5, 4)
+    --mutate-permille N            per-round variant mutation rate (default 10)
+    --smoke                        CI-sized run (same schema)
+    --fault PLAN                   run the daemon under an active fault plan
+    --seed N                       mutation-schedule seed
+    --out PATH                     report path (default: BENCH_serve.json)
+    --validate FILE                validate an existing report instead
+    (exit 1 if any request hangs or any verdict diverges from single-shot)
 
 EXIT CODES (analyze, check):
     0  clean at full precision     1  anomaly flagged
@@ -490,6 +522,8 @@ fn print_engine_report(spec: &str, r: &EngineReport) {
 
 fn check(args: &[String]) -> Result<ExitCode, String> {
     let mut target = None;
+    let mut faults = None;
+    let mut retries: u32 = 1;
     let mut common = CommonOpts::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -497,6 +531,14 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             continue;
         }
         match a.as_str() {
+            "--fault" => {
+                let spec = it.next().ok_or("--fault needs a plan spec")?;
+                faults = Some(FaultPlan::parse(spec).map_err(|e| format!("bad --fault: {e}"))?);
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a count")?;
+                retries = v.parse().map_err(|_| format!("bad --retries '{v}'"))?;
+            }
             other if target.is_none() && !other.starts_with("--") => {
                 target = Some(other.to_owned());
             }
@@ -526,6 +568,8 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             // with every batch check; graph lints stay behind `iwa lint`.
             lint: LintStage::Quick,
             lint_config: LintConfig::default(),
+            faults,
+            retry: iwa_engine::RetryPolicy::with_attempts(retries.max(1)),
         },
     );
 
@@ -623,6 +667,165 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
         report.rows.len(),
         report.mode
     );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = iwa_serve::ServeOptions::default();
+    let mut port_file: Option<String> = None;
+    let mut it = args.iter();
+    let next = |flag: &str, it: &mut std::slice::Iter<String>| {
+        it.next()
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} needs a value"))
+            .map(str::to_owned)
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => opts.addr = next("--addr", &mut it)?,
+            "--workers" => {
+                let v = next("--workers", &mut it)?;
+                opts.workers = v.parse().map_err(|_| format!("bad --workers '{v}'"))?;
+            }
+            "--queue" => {
+                let v = next("--queue", &mut it)?;
+                opts.queue_cap = v.parse().map_err(|_| format!("bad --queue '{v}'"))?;
+            }
+            "--deadline-ms" => {
+                let v = next("--deadline-ms", &mut it)?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms '{v}'"))?;
+                opts.default_deadline = std::time::Duration::from_millis(ms);
+            }
+            "--grace-ms" => {
+                let v = next("--grace-ms", &mut it)?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --grace-ms '{v}'"))?;
+                opts.watchdog_grace = std::time::Duration::from_millis(ms);
+            }
+            "--drain-ms" => {
+                let v = next("--drain-ms", &mut it)?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --drain-ms '{v}'"))?;
+                opts.drain_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--cache" => {
+                let v = next("--cache", &mut it)?;
+                opts.cache_cap = v.parse().map_err(|_| format!("bad --cache '{v}'"))?;
+            }
+            "--start" => {
+                opts.start = next("--start", &mut it)?.parse::<Rung>()?;
+            }
+            "--fault" => {
+                let spec = next("--fault", &mut it)?;
+                opts.faults =
+                    Some(FaultPlan::parse(&spec).map_err(|e| format!("bad --fault: {e}"))?);
+            }
+            "--port-file" => port_file = Some(next("--port-file", &mut it)?),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if opts.faults.is_none() {
+        opts.faults = FaultPlan::from_env().map_err(|e| format!("bad fault env: {e}"))?;
+    }
+
+    let server = iwa_serve::Server::start(opts).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    println!("iwa serve listening on {addr} (send the 'shutdown' op to stop)");
+    if let Some(path) = port_file {
+        std::fs::write(&path, addr.port().to_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let stats = server.join();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn serve_bench(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = iwa_serve::ServeBenchOptions::default();
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut it = args.iter();
+    let next = |flag: &str, it: &mut std::slice::Iter<String>| {
+        it.next()
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} needs a value"))
+            .map(str::to_owned)
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--corpus" => opts.corpus = next("--corpus", &mut it)?.into(),
+            "--rounds" => {
+                let v = next("--rounds", &mut it)?;
+                opts.rounds = v.parse().map_err(|_| format!("bad --rounds '{v}'"))?;
+            }
+            "--clients" => {
+                let v = next("--clients", &mut it)?;
+                opts.clients = v.parse().map_err(|_| format!("bad --clients '{v}'"))?;
+            }
+            "--mutate-permille" => {
+                let v = next("--mutate-permille", &mut it)?;
+                opts.mutate_permille =
+                    v.parse().map_err(|_| format!("bad --mutate-permille '{v}'"))?;
+            }
+            "--fault" => {
+                let spec = next("--fault", &mut it)?;
+                opts.faults =
+                    Some(FaultPlan::parse(&spec).map_err(|e| format!("bad --fault: {e}"))?);
+            }
+            "--seed" => {
+                let v = next("--seed", &mut it)?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
+            }
+            "--out" => out = Some(next("--out", &mut it)?),
+            "--validate" => validate = Some(next("--validate", &mut it)?),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+
+    if let Some(path) = validate {
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let v = serde_json::from_str(&src)
+            .map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        iwa_serve::validate_report(&v).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: valid (schema v{})",
+            iwa_serve::BENCH_SERVE_SCHEMA_VERSION
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let report = iwa_serve::run_bench(&opts)?;
+    let get = |k: &str| report.get(k).and_then(serde::Value::as_u64).unwrap_or(0);
+    println!(
+        "serve-bench: {} requests, {} ok ({} cached), {} errors, {} shed, \
+         {} timeouts, {} cancelled, {} hangs",
+        get("requests"),
+        get("ok"),
+        get("cached_responses"),
+        get("errors"),
+        get("shed"),
+        get("timeouts"),
+        get("cancelled"),
+        get("hangs"),
+    );
+    println!(
+        "cache: {} hits / {} misses; p50 {} ms, p99 {} ms; {} verdict mismatches",
+        get("cache_hits"),
+        get("cache_misses"),
+        get("p50_ms"),
+        get("p99_ms"),
+        get("verdict_mismatches"),
+    );
+    let path = out.unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
+    if get("hangs") > 0 || get("verdict_mismatches") > 0 {
+        return Ok(ExitCode::FAILURE);
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -525,3 +525,128 @@ fn bench_validate_rejects_a_malformed_report() {
     assert!(!err.is_empty());
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Kills a spawned daemon if the test panics before the clean shutdown.
+struct ReapOnDrop(Option<std::process::Child>);
+
+impl ReapOnDrop {
+    /// Hand the child back for a clean wait; the guard stands down.
+    fn release(mut self) -> std::process::Child {
+        self.0.take().unwrap()
+    }
+}
+
+impl Drop for ReapOnDrop {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn serve_e2e_roundtrip_cache_and_clean_shutdown() {
+    let dir = scratch("serve-e2e");
+    let port_file = dir.join("port");
+    let child = Command::new(env!("CARGO_BIN_EXE_iwa"))
+        .args(["serve", "--port-file", port_file.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let child = ReapOnDrop(Some(child));
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let port: u16 = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if let Ok(p) = text.trim().parse() {
+                break p;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never wrote its port file"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+
+    let recv = std::time::Duration::from_secs(10);
+    let mut client = iwa_serve::Client::connect(("127.0.0.1", port)).expect("connect");
+    let pong = client
+        .request(&iwa_serve::Client::simple_request(1, "ping"), recv)
+        .unwrap();
+    assert_eq!(pong["status"], "ok");
+
+    let first = client
+        .request(&iwa_serve::Client::analyze_request(2, CLEAN, Some(5_000)), recv)
+        .unwrap();
+    assert_eq!(first["status"], "ok", "{first:?}");
+    assert_eq!(first["report"]["verdict"], "Clean");
+    assert_eq!(first["cached"], false);
+    let second = client
+        .request(&iwa_serve::Client::analyze_request(3, CLEAN, Some(5_000)), recv)
+        .unwrap();
+    assert_eq!(second["cached"], true, "resubmission hits the cache");
+
+    let bye = client
+        .request(&iwa_serve::Client::simple_request(4, "shutdown"), recv)
+        .unwrap();
+    assert_eq!(bye["status"], "ok");
+
+    let out = child
+        .release()
+        .wait_with_output()
+        .expect("daemon exits after the shutdown op");
+    assert_eq!(out.status.code(), Some(0), "daemon drains and exits clean");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("listening on"), "{stdout}");
+    // The final stats block is machine-readable.
+    let json_start = stdout.find('{').expect("stats JSON on exit");
+    let v: serde_json::Value = serde_json::from_str(&stdout[json_start..]).unwrap();
+    assert_eq!(v["received"], 2);
+    assert_eq!(v["cache_hits"], 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn serve_bench_smoke_report_validates_and_survives_faults() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let dir = scratch("serve-bench");
+    let out_path = dir.join("BENCH_serve.json");
+
+    let (out, err, code) = iwa(&[
+        "serve-bench",
+        "--smoke",
+        "--corpus",
+        corpus.to_str().unwrap(),
+        "--clients",
+        "2",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("0 hangs"), "{out}");
+
+    let (out, err, code) = iwa(&["serve-bench", "--validate", out_path.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{err}");
+    assert!(out.contains("valid"), "{out}");
+
+    // Same smoke run under an active fault plan: still exit 0, still no
+    // hangs — the injected failures surface as explicit responses.
+    let faulted = dir.join("BENCH_serve_faulted.json");
+    let (out, err, code) = iwa(&[
+        "serve-bench",
+        "--smoke",
+        "--corpus",
+        corpus.to_str().unwrap(),
+        "--clients",
+        "2",
+        "--fault",
+        "certify=panic:skip=1:times=2;parse=sleep:50:times=2",
+        "--out",
+        faulted.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("0 hangs"), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

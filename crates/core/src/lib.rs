@@ -22,6 +22,7 @@ use std::fmt;
 
 pub mod budget;
 pub mod error;
+pub mod fault;
 pub mod obs;
 pub mod pool;
 pub mod span;
@@ -29,6 +30,7 @@ pub mod symbols;
 
 pub use budget::{Budget, CancelToken};
 pub use error::IwaError;
+pub use fault::{FaultAction, FaultPlan, FaultSite};
 pub use obs::{Counters, Meta, Metrics, SchedStats, SpanGuard, TraceSink};
 pub use span::Span;
 pub use symbols::Symbols;

@@ -79,6 +79,9 @@ pub struct Counters {
     /// Indices fanned out across the worker pool (deterministic width;
     /// see [`SchedStats::pool_steals`] for the scheduling-dependent part).
     pub pool_tasks: u64,
+    /// Transient io-error attempts retried by `check_batch`'s bounded
+    /// retry policy (zero unless retries are enabled).
+    pub io_retries: u64,
 }
 
 impl Counters {
@@ -101,6 +104,7 @@ impl Counters {
             exact_cycles,
             ladder_rungs_abandoned,
             pool_tasks,
+            io_retries,
         } = other;
         self.sg_nodes = self.sg_nodes.saturating_add(*sg_nodes);
         self.sg_control_edges = self.sg_control_edges.saturating_add(*sg_control_edges);
@@ -120,6 +124,7 @@ impl Counters {
             .ladder_rungs_abandoned
             .saturating_add(*ladder_rungs_abandoned);
         self.pool_tasks = self.pool_tasks.saturating_add(*pool_tasks);
+        self.io_retries = self.io_retries.saturating_add(*io_retries);
     }
 
     /// `true` when every counter is zero.

@@ -10,12 +10,19 @@
 //! with an error taxonomy and a stable
 //! [exit-code contract](CheckSummary::exit_code).
 //!
-//! For end-to-end tests of the isolation machinery, setting the
-//! [`FAULT_INJECT_ENV`] environment variable to a substring of a file
-//! path makes the driver panic deliberately while checking that file.
+//! For end-to-end tests of the isolation machinery the driver honours
+//! structured [`FaultPlan`]s ([`CheckOptions::faults`], or the
+//! `IWA_FAULT_PLAN` environment variable): rules fire at the
+//! `check-file` site (label: the file path) before the file is read and
+//! at the `parse` site before it is parsed, on top of the rung-level
+//! sites the engine ladder fires itself. The legacy single-site hook —
+//! [`FAULT_INJECT_ENV`] set to a path substring panics while checking
+//! matching files — still works as an alias for
+//! `check-file=panic:label=<substring>`.
 
 use crate::ladder::{analyze, EngineOptions, EngineReport, EngineVerdict, Rung, SCHEMA_VERSION};
-use iwa_core::obs::Meta;
+use iwa_core::fault::{FaultPlan, FaultSite};
+use iwa_core::obs::{Counters, Meta};
 use iwa_core::{pool, Budget, IwaError};
 use iwa_lint::{quick_registry, registry, run_lints, Diagnostic, LintConfig};
 use iwa_tasklang::parse;
@@ -24,11 +31,46 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-/// Name of the fault-injection environment variable: when set and
+/// Name of the legacy fault-injection environment variable: when set and
 /// non-empty, any checked file whose path contains the value panics
-/// mid-analysis. Exists so the panic-isolation path is testable end to
-/// end; harmless in production (nobody sets it).
-pub const FAULT_INJECT_ENV: &str = "IWA_FAULT_INJECT";
+/// mid-analysis. Kept as an alias for the one-site plan
+/// `check-file=panic:label=<value>`; `IWA_FAULT_PLAN` (the full
+/// [`FaultPlan`] grammar) takes precedence when both are set.
+pub const FAULT_INJECT_ENV: &str = iwa_core::fault::LEGACY_FAULT_ENV;
+
+/// Bounded retry policy for transient `io-error` outcomes in
+/// [`check_batch`]. Off by default (`max_attempts` 1 = no retries), so
+/// determinism goldens are unchanged unless a caller opts in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per file, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Base backoff: attempt `n`'s retry sleeps `backoff * n`, a
+    /// deterministic linear schedule (no jitter — reproducibility beats
+    /// thundering-herd avoidance in a batch checker).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing up to `max_attempts` total attempts with the
+    /// default 10 ms base backoff.
+    #[must_use]
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+}
 
 /// What happened to one file.
 #[derive(Clone, Debug, Serialize)]
@@ -88,6 +130,15 @@ pub struct CheckOptions {
     pub lint: LintStage,
     /// Severity configuration for the lint stage.
     pub lint_config: LintConfig,
+    /// Structured fault plan for chaos testing. `None` (the default)
+    /// falls back to the environment (`IWA_FAULT_PLAN`, or the legacy
+    /// [`FAULT_INJECT_ENV`] alias). The plan is also threaded into each
+    /// file's engine options so rung-level sites fire.
+    pub faults: Option<FaultPlan>,
+    /// Bounded retry policy for transient `io-error` outcomes; the
+    /// default (1 attempt) disables retries. Retries are counted in
+    /// [`Counters::io_retries`].
+    pub retry: RetryPolicy,
 }
 
 /// Roll-up of a whole [`check_batch`] run.
@@ -184,6 +235,8 @@ pub fn check_paths(paths: &[PathBuf], opts: &EngineOptions) -> CheckSummary {
             batch_deadline: None,
             lint: LintStage::Off,
             lint_config: LintConfig::default(),
+            faults: None,
+            retry: RetryPolicy::default(),
         },
     )
 }
@@ -213,17 +266,27 @@ pub fn check_batch(paths: &[PathBuf], opts: &CheckOptions) -> CheckSummary {
     // independent of worker interleaving — identical for any job count.
     let metrics = opts.engine.metrics.clone().unwrap_or_default();
 
+    // One fault plan shared by every file, so trigger windows (skip/times)
+    // count one global hit sequence. A malformed env spec is ignored here —
+    // the CLI validates and reports it before ever reaching the batch.
+    let faults = opts
+        .faults
+        .clone()
+        .or_else(|| opts.engine.faults.clone())
+        .or_else(|| FaultPlan::from_env().ok().flatten());
+
     let (files, stats) = pool::try_map_stats(opts.jobs, paths.len(), |i| {
         let mut eopts = opts.engine.clone();
         eopts.cancel = Some(cancel.clone());
         eopts.metrics = Some(metrics.clone());
+        eopts.faults = faults.clone();
         // Clamp the per-file deadline to what remains of the batch; an
         // already-exhausted batch leaves each remaining file a zero
         // deadline, degrading it straight to the naive floor.
         if let Some(rem) = batch_budget.as_ref().and_then(Budget::remaining_time) {
             eopts.deadline = Some(eopts.deadline.map_or(rem, |d| d.min(rem)));
         }
-        Ok::<_, IwaError>(check_one(&paths[i], &eopts, opts.lint, &opts.lint_config))
+        Ok::<_, IwaError>(check_one(&paths[i], &eopts, opts.lint, &opts.lint_config, &opts.retry))
     });
     let files: Vec<FileOutcome> = files.expect("per-file closure is infallible");
     metrics.record_steals(stats.steals);
@@ -251,52 +314,98 @@ enum Checked {
     Io(String),
 }
 
+/// Map an injected fault error onto the outcome taxonomy: io-errors are
+/// the (retryable) `"io-error"` status, anything else lands in
+/// `"invalid-program"` like an organic analysis error.
+fn checked_fault(e: IwaError) -> Checked {
+    match e {
+        IwaError::Io(msg) => Checked::Io(msg),
+        other => Checked::Invalid(other),
+    }
+}
+
+fn check_attempt(
+    path: &Path,
+    display: &str,
+    opts: &EngineOptions,
+    lint: LintStage,
+    lint_config: &LintConfig,
+) -> Checked {
+    if let Some(plan) = &opts.faults {
+        if let Err(e) = plan.fire(FaultSite::CheckFile, display) {
+            return checked_fault(e);
+        }
+    }
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => return Checked::Io(e.to_string()),
+    };
+    if let Some(plan) = &opts.faults {
+        if let Err(e) = plan.fire(FaultSite::Parse, display) {
+            return checked_fault(e);
+        }
+    }
+    let program = match parse(&src) {
+        Ok(p) => p,
+        Err(e) => return Checked::Parse(e),
+    };
+    let report = match analyze(&program, opts) {
+        Ok(report) => report,
+        Err(e) => return Checked::Invalid(e),
+    };
+    // The program analysed cleanly, so the lint context builds; a
+    // budget-tripped graph lint degrades to silence, not an error.
+    let diagnostics = match lint {
+        LintStage::Off => Vec::new(),
+        LintStage::Quick => {
+            let ctx = iwa_analysis::AnalysisCtx::builder().build();
+            run_lints(&ctx, &program, lint_config, &quick_registry()).unwrap_or_default()
+        }
+        LintStage::Full => {
+            let ctx = iwa_analysis::AnalysisCtx::builder()
+                .workers(opts.workers)
+                .build();
+            run_lints(&ctx, &program, lint_config, &registry()).unwrap_or_default()
+        }
+    };
+    Checked::Report(report, diagnostics)
+}
+
 fn check_one(
     path: &Path,
     opts: &EngineOptions,
     lint: LintStage,
     lint_config: &LintConfig,
+    retry: &RetryPolicy,
 ) -> FileOutcome {
     let started = Instant::now();
     let display = path.display().to_string();
+    let max_attempts = u64::from(retry.max_attempts.max(1));
 
-    let inject = std::env::var(FAULT_INJECT_ENV)
-        .ok()
-        .filter(|pat| !pat.is_empty() && display.contains(pat.as_str()));
-
-    let run = catch_unwind(AssertUnwindSafe(|| {
-        if let Some(pat) = inject {
-            panic!("injected fault (path matches {FAULT_INJECT_ENV}={pat})");
+    let mut retries = 0u64;
+    let run = loop {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            check_attempt(path, &display, opts, lint, lint_config)
+        }));
+        // Only transient io-errors are retryable; panics, parse errors,
+        // and analysis errors are not going to change on a second look.
+        match attempt {
+            Ok(Checked::Io(msg)) if retries + 1 < max_attempts => {
+                retries += 1;
+                std::thread::sleep(retry.backoff * u32::try_from(retries).unwrap_or(u32::MAX));
+                drop(msg);
+            }
+            other => break other,
         }
-        let src = match std::fs::read_to_string(path) {
-            Ok(src) => src,
-            Err(e) => return Checked::Io(e.to_string()),
-        };
-        let program = match parse(&src) {
-            Ok(p) => p,
-            Err(e) => return Checked::Parse(e),
-        };
-        let report = match analyze(&program, opts) {
-            Ok(report) => report,
-            Err(e) => return Checked::Invalid(e),
-        };
-        // The program analysed cleanly, so the lint context builds; a
-        // budget-tripped graph lint degrades to silence, not an error.
-        let diagnostics = match lint {
-            LintStage::Off => Vec::new(),
-            LintStage::Quick => {
-                let ctx = iwa_analysis::AnalysisCtx::builder().build();
-                run_lints(&ctx, &program, lint_config, &quick_registry()).unwrap_or_default()
-            }
-            LintStage::Full => {
-                let ctx = iwa_analysis::AnalysisCtx::builder()
-                    .workers(opts.workers)
-                    .build();
-                run_lints(&ctx, &program, lint_config, &registry()).unwrap_or_default()
-            }
-        };
-        Checked::Report(report, diagnostics)
-    }));
+    };
+    if retries > 0 {
+        if let Some(metrics) = &opts.metrics {
+            metrics.commit(&Counters {
+                io_retries: retries,
+                ..Counters::default()
+            });
+        }
+    }
 
     let elapsed_ms = started.elapsed().as_millis().try_into().unwrap_or(u64::MAX);
     let (status, verdict, rung, degraded, error, diagnostics) = match run {

@@ -28,6 +28,7 @@ use iwa_analysis::stall::signal_balance;
 use iwa_analysis::{
     naive_analysis, AnalysisCtx, CertifyOptions, RefinedOptions, StallOptions, StallVerdict, Tier,
 };
+use iwa_core::fault::{FaultPlan, FaultSite};
 use iwa_core::obs::{Counters, Meta, Metrics, TraceSink};
 use iwa_core::{Budget, CancelToken, IwaError};
 use iwa_syncgraph::SyncGraph;
@@ -48,8 +49,9 @@ use std::time::Duration;
 /// Version history: `2` added `schema_version` itself and the batch
 /// summary; `3` added the shared `meta` observability block
 /// ([`Meta`]) to [`EngineReport`] and
-/// [`CheckSummary`](crate::check::CheckSummary).
-pub const SCHEMA_VERSION: u32 = 3;
+/// [`CheckSummary`](crate::check::CheckSummary); `4` added the
+/// `io_retries` counter to the `meta.metrics` block.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One rung of the degradation ladder, most precise first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize)]
@@ -148,6 +150,13 @@ pub struct EngineOptions {
     /// the engine still meters itself into a private accumulator so the
     /// report's [`meta`](EngineReport::meta) block is always populated.
     pub metrics: Option<Metrics>,
+    /// Optional fault plan: fires [`FaultSite::Certify`] at the top of
+    /// every *budgeted* rung (label: the rung name) and additionally
+    /// [`FaultSite::RefinedSearch`] on the refined rungs. A budget-trip
+    /// or io-error fault abandons the rung and degrades down the ladder
+    /// exactly like an organic failure; the naive floor never consults
+    /// the plan — it must always answer.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineOptions {
@@ -162,6 +171,7 @@ impl Default for EngineOptions {
             workers: 1,
             trace: None,
             metrics: None,
+            faults: None,
         }
     }
 }
@@ -353,6 +363,14 @@ fn run_rung(
     budget: &Budget,
     metrics: &Metrics,
 ) -> Result<(EngineVerdict, Vec<String>), IwaError> {
+    if rung != Rung::Naive {
+        if let Some(plan) = &opts.faults {
+            plan.fire(FaultSite::Certify, rung.name())?;
+            if matches!(rung, Rung::HeadTails | Rung::HeadPairs | Rung::Heads) {
+                plan.fire(FaultSite::RefinedSearch, rung.name())?;
+            }
+        }
+    }
     match rung {
         Rung::Oracle => {
             // Trip *before* building the wave space when the slice is

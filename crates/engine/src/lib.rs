@@ -28,7 +28,8 @@ pub mod check;
 pub mod ladder;
 
 pub use check::{
-    check_batch, collect_files, CheckOptions, CheckSummary, FileOutcome, LintStage, FAULT_INJECT_ENV,
+    check_batch, collect_files, CheckOptions, CheckSummary, FileOutcome, LintStage, RetryPolicy,
+    FAULT_INJECT_ENV,
 };
 pub use ladder::{
     analyze, EngineOptions, EngineReport, EngineVerdict, Rung, RungAttempt, LADDER,

@@ -1,0 +1,199 @@
+//! Content-addressed verdict cache.
+//!
+//! The daemon's workload is dominated by *replays*: editors and CI
+//! re-submitting programs that changed little or not at all. The cache
+//! keys on the **content** of the submitted source (FNV-1a 64) plus a
+//! signature of the analysis options that affect the verdict, so a
+//! byte-identical resubmission is a hit regardless of connection, order,
+//! or name, and any byte change is an honest miss.
+//!
+//! Policy: only **non-degraded** reports are cached. A degraded verdict
+//! is an artefact of the deadline the request happened to carry, not of
+//! the program — caching it would let one slow moment poison every
+//! later, roomier request. Eviction is FIFO at a fixed capacity: dumb,
+//! predictable, and free of scan-resistance machinery the workload does
+//! not need.
+
+use serde::Value;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Mutex, PoisonError};
+
+/// 64-bit FNV-1a over arbitrary bytes — tiny, dependency-free, and
+/// plenty for content addressing (collisions would need ~2^32 distinct
+/// sources in one cache).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+/// A cache key: content hash × options-signature hash.
+pub type CacheKey = (u64, u64);
+
+/// Build a key from source text and an options signature string (the
+/// rung name and anything else verdict-affecting, rendered stably).
+#[must_use]
+pub fn cache_key(source: &str, options_sig: &str) -> CacheKey {
+    (fnv1a(source.as_bytes()), fnv1a(options_sig.as_bytes()))
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, Value>,
+    order: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Thread-safe FIFO verdict cache.
+#[derive(Debug)]
+pub struct VerdictCache {
+    inner: Mutex<CacheInner>,
+    cap: usize,
+}
+
+impl VerdictCache {
+    /// A cache holding at most `cap` reports (`cap` 0 disables caching:
+    /// every lookup is a miss and inserts are dropped).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        VerdictCache {
+            inner: Mutex::new(CacheInner::default()),
+            cap,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up a report; counts a hit or miss either way.
+    #[must_use]
+    pub fn lookup(&self, key: CacheKey) -> Option<Value> {
+        let mut g = self.lock();
+        match g.map.get(&key).cloned() {
+            Some(v) => {
+                g.hits += 1;
+                Some(v)
+            }
+            None => {
+                g.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a forced miss (an injected cache fault): the lookup never
+    /// ran, but the request accounting still needs a miss.
+    pub fn count_forced_miss(&self) {
+        self.lock().misses += 1;
+    }
+
+    /// Insert a report, evicting FIFO past capacity. Duplicate keys
+    /// overwrite in place without a second order entry.
+    pub fn insert(&self, key: CacheKey, report: Value) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut g = self.lock();
+        if g.map.insert(key, report).is_none() {
+            g.order.push_back(key);
+            while g.order.len() > self.cap {
+                if let Some(old) = g.order.pop_front() {
+                    g.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// `(hits, misses)` so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        let g = self.lock();
+        (g.hits, g.misses)
+    }
+
+    /// Entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// `true` when no entries are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_near_identical_sources() {
+        let a = fnv1a(b"task t { send u.a; }");
+        let b = fnv1a(b"task t { send u.a; }\n");
+        assert_ne!(a, b);
+        assert_eq!(a, fnv1a(b"task t { send u.a; }"));
+    }
+
+    #[test]
+    fn keys_separate_same_source_different_options() {
+        let src = "task t {}";
+        assert_ne!(cache_key(src, "heads"), cache_key(src, "oracle"));
+        assert_eq!(cache_key(src, "heads"), cache_key(src, "heads"));
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = VerdictCache::new(8);
+        let k = cache_key("x", "heads");
+        assert!(cache.lookup(k).is_none());
+        cache.insert(k, Value::Bool(true));
+        assert_eq!(cache.lookup(k), Some(Value::Bool(true)));
+        cache.count_forced_miss();
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn eviction_is_fifo_at_capacity() {
+        let cache = VerdictCache::new(2);
+        let (k1, k2, k3) = (
+            cache_key("a", "heads"),
+            cache_key("b", "heads"),
+            cache_key("c", "heads"),
+        );
+        cache.insert(k1, Value::Int(1));
+        cache.insert(k2, Value::Int(2));
+        cache.insert(k3, Value::Int(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(k1).is_none(), "oldest entry evicted");
+        assert_eq!(cache.lookup(k2), Some(Value::Int(2)));
+        assert_eq!(cache.lookup(k3), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = VerdictCache::new(0);
+        let k = cache_key("a", "heads");
+        cache.insert(k, Value::Int(1));
+        assert!(cache.lookup(k).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_overwrites_without_duplicating_order() {
+        let cache = VerdictCache::new(2);
+        let k = cache_key("a", "heads");
+        cache.insert(k, Value::Int(1));
+        cache.insert(k, Value::Int(2));
+        cache.insert(cache_key("b", "heads"), Value::Int(3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(k), Some(Value::Int(2)));
+    }
+}

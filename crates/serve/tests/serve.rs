@@ -1,0 +1,341 @@
+//! End-to-end tests for the daemon: protocol round-trips, the verdict
+//! cache, load shedding, watchdog replacement, panic isolation, and the
+//! graceful-drain guarantee.
+//!
+//! Every `recv` in this file carries a hard timeout — a test of an
+//! infinite-wait detector must itself be unable to wait infinitely.
+
+use iwa_core::fault::FaultPlan;
+use iwa_serve::{Client, Server, ServeOptions};
+use serde::Value;
+use std::time::Duration;
+
+const CLEAN: &str = "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }";
+const RECV: Duration = Duration::from_secs(10);
+
+fn plan(spec: &str) -> Option<FaultPlan> {
+    Some(FaultPlan::parse(spec).expect("fault spec parses"))
+}
+
+#[test]
+fn ping_analyze_roundtrip_and_cache_hit() {
+    let server = Server::start(ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let pong = client
+        .request(&Client::simple_request(1, "ping"), RECV)
+        .unwrap();
+    assert_eq!(pong["status"], "ok");
+    assert_eq!(pong["report"]["pong"], true);
+
+    let first = client
+        .request(&Client::analyze_request(2, CLEAN, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(first["status"], "ok", "unexpected response: {first:?}");
+    assert_eq!(first["cached"], false);
+    assert_eq!(first["report"]["verdict"], "Clean");
+    assert_eq!(first["report"]["degraded"], false);
+
+    let second = client
+        .request(&Client::analyze_request(3, CLEAN, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(second["status"], "ok");
+    assert_eq!(second["cached"], true, "byte-identical resubmit must hit");
+    assert_eq!(
+        second["report"]["verdict"], first["report"]["verdict"],
+        "a cache hit must reproduce the original verdict"
+    );
+
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.received, 2, "two analyzes admitted");
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+}
+
+#[test]
+fn bad_requests_get_explicit_errors_not_hangs() {
+    let server = Server::start(ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Unknown op.
+    let resp = client
+        .request(&Client::simple_request(1, "frobnicate"), RECV)
+        .unwrap();
+    assert_eq!(resp["status"], "error");
+
+    // Analyze without a source.
+    let resp = client
+        .request(&Client::simple_request(2, "analyze"), RECV)
+        .unwrap();
+    assert_eq!(resp["status"], "error");
+
+    // Source that does not parse.
+    let resp = client
+        .request(&Client::analyze_request(3, "task {", Some(1_000)), RECV)
+        .unwrap();
+    assert_eq!(resp["status"], "error");
+    assert!(resp["error"].as_str().is_some());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn full_queue_sheds_with_retry_hint() {
+    // One worker stalled 300 ms per request, queue of one: pipelining six
+    // requests must shed most of them, explicitly, immediately.
+    let server = Server::start(ServeOptions {
+        workers: 1,
+        queue_cap: 1,
+        faults: plan("parse=sleep:300"),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    const N: usize = 6;
+    for i in 0..N {
+        client
+            .send(&Client::analyze_request(i as u64, CLEAN, Some(5_000)))
+            .unwrap();
+    }
+    let (mut ok, mut shed) = (0, 0);
+    for _ in 0..N {
+        let resp = client.recv(RECV).expect("every request is answered");
+        match resp["status"].as_str().unwrap() {
+            "ok" => ok += 1,
+            "shed" => {
+                shed += 1;
+                let hint = resp["retry_after_ms"].as_u64().expect("shed carries a hint");
+                assert!(hint > 0);
+                assert_eq!(resp["error"], "admission queue full");
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert_eq!(ok + shed, N);
+    assert!(shed >= 1, "a one-deep queue behind a stalled worker must shed");
+    assert!(ok >= 1, "admitted work still completes");
+
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.shed, shed as u64);
+}
+
+#[test]
+fn watchdog_abandons_stuck_worker_and_capacity_survives() {
+    // First request stalls 1.5 s at the parse site — far past its 100 ms
+    // deadline and the 100 ms grace. The watchdog must answer `timeout`
+    // and spawn a replacement so the second request still runs.
+    let server = Server::start(ServeOptions {
+        workers: 1,
+        watchdog_grace: Duration::from_millis(100),
+        faults: plan("parse=sleep:1500:times=1"),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let stuck = client
+        .request(&Client::analyze_request(1, CLEAN, Some(100)), RECV)
+        .unwrap();
+    assert_eq!(stuck["status"], "timeout", "unexpected: {stuck:?}");
+    assert!(stuck["error"].as_str().unwrap().contains("hard deadline"));
+
+    let after = client
+        .request(&Client::analyze_request(2, CLEAN, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(
+        after["status"], "ok",
+        "replacement worker must pick up new work: {after:?}"
+    );
+
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.workers_replaced, 1);
+}
+
+#[test]
+fn panics_are_isolated_to_the_request() {
+    let server = Server::start(ServeOptions {
+        faults: plan("parse=panic:times=1"),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let poisoned = client
+        .request(&Client::analyze_request(1, CLEAN, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(poisoned["status"], "error");
+    assert!(
+        poisoned["error"].as_str().unwrap().contains("isolated"),
+        "the error should say the panic was contained: {poisoned:?}"
+    );
+
+    let after = client
+        .request(&Client::analyze_request(2, CLEAN, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(after["status"], "ok", "the daemon survived the panic");
+
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.panics_isolated, 1);
+}
+
+#[test]
+fn response_write_faults_are_contained() {
+    // An injected write failure models a dead peer: the daemon counts it
+    // and moves on; it never takes a worker down.
+    let server = Server::start(ServeOptions {
+        faults: plan("response-write=io-error:times=1"),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // The first response is eaten by the fault — the *client* times out,
+    // the daemon does not.
+    client
+        .send(&Client::analyze_request(1, CLEAN, Some(5_000)))
+        .unwrap();
+    let eaten = client.recv(Duration::from_secs(3));
+    assert!(eaten.is_err(), "the injected write failure ate the frame");
+
+    let after = client
+        .request(&Client::analyze_request(2, CLEAN, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(after["status"], "ok");
+
+    server.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.failed_writes, 1);
+}
+
+#[test]
+fn budget_trip_fault_degrades_instead_of_erroring() {
+    // A budget-trip at the serve parse site cancels the request token, so
+    // the ladder falls to its naive floor: still an `ok`, labelled
+    // degraded — never a cold failure.
+    let server = Server::start(ServeOptions {
+        faults: plan("parse=budget-trip:times=1"),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let resp = client
+        .request(&Client::analyze_request(1, CLEAN, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(resp["status"], "ok", "unexpected: {resp:?}");
+    assert_eq!(resp["report"]["degraded"], true);
+    assert_eq!(resp["report"]["rung"], "Naive");
+
+    // Degraded verdicts must not poison the cache.
+    let again = client
+        .request(&Client::analyze_request(2, CLEAN, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(again["status"], "ok");
+    assert_eq!(again["cached"], false, "degraded report was not cached");
+    assert_eq!(again["report"]["degraded"], false);
+
+    server.shutdown();
+    server.join();
+}
+
+/// The drain satellite: N requests in flight, shutdown mid-stream —
+/// every admitted request still gets exactly one explicit terminal
+/// response (`ok`, `timeout`, or `cancelled`), never a dropped
+/// connection, and a daemon mid-drain refuses new work out loud.
+#[test]
+fn graceful_drain_answers_every_inflight_request() {
+    const N: usize = 6;
+    let server = Server::start(ServeOptions {
+        workers: 2,
+        faults: plan("parse=sleep:400"),
+        drain_timeout: Duration::from_secs(4),
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    for i in 0..N {
+        client
+            .send(&Client::analyze_request(i as u64, CLEAN, Some(5_000)))
+            .unwrap();
+    }
+    // Shut down only once all N are genuinely admitted — the point is to
+    // drain *in-flight* work, not to race the reader thread.
+    let admitted_deadline = std::time::Instant::now() + RECV;
+    while server.stats().received < N as u64 {
+        assert!(
+            std::time::Instant::now() < admitted_deadline,
+            "requests never admitted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+    let drain = std::thread::spawn(move || server.join());
+
+    // A newcomer mid-drain is told so explicitly.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut late = Client::connect(addr).unwrap();
+    let refused = late
+        .request(&Client::analyze_request(99, CLEAN, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(refused["status"], "draining", "unexpected: {refused:?}");
+
+    let mut terminal = 0;
+    for _ in 0..N {
+        let resp = client
+            .recv(RECV)
+            .expect("drain must answer, not drop, in-flight requests");
+        match resp["status"].as_str().unwrap() {
+            "ok" | "timeout" | "cancelled" => terminal += 1,
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert_eq!(terminal, N);
+
+    let stats = drain.join().unwrap();
+    assert_eq!(
+        stats.ok + stats.timeouts + stats.cancelled,
+        N as u64,
+        "accounting must close over the admitted requests: {stats:?}"
+    );
+}
+
+#[test]
+fn stats_op_reports_live_counters() {
+    let server = Server::start(ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    client
+        .request(&Client::analyze_request(1, CLEAN, Some(5_000)), RECV)
+        .unwrap();
+    let stats = client
+        .request(&Client::simple_request(2, "stats"), RECV)
+        .unwrap();
+    assert_eq!(stats["status"], "ok");
+    assert_eq!(stats["report"]["received"], 1);
+    assert_eq!(stats["report"]["ok"], 1);
+    assert!(matches!(stats["report"]["cache_misses"], Value::Int(1)));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_op_drains_the_daemon() {
+    let server = Server::start(ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let resp = client
+        .request(&Client::simple_request(1, "shutdown"), RECV)
+        .unwrap();
+    assert_eq!(resp["status"], "ok");
+    // join() returns promptly because the op set the flag.
+    server.join();
+}

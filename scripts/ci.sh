@@ -60,4 +60,19 @@ status=0
 grep -q '"\$schema": "https://json.schemastore.org/sarif-2.1.0.json"' "$tmpdir/lint.sarif"
 diff tests/golden/corpus_lints.sarif "$tmpdir/lint.sarif"
 
+
+echo "==> chaos smoke: iwa serve-bench under a panic+timeout fault plan"
+# Faults at the serve parse site and the engine certify site, including
+# injected panics and sleeps past the deadline: the daemon must shed,
+# degrade, or answer explicitly — exit 0 means no hang, no crash, and
+# zero verdict mismatches flagged by the replay driver.
+./target/release/iwa serve-bench --smoke --clients 2 \
+    --fault 'certify=panic:skip=1:times=2;parse=sleep:50:times=3' \
+    --out "$tmpdir/BENCH_serve_chaos.json"
+./target/release/iwa serve-bench --validate "$tmpdir/BENCH_serve_chaos.json"
+
+echo "==> serve bench: clean replay writes a valid BENCH_serve.json"
+./target/release/iwa serve-bench --smoke --clients 2 --out "$tmpdir/BENCH_serve.json"
+./target/release/iwa serve-bench --validate "$tmpdir/BENCH_serve.json"
+
 echo "==> CI green"

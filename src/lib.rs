@@ -8,6 +8,7 @@ pub use iwa_lint as lint;
 pub use iwa_petri as petri;
 pub use iwa_reductions as reductions;
 pub use iwa_sat as sat;
+pub use iwa_serve as serve;
 pub use iwa_syncgraph as syncgraph;
 pub use iwa_tasklang as tasklang;
 pub use iwa_wavesim as wavesim;
