@@ -26,6 +26,12 @@ pub struct CoexecInfo {
     /// Union–find roots for encapsulated condition variables, keyed by
     /// `(task, name)` — present only when condition reasoning is enabled.
     cond_roots: Option<HashMap<(TaskId, String), usize>>,
+    /// Precomputed `NOT-COEXEC[h]` rows. The same-task part is built with
+    /// 64-lane word operations (task mask minus forward and backward
+    /// reachability); the cross-task condition part is added scalar when
+    /// condition reasoning is enabled. The refined algorithm unions whole
+    /// rows into its DO-NOT-ENTER set.
+    rows: Vec<BitSet>,
 }
 
 impl CoexecInfo {
@@ -41,10 +47,51 @@ impl CoexecInfo {
                 }
             })
             .collect();
-        CoexecInfo {
+        let mut info = CoexecInfo {
             reach,
             cond_roots: None,
+            rows: Vec::new(),
+        };
+        info.build_rows(sg);
+        info
+    }
+
+    /// (Re)build the `NOT-COEXEC` rows from `reach` and `cond_roots`.
+    fn build_rows(&mut self, sg: &SyncGraph) {
+        let n = sg.num_nodes();
+        // Transpose of `reach`, so "k reaches h" is a row lookup too.
+        let mut reach_t: Vec<BitSet> = vec![BitSet::new(n); n];
+        for a in sg.rendezvous_nodes() {
+            for b in self.reach[a].iter_ones() {
+                reach_t[b].insert(a);
+            }
         }
+        let mut task_mask: Vec<BitSet> = Vec::with_capacity(sg.num_tasks);
+        for t in 0..sg.num_tasks {
+            let mut m = BitSet::new(n);
+            for &v in sg.nodes_of_task(TaskId(t as u32)) {
+                m.insert(v as usize);
+            }
+            task_mask.push(m);
+        }
+        let mut rows = vec![BitSet::new(n); n];
+        for h in sg.rendezvous_nodes() {
+            // Intra-task branch exclusivity: same task, unreachable both
+            // ways. `reach[h]` contains `h` itself, keeping rows irreflexive.
+            let mut row = task_mask[sg.node(h).task.index()].clone();
+            row.difference_with(&self.reach[h]);
+            row.difference_with(&reach_t[h]);
+            if self.cond_roots.is_some() {
+                let h_task = sg.node(h).task;
+                for k in sg.rendezvous_nodes() {
+                    if sg.node(k).task != h_task && self.not_coexec(sg, h, k) {
+                        row.insert(k);
+                    }
+                }
+            }
+            rows[h] = row;
+        }
+        self.rows = rows;
     }
 
     /// Like [`compute`](CoexecInfo::compute), additionally deriving
@@ -122,6 +169,7 @@ impl CoexecInfo {
             }
         }
         info.cond_roots = Some(roots);
+        info.build_rows(sg);
         info
     }
 
@@ -160,12 +208,18 @@ impl CoexecInfo {
         false
     }
 
+    /// `NOT-COEXEC[h]` as a precomputed bit row, ready for whole-row union
+    /// into a ban set.
+    #[must_use]
+    pub fn not_coexec_row(&self, h: usize) -> &BitSet {
+        &self.rows[h]
+    }
+
     /// `NOT-COEXEC[h]`: every node provably not co-executable with `h`.
     #[must_use]
     pub fn not_coexec_with(&self, sg: &SyncGraph, h: usize) -> Vec<usize> {
-        sg.rendezvous_nodes()
-            .filter(|&k| self.not_coexec(sg, h, k))
-            .collect()
+        let _ = sg;
+        self.rows[h].to_vec()
     }
 }
 

@@ -377,8 +377,8 @@ impl Search<'_> {
                 return;
             }
             let (v, kind) = {
-                let (v, l) = self.clg.graph.successors(u)[idx];
-                (v as usize, l)
+                let v = self.clg.graph.successors(u)[idx];
+                (v as usize, self.clg.graph.successor_labels(u)[idx])
             };
             self.steps += 1;
             if self.steps >= self.budget.max_steps {

@@ -44,8 +44,8 @@ pub use stall::{StallOptions, StallReport, StallVerdict};
 
 // The deprecated `foo`/`foo_budgeted` twins stay re-exported so old code
 // keeps compiling (with deprecation warnings at the *use* sites only).
-// The whole family is gated behind the default-on `legacy-api` feature;
-// build with `--no-default-features` to prove a crate is off them.
+// The whole family is gated behind the `legacy-api` feature (off by
+// default); a plain build proves a crate is off them.
 #[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use certify::{certify, certify_budgeted};

@@ -52,7 +52,7 @@ pub fn naive_analysis(sg: &SyncGraph) -> NaiveResult {
 #[must_use]
 pub fn naive_on_clg(clg: &Clg) -> NaiveResult {
     let reachable = clg.graph.reachable_from(B);
-    let scc = Scc::compute_induced(&clg.graph, &reachable);
+    let scc = Scc::compute(&clg.graph, Some(&reachable));
     let mut cycle_components = Vec::new();
     for members in scc.nontrivial_components(&clg.graph) {
         // Keep only components inside the reachable region (disabled nodes

@@ -19,9 +19,15 @@
 //!   (constraint 3b) and are cut out entirely (`DO-NOT-ENTER`).
 //!
 //! If no hypothesised head survives in a non-trivial strong component the
-//! program is certified deadlock-free. Cost: one `O(|N| + |E|)` SCC pass
-//! per head — `O(|N_CLG| · (|N_CLG| + |E_CLG|))` total, the bound the
-//! paper states.
+//! program is certified deadlock-free. Cost: the paper's bound is one
+//! `O(|N| + |E|)` SCC pass per head — `O(|N_CLG| · (|N_CLG| + |E_CLG|))`
+//! total. This implementation does better in the common case: it computes
+//! **one** shared SCC decomposition of the port-expanded CLG
+//! ([`iwa_syncgraph::PortClg`]) up front, refutes for free every hypothesis
+//! whose witness nodes sit in trivial or differing shared components
+//! (masked components only ever refine the unmasked ones), and runs at most
+//! one *masked* Tarjan pass — restricted to the witnesses' shared component
+//! minus the banned ports — for the hypotheses that remain.
 //!
 //! The extensions (paper §4.2's bullet list) trade time for precision:
 //! [`Tier::HeadPairs`] confirms each flagged head with a second
@@ -36,8 +42,8 @@ use crate::ctx::AnalysisCtx;
 use crate::sequence::SequenceInfo;
 use iwa_core::obs::Counters;
 use iwa_core::{pool, IwaError};
-use iwa_graphs::{BitSet, DiGraph, Scc};
-use iwa_syncgraph::{Clg, ClgEdge, SyncGraph};
+use iwa_graphs::{BitSet, Scc};
+use iwa_syncgraph::{Clg, PortClg, SyncGraph};
 
 #[cfg(feature = "legacy-api")]
 use iwa_core::Budget;
@@ -270,24 +276,36 @@ pub(crate) fn refined_with_impl(
         .filter(|h| !rescued.contains(h))
         .collect();
 
+    // The shared decomposition every head hypothesis is checked against:
+    // one full SCC pass over the port-expanded CLG, computed once.
+    let pg = {
+        let _span = ctx.span("analysis", "port clg");
+        PortClg::build(sg)
+    };
+    let full = {
+        let _span = ctx.span("analysis", "shared scc");
+        Scc::compute(&pg.graph, None)
+    };
+
     let mut search_span = ctx
         .span("analysis", "head search")
         .map(|s| s.arg("heads", heads.len() as u64));
     let (outcomes, pool_stats) = pool::try_map_stats(ctx.num_workers(), heads.len(), |i| {
-        examine_head(sg, clg, seq, cx, opts, heads[i], &rescued, ctx)
+        examine_head(sg, &pg, &full, seq, cx, opts, heads[i], &rescued, ctx)
     });
     // Steal counts are scheduling-dependent by nature; recording them
     // even for a tripped run keeps the quarantined sched stats honest.
     ctx.record_steals(pool_stats.steals);
     let outcomes: Vec<HeadOutcome> = outcomes?;
 
-    let mut runs = 0usize;
+    let mut runs = 1usize; // the shared full pass
     let mut flagged = Vec::new();
     let mut delta = Counters {
         clg_nodes: clg.num_nodes() as u64,
         clg_edges: clg.graph.num_edges() as u64,
         constraint4_rescues: rescued.len() as u64,
         pool_tasks: pool_stats.tasks,
+        scc_runs: 1,
         ..Counters::default()
     };
     for (head_runs, flag, head_delta) in outcomes {
@@ -315,7 +333,8 @@ pub(crate) fn refined_with_impl(
 #[allow(clippy::too_many_arguments)]
 fn examine_head(
     sg: &SyncGraph,
-    clg: &Clg,
+    pg: &PortClg,
+    full: &Scc,
     seq: &SequenceInfo,
     cx: &CoexecInfo,
     opts: &RefinedOptions,
@@ -330,9 +349,12 @@ fn examine_head(
         heads_examined: 1,
         ..Counters::default()
     };
-    let mut runs = 1usize;
-    let Some(component) =
-        marked_search(sg, clg, seq, cx, &[h], None, rescued, opts, ctx, &mut delta)?
+    // Only *incremental* masked Tarjan passes count here; hypotheses the
+    // shared decomposition refutes outright cost zero runs.
+    let mut runs = 0usize;
+    let Some(component) = marked_search(
+        sg, pg, full, seq, cx, &[h], None, rescued, opts, ctx, &mut runs, &mut delta,
+    )?
     else {
         delta.scc_runs = runs as u64;
         return Ok((runs, None, delta)); // h certified
@@ -356,7 +378,7 @@ fn examine_head(
             })
         }
         Tier::HeadPairs => confirm_with_second_head(
-            sg, clg, seq, cx, opts, h, &component, rescued, &mut runs, ctx, &mut delta,
+            sg, pg, full, seq, cx, opts, h, &component, rescued, &mut runs, ctx, &mut delta,
         )?
         .map(|(h2, comp2)| FlaggedHead {
             head: h,
@@ -364,7 +386,7 @@ fn examine_head(
             component: comp2,
         }),
         Tier::HeadTails => confirm_with_tail(
-            sg, clg, seq, cx, opts, h, &component, rescued, &mut runs, ctx, &mut delta,
+            sg, pg, full, seq, cx, opts, h, &component, rescued, &mut runs, ctx, &mut delta,
         )?
         .map(|(t, comp2)| FlaggedHead {
             head: h,
@@ -376,17 +398,27 @@ fn examine_head(
     Ok((runs, flag, delta))
 }
 
-/// The marked SCC search shared by all tiers.
+/// The marked SCC search shared by all tiers, answered incrementally
+/// against the shared full decomposition.
 ///
 /// `heads` is the hypothesis set (1 or 2 heads). `tail` switches to the
 /// head–tail marking discipline (no `COACCEPT` marks; `NOT-COEXEC` of both
 /// `h` and the tail). Returns the sync-graph nodes of the strong component
 /// containing every required witness node, or `None` when the hypothesis
 /// dies.
+///
+/// The ban sets are sync-node-indexed bit rows unioned in whole 64-bit
+/// words from the precomputed [`SequenceInfo`]/[`CoexecInfo`] tables, then
+/// translated to a port-node mask. Because masking only ever *shrinks*
+/// components, a hypothesis whose witnesses sit in trivial or differing
+/// components of `full` is refuted with no Tarjan pass at all; otherwise
+/// one masked pass runs, restricted to the witnesses' shared component
+/// (`runs` counts exactly the masked passes actually performed).
 #[allow(clippy::too_many_arguments)]
 fn marked_search(
     sg: &SyncGraph,
-    clg: &Clg,
+    pg: &PortClg,
+    full: &Scc,
     seq: &SequenceInfo,
     cx: &CoexecInfo,
     heads: &[usize],
@@ -394,104 +426,125 @@ fn marked_search(
     rescued: &[usize],
     opts: &RefinedOptions,
     ctx: &AnalysisCtx,
+    runs: &mut usize,
     delta: &mut Counters,
 ) -> Result<Option<Vec<usize>>, IwaError> {
     let budget = ctx.budget();
-    // One checkpoint per SCC pass: the unit of work the paper's cost
+    // One checkpoint per marked search: the unit of work the paper's cost
     // bound counts, and the step currency of the engine's rung budgets.
     budget.checkpoint("refined marked SCC search")?;
     budget.record_items(1);
-    let ncl = clg.num_nodes();
-    let mut sync_in_banned = BitSet::new(ncl);
-    let mut sync_out_banned = BitSet::new(ncl);
-    let mut do_not_enter = BitSet::new(ncl);
+    let n = sg.num_nodes();
+    let mut sync_in_banned = BitSet::new(n);
+    let mut sync_out_banned = BitSet::new(n);
+    let mut do_not_enter = BitSet::new(n);
 
     // Constraint-4 rescued nodes can never be WAITING on an anomalous
     // wave, hence never be heads of any deadlock cycle.
     for &t in rescued {
-        sync_in_banned.insert(clg.in_node(t));
+        sync_in_banned.insert(t);
     }
     for &h in heads {
         if opts.use_sequenceable {
-            let marked: Vec<usize> = if opts.paper_sequence_relation {
-                sg.rendezvous_nodes()
-                    .filter(|&k| seq.paper_sequenceable(sg, h, k))
-                    .collect()
+            if opts.paper_sequence_relation {
+                // Ablation path: the (unsound) literal relation has no
+                // precomputed rows; mark scalar.
+                for k in sg.rendezvous_nodes() {
+                    if !seq.paper_sequenceable(sg, h, k) {
+                        continue;
+                    }
+                    delta.sequenceable_hits += 1;
+                    sync_in_banned.insert(k);
+                    if opts.strict_sequenceable_marking {
+                        sync_out_banned.insert(k);
+                    }
+                }
             } else {
-                seq.sequenceable_with(sg, h)
-            };
-            for k in marked {
-                delta.sequenceable_hits += 1;
-                sync_in_banned.insert(clg.in_node(k));
+                let row = seq.wave_exclusive_row(h);
+                delta.sequenceable_hits += row.count() as u64;
+                sync_in_banned.union_with(row);
                 if opts.strict_sequenceable_marking {
-                    sync_out_banned.insert(clg.out_node(k));
+                    sync_out_banned.union_with(row);
                 }
             }
         }
         if opts.use_coaccept && tail.is_none() {
             for k in sg.coaccept(h) {
                 delta.coaccept_hits += 1;
-                sync_in_banned.insert(clg.in_node(k));
-                sync_out_banned.insert(clg.out_node(k));
+                sync_in_banned.insert(k);
+                sync_out_banned.insert(k);
             }
         }
         if opts.use_not_coexec {
-            for k in cx.not_coexec_with(sg, h) {
-                delta.not_coexec_hits += 1;
-                do_not_enter.insert(clg.in_node(k));
-                do_not_enter.insert(clg.out_node(k));
-            }
+            let row = cx.not_coexec_row(h);
+            delta.not_coexec_hits += row.count() as u64;
+            do_not_enter.union_with(row);
         }
     }
     if let Some(t) = tail {
         if opts.use_not_coexec {
-            for k in cx.not_coexec_with(sg, t) {
-                delta.not_coexec_hits += 1;
-                do_not_enter.insert(clg.in_node(k));
-                do_not_enter.insert(clg.out_node(k));
-            }
+            let row = cx.not_coexec_row(t);
+            delta.not_coexec_hits += row.count() as u64;
+            do_not_enter.union_with(row);
         }
     }
     // The hypothesis nodes themselves must stay searchable.
     for &h in heads {
-        sync_in_banned.remove(clg.in_node(h));
-        do_not_enter.remove(clg.in_node(h));
-        do_not_enter.remove(clg.out_node(h));
+        sync_in_banned.remove(h);
+        do_not_enter.remove(h);
     }
     if let Some(t) = tail {
-        sync_out_banned.remove(clg.out_node(t));
-        do_not_enter.remove(clg.in_node(t));
-        do_not_enter.remove(clg.out_node(t));
+        sync_out_banned.remove(t);
+        do_not_enter.remove(t);
     }
 
-    let filtered: DiGraph<ClgEdge> = clg.graph.filtered(
-        |n| !do_not_enter.contains(n),
-        |u, v, kind| {
-            *kind != ClgEdge::Sync
-                || (!sync_out_banned.contains(u) && !sync_in_banned.contains(v))
-        },
-    );
-    let scc = Scc::compute(&filtered);
-
-    // Every witness must sit in one common non-trivial component.
-    let mut witnesses: Vec<usize> = heads.iter().map(|&h| clg.in_node(h)).collect();
+    // Every witness must sit in one common non-trivial component — first
+    // of the *shared* decomposition (free refutation), then of the masked
+    // one.
+    let mut witnesses: Vec<usize> = heads.iter().map(|&h| pg.in_node(h)).collect();
     if let Some(t) = tail {
-        witnesses.push(clg.out_node(t));
+        witnesses.push(pg.out_node(t));
     }
     let first = witnesses[0];
-    if !scc.in_nontrivial_component(&filtered, first) {
+    let full_comp = full.component_of(first);
+    // The port CLG has no self-loops, so non-trivial ⇔ >1 member.
+    if full.members[full_comp].len() <= 1 {
         return Ok(None);
     }
-    if !witnesses
-        .iter()
-        .all(|&w| scc.same_component(first, w))
-    {
+    if !witnesses.iter().all(|&w| full.same_component(first, w)) {
+        return Ok(None);
+    }
+
+    // Mask = the witnesses' shared component minus the banned ports.
+    let mut mask = BitSet::new(pg.num_nodes());
+    for &m in &full.members[full_comp] {
+        mask.insert(m as usize);
+    }
+    for k in do_not_enter.iter_ones() {
+        mask.remove(pg.out_node(k));
+        mask.remove(pg.in_node(k));
+        mask.remove(pg.sync_out_port(k));
+        mask.remove(pg.sync_in_port(k));
+    }
+    for k in sync_in_banned.iter_ones() {
+        mask.remove(pg.sync_in_port(k));
+    }
+    for k in sync_out_banned.iter_ones() {
+        mask.remove(pg.sync_out_port(k));
+    }
+    *runs += 1;
+    let scc = Scc::compute(&pg.graph, Some(&mask));
+
+    if scc.members[scc.component_of(first)].len() <= 1 {
+        return Ok(None);
+    }
+    if !witnesses.iter().all(|&w| scc.same_component(first, w)) {
         return Ok(None);
     }
     let comp_id = scc.component_of(first);
     let mut sync_nodes: Vec<usize> = scc.members[comp_id]
         .iter()
-        .map(|&m| clg.sync_node_of(m as usize))
+        .map(|&m| pg.sync_node_of(m as usize))
         .filter(|&n| sg.is_rendezvous(n))
         .collect();
     sync_nodes.sort_unstable();
@@ -504,7 +557,8 @@ fn marked_search(
 #[allow(clippy::too_many_arguments)]
 fn confirm_with_second_head(
     sg: &SyncGraph,
-    clg: &Clg,
+    pg: &PortClg,
+    full: &Scc,
     seq: &SequenceInfo,
     cx: &CoexecInfo,
     opts: &RefinedOptions,
@@ -529,10 +583,9 @@ fn confirm_with_second_head(
         if seq.wave_exclusive(sg, h, h2) || cx.not_coexec(sg, h, h2) {
             continue;
         }
-        *runs += 1;
-        if let Some(comp2) =
-            marked_search(sg, clg, seq, cx, &[h, h2], None, rescued, opts, ctx, delta)?
-        {
+        if let Some(comp2) = marked_search(
+            sg, pg, full, seq, cx, &[h, h2], None, rescued, opts, ctx, runs, delta,
+        )? {
             return Ok(Some((h2, comp2)));
         }
     }
@@ -544,7 +597,8 @@ fn confirm_with_second_head(
 #[allow(clippy::too_many_arguments)]
 fn confirm_with_tail(
     sg: &SyncGraph,
-    clg: &Clg,
+    pg: &PortClg,
+    full: &Scc,
     seq: &SequenceInfo,
     cx: &CoexecInfo,
     opts: &RefinedOptions,
@@ -558,8 +612,8 @@ fn confirm_with_tail(
     let coaccept = sg.coaccept(h);
     // Strict control descendants of h (within its task).
     let mut descendants = BitSet::new(sg.num_nodes());
-    for (v, ()) in sg.control.successors(h) {
-        let v = *v as usize;
+    for &v in sg.control.successors(h) {
+        let v = v as usize;
         if sg.is_rendezvous(v) {
             descendants.union_with(&sg.control.reachable_from(v));
         }
@@ -575,10 +629,9 @@ fn confirm_with_tail(
         if coaccept.contains(&t) || cx.not_coexec(sg, h, t) {
             continue; // paper's eligibility conditions
         }
-        *runs += 1;
-        if let Some(comp2) =
-            marked_search(sg, clg, seq, cx, &[h], Some(t), rescued, opts, ctx, delta)?
-        {
+        if let Some(comp2) = marked_search(
+            sg, pg, full, seq, cx, &[h], Some(t), rescued, opts, ctx, runs, delta,
+        )? {
             return Ok(Some((t, comp2)));
         }
     }
@@ -597,8 +650,8 @@ fn constraint4_rescued(sg: &SyncGraph, seq: &SequenceInfo) -> Vec<usize> {
     use iwa_syncgraph::B;
     // Per task: its starting options (control successors of b).
     let mut starts: Vec<Vec<usize>> = vec![Vec::new(); sg.num_tasks];
-    for (v, ()) in sg.control.successors(B) {
-        let v = *v as usize;
+    for &v in sg.control.successors(B) {
+        let v = v as usize;
         if sg.is_rendezvous(v) {
             starts[sg.node(v).task.index()].push(v);
         }

@@ -33,7 +33,7 @@
 //! node per task), which additionally enforces deadlock-cycle constraint 1c
 //! for the hypothesised head's task.
 
-use iwa_graphs::BitMatrix;
+use iwa_graphs::{BitMatrix, BitSet};
 use iwa_syncgraph::{SyncGraph, B};
 
 /// The computed ordering information.
@@ -77,6 +77,12 @@ pub struct SequenceInfo {
     /// `finishes_before.get(a, b)` ⇔ `S(a, b)`: every execution firing `b`
     /// fired `a` strictly earlier.
     finishes_before: BitMatrix,
+    /// Precomputed wave-exclusion rows: `excl[h]` = all nodes wave-exclusive
+    /// with `h` (`X` row ∪ `Xᵀ` row ∪ same-task nodes, minus `h`). The
+    /// refined algorithm's `SEQUENCEABLE[h]` marking consumes whole rows at
+    /// once, so they are materialised here as 64-lane word sets instead of
+    /// being re-derived scalar-by-scalar per head hypothesis.
+    excl: Vec<BitSet>,
     num_nodes: usize,
 }
 
@@ -193,9 +199,33 @@ impl SequenceInfo {
             s.unset(a, a);
         }
 
+        // Materialise the wave-exclusion rows from the X fixpoint.
+        let mut excl: Vec<BitSet> = vec![BitSet::new(n); n];
+        for a in sg.rendezvous_nodes() {
+            let row = x.row(a);
+            for b in row.iter_ones() {
+                excl[b].insert(a); // transpose contribution
+            }
+            excl[a].union_with(&row);
+        }
+        for t in 0..sg.num_tasks {
+            let task = iwa_core::TaskId(t as u32);
+            let mut mask = BitSet::new(n);
+            for &v in sg.nodes_of_task(task) {
+                mask.insert(v as usize);
+            }
+            for &v in sg.nodes_of_task(task) {
+                excl[v as usize].union_with(&mask);
+            }
+        }
+        for (a, row) in excl.iter_mut().enumerate() {
+            row.remove(a); // irreflexive
+        }
+
         SequenceInfo {
             executed_before: x,
             finishes_before: s,
+            excl,
             num_nodes: n,
         }
     }
@@ -242,12 +272,18 @@ impl SequenceInfo {
         self.executed_before.get(a, b) || self.executed_before.get(b, a)
     }
 
+    /// `SEQUENCEABLE[h]` as a precomputed bit row (all nodes wave-exclusive
+    /// with `h`), ready for whole-row union into a ban set.
+    #[must_use]
+    pub fn wave_exclusive_row(&self, h: usize) -> &BitSet {
+        &self.excl[h]
+    }
+
     /// `SEQUENCEABLE[h]`: all nodes wave-exclusive with `h`.
     #[must_use]
     pub fn sequenceable_with(&self, sg: &SyncGraph, h: usize) -> Vec<usize> {
-        sg.rendezvous_nodes()
-            .filter(|&k| self.wave_exclusive(sg, h, k))
-            .collect()
+        let _ = sg;
+        self.excl[h].to_vec()
     }
 
     /// Number of ordered pairs derived (diagnostic).

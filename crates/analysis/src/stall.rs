@@ -137,8 +137,8 @@ fn task_path_signatures(
             if node == EXIT {
                 sigs.push(vec![0; nsig]);
             } else {
-                for (succ, ()) in cfg.graph.successors(node) {
-                    let succ_sigs = memo[*succ as usize]
+                for &succ in cfg.graph.successors(node) {
+                    let succ_sigs = memo[succ as usize]
                         .as_ref()
                         .expect("reverse topological order");
                     for s in succ_sigs {

@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod families;
+pub mod history;
 pub mod suite;
 pub mod tables;
 

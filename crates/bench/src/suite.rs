@@ -58,6 +58,10 @@ pub struct BenchReport {
     pub rows: Vec<BenchRow>,
 }
 
+/// The seed baked into the suite's randomized family. Public so the bench
+/// trajectory ([`crate::history`]) can record which workload it describes.
+pub const SIZED_RANDOM_SEED: u64 = 7;
+
 /// The suite: `(family, size, program)` triples for one mode. Smoke mode
 /// shrinks every family to CI-friendly sizes without dropping any family —
 /// the regression oracle needs every counter source exercised.
@@ -73,7 +77,7 @@ fn members(smoke: bool) -> Vec<(&'static str, u64, Program)> {
     }
     let random_sizes: &[u64] = if smoke { &[4] } else { &[4, 8, 12] };
     for &n in random_sizes {
-        out.push(("sized_random", n, sized_random(7, n as usize, 6)));
+        out.push(("sized_random", n, sized_random(SIZED_RANDOM_SEED, n as usize, 6)));
     }
     let nest_sizes: &[u64] = if smoke { &[2] } else { &[2, 3] };
     for &n in nest_sizes {

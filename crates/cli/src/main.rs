@@ -77,7 +77,8 @@ USAGE:
     iwa analyze <file.iwa | fixture:NAME> [OPTIONS]
     iwa check   <file.iwa | dir> [OPTIONS]     batch-check a corpus
     iwa lint    <file.iwa | dir> [OPTIONS]     run the lint catalog
-    iwa bench   [--smoke] [--out PATH] [--validate FILE]
+    iwa bench   [--smoke] [--out PATH] [--validate [FILE]] [--label NAME]
+                [--history PATH] [--no-history]
     iwa serve   [OPTIONS]                      persistent analysis daemon
     iwa serve-bench [OPTIONS]                  replay benchmark against a daemon
     iwa graph   <file.iwa | fixture:NAME> [--clg]
@@ -113,10 +114,17 @@ ANALYZE OPTIONS:
 
 BENCH OPTIONS:
     --smoke                        CI-sized workloads (same schema)
-    --out PATH                     where to write the report
+    --out PATH                     where to write the snapshot report
                                    (default: BENCH_core.json)
     --validate FILE                validate an existing report against the
                                    schema instead of running the suite
+    --validate                     (no file) gate this run against the last
+                                   same-mode trajectory record; fail on a
+                                   >15% step regression on any family
+    --history PATH                 trajectory file to append to / gate against
+                                   (default: reports/bench_history.jsonl)
+    --no-history                   run without appending a trajectory record
+    --label NAME                   label stored in the appended record
 
 SERVE OPTIONS:
     --addr HOST:PORT               bind address (default 127.0.0.1:0)
@@ -629,20 +637,44 @@ fn write_trace(path: &str, sink: &TraceSink) -> Result<(), String> {
 fn bench(args: &[String]) -> Result<ExitCode, String> {
     let mut smoke = false;
     let mut out: Option<String> = None;
-    let mut validate: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
+    // `--validate FILE` checks a snapshot's schema; bare `--validate` gates
+    // this run against the recorded trajectory.
+    let mut validate_file: Option<String> = None;
+    let mut validate_trajectory = false;
+    let mut history = iwa_bench::history::DEFAULT_HISTORY_PATH.to_owned();
+    let mut no_history = false;
+    let mut label = String::new();
+    let mut i = 0;
+    while i < args.len() {
+        let takes_value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match args[i].as_str() {
             "--smoke" => smoke = true,
-            "--out" => out = Some(it.next().ok_or("--out needs a path")?.to_owned()),
+            "--out" => out = Some(takes_value(&mut i, "--out")?),
+            "--history" => history = takes_value(&mut i, "--history")?,
+            "--no-history" => no_history = true,
+            "--label" => label = takes_value(&mut i, "--label")?,
             "--validate" => {
-                validate = Some(it.next().ok_or("--validate needs a file")?.to_owned());
+                // A following non-flag operand means "validate this
+                // snapshot's schema"; otherwise gate the trajectory.
+                match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        validate_file = Some(next.clone());
+                        i += 1;
+                    }
+                    _ => validate_trajectory = true,
+                }
             }
             other => return Err(format!("unexpected argument '{other}'")),
         }
+        i += 1;
     }
 
-    if let Some(path) = validate {
+    if let Some(path) = validate_file {
         let src = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {path}: {e}"))?;
         let v = serde_json::from_str(&src)
@@ -659,6 +691,22 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
             row.family, row.size, row.wall_ms, row.steps, row.metrics.heads_examined
         );
     }
+
+    // Gate against the trajectory BEFORE writing anything: a regressing run
+    // must neither pollute the history nor look like a fresh baseline.
+    if validate_trajectory {
+        let lines = iwa_bench::history::validate_trajectory(
+            &history,
+            &report,
+            iwa_bench::history::DEFAULT_STEP_REGRESSION_PCT,
+        )
+        .map_err(|e| format!("bench trajectory regression:\n{e}"))?;
+        println!("trajectory check against {history}:");
+        for line in lines {
+            println!("  {line}");
+        }
+    }
+
     let path = out.unwrap_or_else(|| "BENCH_core.json".to_owned());
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -667,6 +715,11 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
         report.rows.len(),
         report.mode
     );
+    if !no_history {
+        let record = iwa_bench::history::HistoryRecord::from_report(&report, &label);
+        iwa_bench::history::append(&history, &record)?;
+        println!("appended {} record to {history}", report.mode);
+    }
     Ok(ExitCode::SUCCESS)
 }
 

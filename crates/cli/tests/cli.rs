@@ -499,9 +499,19 @@ fn ladder_mode_trace_out_records_rung_spans() {
 fn bench_smoke_writes_a_report_that_its_own_validator_accepts() {
     let dir = scratch("bench-smoke");
     let out_path = dir.join("BENCH_core.json");
-    let (out, err, code) = iwa(&["bench", "--smoke", "--out", out_path.to_str().unwrap()]);
+    let hist_path = dir.join("bench_history.jsonl");
+    let hist = hist_path.to_str().unwrap();
+    let (out, err, code) = iwa(&[
+        "bench",
+        "--smoke",
+        "--out",
+        out_path.to_str().unwrap(),
+        "--history",
+        hist,
+    ]);
     assert_eq!(code, Some(0), "{err}");
     assert!(out.contains("wrote"), "{out}");
+    assert!(out.contains("appended"), "{out}");
 
     let text = std::fs::read_to_string(&out_path).unwrap();
     let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
@@ -512,6 +522,71 @@ fn bench_smoke_writes_a_report_that_its_own_validator_accepts() {
     let (out, err, code) = iwa(&["bench", "--validate", out_path.to_str().unwrap()]);
     assert_eq!(code, Some(0), "{err}");
     assert!(out.contains("valid"), "{out}");
+
+    // Bare --validate gates against the record the first run appended;
+    // an identical rerun must pass on every row and append a second line.
+    let (out, err, code) = iwa(&[
+        "bench",
+        "--smoke",
+        "--out",
+        out_path.to_str().unwrap(),
+        "--history",
+        hist,
+        "--validate",
+        "--label",
+        "rerun",
+    ]);
+    assert_eq!(code, Some(0), "{err}");
+    assert!(out.contains("trajectory check"), "{out}");
+    assert!(out.contains("(ok)"), "{out}");
+    let lines = std::fs::read_to_string(&hist_path).unwrap().lines().count();
+    assert_eq!(lines, 2);
+
+    // --no-history runs the suite without touching the trajectory.
+    let (out, err, code) = iwa(&[
+        "bench",
+        "--smoke",
+        "--out",
+        out_path.to_str().unwrap(),
+        "--history",
+        hist,
+        "--no-history",
+    ]);
+    assert_eq!(code, Some(0), "{err}");
+    assert!(!out.contains("appended"), "{out}");
+    let lines = std::fs::read_to_string(&hist_path).unwrap().lines().count();
+    assert_eq!(lines, 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bench_trajectory_gate_rejects_a_step_regression() {
+    let dir = scratch("bench-trajectory");
+    let out_path = dir.join("BENCH_core.json");
+    let hist_path = dir.join("bench_history.jsonl");
+    // A fabricated trajectory whose steps are impossibly low: the real
+    // run must exceed it by far more than 15% and be rejected without
+    // appending.
+    std::fs::write(
+        &hist_path,
+        "{\"schema_version\":1,\"mode\":\"smoke\",\"label\":\"tiny\",\"seed\":7,\
+         \"rows\":[{\"family\":\"replicated_pairs\",\"size\":4,\"steps\":1,\
+         \"scc_runs\":1,\"heads_examined\":1,\"wall_ms\":0}]}\n",
+    )
+    .unwrap();
+    let (_, err, code) = iwa(&[
+        "bench",
+        "--smoke",
+        "--out",
+        out_path.to_str().unwrap(),
+        "--history",
+        hist_path.to_str().unwrap(),
+        "--validate",
+    ]);
+    assert_ne!(code, Some(0));
+    assert!(err.contains("regression"), "{err}");
+    let lines = std::fs::read_to_string(&hist_path).unwrap().lines().count();
+    assert_eq!(lines, 1, "a failing run must not append");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -38,7 +38,7 @@ pub use ladder::{
 
 // The deprecated sequential batch entry point stays re-exported so old
 // code keeps compiling (with a deprecation warning at the use site),
-// gated behind the default-on `legacy-api` feature.
+// gated behind the `legacy-api` feature (off by default).
 #[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use check::check_paths;

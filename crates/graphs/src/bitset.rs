@@ -138,10 +138,21 @@ impl BitSet {
     }
 
     /// Iterate over set elements in increasing order.
-    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            BitIter { word: w }.map(move |b| wi * WORD_BITS + b)
-        })
+    pub fn iter(&self) -> IterOnes<'_> {
+        self.iter_ones()
+    }
+
+    /// Iterate over set elements in increasing order (named iterator).
+    ///
+    /// The one sanctioned way to walk a bitset — sweeps should use this
+    /// instead of hand-rolling word/trailing-zeros loops.
+    #[must_use]
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Collect the elements into a `Vec` (ascending).
@@ -161,6 +172,33 @@ impl FromIterator<usize> for BitSet {
             s.insert(i);
         }
         s
+    }
+}
+
+/// Iterator over the set bits of a [`BitSet`], ascending.
+///
+/// Produced by [`BitSet::iter_ones`].
+#[derive(Clone, Debug)]
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let b = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + b)
     }
 }
 
@@ -346,6 +384,20 @@ mod tests {
         assert_eq!(s.count(), 67);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_ones_matches_contents() {
+        let mut s = BitSet::new(200);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            s.insert(i);
+        }
+        assert_eq!(
+            s.iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 63, 64, 65, 127, 128, 199]
+        );
+        assert_eq!(BitSet::new(0).iter_ones().count(), 0);
+        assert_eq!(BitSet::new(100).iter_ones().count(), 0);
     }
 
     #[test]

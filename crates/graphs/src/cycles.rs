@@ -10,7 +10,8 @@
 //! Each simple cycle is enumerated exactly once, rooted at its
 //! minimum-indexed node (the classic rooted-DFS scheme).
 
-use crate::{BitSet, DiGraph};
+use crate::view::GraphView;
+use crate::BitSet;
 
 /// Why enumeration stopped early.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,8 +43,8 @@ pub struct CycleEnumeration {
 /// A visitor variant is available as [`for_each_cycle`] when cycles should
 /// be filtered on the fly without materialising all of them.
 #[must_use]
-pub fn enumerate_cycles<L>(
-    g: &DiGraph<L>,
+pub fn enumerate_cycles<G: GraphView + ?Sized>(
+    g: &G,
     max_cycles: usize,
     max_steps: usize,
 ) -> CycleEnumeration {
@@ -63,8 +64,8 @@ pub fn enumerate_cycles<L>(
 ///
 /// `visit` returns `false` to stop early (counted as a cycle-budget
 /// truncation). Returns the stop reason and the number of DFS steps used.
-pub fn for_each_cycle<L>(
-    g: &DiGraph<L>,
+pub fn for_each_cycle<G: GraphView + ?Sized>(
+    g: &G,
     max_cycles: usize,
     max_steps: usize,
     mut visit: impl FnMut(&[usize]) -> bool,
@@ -86,13 +87,12 @@ pub fn for_each_cycle<L>(
         while let Some(&u) = path.last() {
             let next = frame.last_mut().expect("frame stack in sync");
             if *next < g.out_degree(u) {
-                let (v, _) = g.successors(u)[*next];
+                let v = g.successors(u)[*next] as usize;
                 *next += 1;
                 steps += 1;
                 if steps >= max_steps {
                     return (CycleBudget::TruncatedSteps, steps);
                 }
-                let v = v as usize;
                 if v < root {
                     continue;
                 }
@@ -120,7 +120,11 @@ pub fn for_each_cycle<L>(
 
 /// Count simple cycles up to the given budgets (convenience wrapper).
 #[must_use]
-pub fn count_cycles<L>(g: &DiGraph<L>, max_cycles: usize, max_steps: usize) -> (usize, CycleBudget) {
+pub fn count_cycles<G: GraphView + ?Sized>(
+    g: &G,
+    max_cycles: usize,
+    max_steps: usize,
+) -> (usize, CycleBudget) {
     let e = enumerate_cycles(g, max_cycles, max_steps);
     (e.cycles.len(), e.budget)
 }
@@ -128,12 +132,13 @@ pub fn count_cycles<L>(g: &DiGraph<L>, max_cycles: usize, max_steps: usize) -> (
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Csr, GraphBuilder};
 
     const BIG: usize = 1 << 20;
 
     #[test]
     fn triangle_has_one_cycle() {
-        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
         let e = enumerate_cycles(&g, BIG, BIG);
         assert_eq!(e.budget, CycleBudget::Complete);
         assert_eq!(e.cycles, vec![vec![0, 1, 2]]);
@@ -142,7 +147,7 @@ mod tests {
     #[test]
     fn two_triangles_sharing_a_node() {
         // 0-1-2 and 0-3-4
-        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
         let e = enumerate_cycles(&g, BIG, BIG);
         assert_eq!(e.budget, CycleBudget::Complete);
         assert_eq!(e.cycles.len(), 2);
@@ -151,10 +156,7 @@ mod tests {
     #[test]
     fn complete_digraph_k3_has_five_cycles() {
         // K3 with all 6 arcs: cycles = three 2-cycles + two 3-cycles.
-        let g = DiGraph::from_edges(
-            3,
-            &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)],
-        );
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]);
         let e = enumerate_cycles(&g, BIG, BIG);
         assert_eq!(e.budget, CycleBudget::Complete);
         assert_eq!(e.cycles.len(), 5);
@@ -162,16 +164,16 @@ mod tests {
 
     #[test]
     fn self_loops_count() {
-        let mut g: DiGraph<()> = DiGraph::with_nodes(2);
-        g.add_arc(0, 0);
-        g.add_arc(0, 1);
-        let e = enumerate_cycles(&g, BIG, BIG);
+        let mut b: GraphBuilder<()> = GraphBuilder::with_nodes(2);
+        b.add_arc(0, 0);
+        b.add_arc(0, 1);
+        let e = enumerate_cycles(&b.freeze(), BIG, BIG);
         assert_eq!(e.cycles, vec![vec![0]]);
     }
 
     #[test]
     fn dag_has_no_cycles() {
-        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
         let (count, budget) = count_cycles(&g, BIG, BIG);
         assert_eq!(count, 0);
         assert_eq!(budget, CycleBudget::Complete);
@@ -179,10 +181,7 @@ mod tests {
 
     #[test]
     fn cycle_budget_truncates() {
-        let g = DiGraph::from_edges(
-            3,
-            &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)],
-        );
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]);
         let e = enumerate_cycles(&g, 2, BIG);
         assert_eq!(e.budget, CycleBudget::TruncatedCycles);
         assert_eq!(e.cycles.len(), 2);
@@ -192,7 +191,7 @@ mod tests {
 
     #[test]
     fn visitor_can_stop_early() {
-        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
         let mut seen = 0;
         let (budget, _) = for_each_cycle(&g, BIG, BIG, |_| {
             seen += 1;
@@ -206,7 +205,7 @@ mod tests {
     fn every_reported_cycle_is_a_real_simple_cycle() {
         // Randomish fixed graph; verify each cycle's edges exist and nodes
         // are distinct.
-        let g = DiGraph::from_edges(
+        let g = Csr::from_edges(
             6,
             &[
                 (0, 1),

@@ -3,7 +3,8 @@
 //! All traversals are iterative (explicit stack) so that the deep CLGs built
 //! from large generated programs cannot overflow the call stack.
 
-use crate::{BitSet, DiGraph};
+use crate::view::GraphView;
+use crate::BitSet;
 
 /// The orders produced by a depth-first traversal.
 #[derive(Clone, Debug)]
@@ -18,14 +19,17 @@ pub struct DfsOrders {
 
 /// Depth-first traversal from `start`, recording pre- and post-order.
 #[must_use]
-pub fn dfs<L>(g: &DiGraph<L>, start: usize) -> DfsOrders {
+pub fn dfs<G: GraphView + ?Sized>(g: &G, start: usize) -> DfsOrders {
     dfs_multi(g, std::iter::once(start))
 }
 
 /// Depth-first traversal from several roots (in the given order); nodes
 /// reachable from an earlier root are not revisited from a later one.
 #[must_use]
-pub fn dfs_multi<L>(g: &DiGraph<L>, starts: impl IntoIterator<Item = usize>) -> DfsOrders {
+pub fn dfs_multi<G: GraphView + ?Sized>(
+    g: &G,
+    starts: impl IntoIterator<Item = usize>,
+) -> DfsOrders {
     let n = g.num_nodes();
     let mut discovered = BitSet::new(n);
     let mut preorder = Vec::new();
@@ -40,9 +44,8 @@ pub fn dfs_multi<L>(g: &DiGraph<L>, starts: impl IntoIterator<Item = usize>) -> 
         stack.push((root, 0));
         while let Some(&mut (u, ref mut next)) = stack.last_mut() {
             if *next < g.out_degree(u) {
-                let (v, _) = g.successors(u)[*next];
+                let v = g.successors(u)[*next] as usize;
                 *next += 1;
-                let v = v as usize;
                 if discovered.insert(v) {
                     preorder.push(v);
                     stack.push((v, 0));
@@ -63,7 +66,7 @@ pub fn dfs_multi<L>(g: &DiGraph<L>, starts: impl IntoIterator<Item = usize>) -> 
 /// Reverse postorder (the canonical forward-dataflow iteration order) over
 /// nodes reachable from `start`.
 #[must_use]
-pub fn reverse_postorder<L>(g: &DiGraph<L>, start: usize) -> Vec<usize> {
+pub fn reverse_postorder<G: GraphView + ?Sized>(g: &G, start: usize) -> Vec<usize> {
     let mut po = dfs(g, start).postorder;
     po.reverse();
     po
@@ -76,7 +79,7 @@ pub fn reverse_postorder<L>(g: &DiGraph<L>, start: usize) -> Vec<usize> {
 /// deadlock check ("a depth-first traversal … will find a cycle if one
 /// exists", §3.1).
 #[must_use]
-pub fn has_cycle_from<L>(g: &DiGraph<L>, start: usize) -> bool {
+pub fn has_cycle_from<G: GraphView + ?Sized>(g: &G, start: usize) -> bool {
     let n = g.num_nodes();
     let mut discovered = BitSet::new(n);
     let mut on_stack = BitSet::new(n);
@@ -88,9 +91,8 @@ pub fn has_cycle_from<L>(g: &DiGraph<L>, start: usize) -> bool {
     stack.push((start, 0));
     while let Some(&mut (u, ref mut next)) = stack.last_mut() {
         if *next < g.out_degree(u) {
-            let (v, _) = g.successors(u)[*next];
+            let v = g.successors(u)[*next] as usize;
             *next += 1;
-            let v = v as usize;
             if on_stack.contains(v) {
                 return true;
             }
@@ -109,11 +111,12 @@ pub fn has_cycle_from<L>(g: &DiGraph<L>, start: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Csr, GraphBuilder};
 
     #[test]
     fn orders_on_a_diamond() {
         // 0 → 1 → 3, 0 → 2 → 3
-        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let o = dfs(&g, 0);
         assert_eq!(o.preorder[0], 0);
         assert_eq!(*o.postorder.last().unwrap(), 0);
@@ -126,7 +129,7 @@ mod tests {
 
     #[test]
     fn rpo_starts_at_root() {
-        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
         let rpo = reverse_postorder(&g, 0);
         assert_eq!(rpo[0], 0);
         assert_eq!(rpo.len(), 4);
@@ -134,26 +137,26 @@ mod tests {
 
     #[test]
     fn cycle_detection() {
-        let acyclic = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let acyclic = Csr::from_edges(3, &[(0, 1), (1, 2)]);
         assert!(!has_cycle_from(&acyclic, 0));
-        let cyclic = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 1)]);
+        let cyclic = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 1)]);
         assert!(has_cycle_from(&cyclic, 0));
         // Cycle not reachable from start is not reported.
-        let distant = DiGraph::from_edges(4, &[(0, 1), (2, 3), (3, 2)]);
+        let distant = Csr::from_edges(4, &[(0, 1), (2, 3), (3, 2)]);
         assert!(!has_cycle_from(&distant, 0));
     }
 
     #[test]
     fn self_loop_is_a_cycle() {
-        let mut g: DiGraph<()> = DiGraph::with_nodes(2);
-        g.add_arc(0, 1);
-        g.add_arc(1, 1);
-        assert!(has_cycle_from(&g, 0));
+        let mut b: GraphBuilder<()> = GraphBuilder::with_nodes(2);
+        b.add_arc(0, 1);
+        b.add_arc(1, 1);
+        assert!(has_cycle_from(&b.freeze(), 0));
     }
 
     #[test]
     fn multi_root_covers_components() {
-        let g = DiGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
         let o = dfs_multi(&g, [0, 2]);
         assert_eq!(o.discovered.count(), 4);
     }

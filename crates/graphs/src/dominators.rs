@@ -6,7 +6,7 @@
 //! module computes immediate dominators per task CFG.
 
 use crate::dfs::reverse_postorder;
-use crate::DiGraph;
+use crate::view::GraphView;
 
 /// Immediate-dominator table for the nodes reachable from an entry node.
 #[derive(Clone, Debug)]
@@ -25,7 +25,7 @@ impl Dominators {
     /// Compute dominators of `g` from `entry` using the iterative
     /// Cooper–Harvey–Kennedy scheme.
     #[must_use]
-    pub fn compute<L>(g: &DiGraph<L>, entry: usize) -> Dominators {
+    pub fn compute<G: GraphView + ?Sized>(g: &G, entry: usize) -> Dominators {
         let n = g.num_nodes();
         let rpo = reverse_postorder(g, entry);
         let mut rpo_number = vec![NONE; n];
@@ -133,10 +133,11 @@ impl Dominators {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Csr;
 
     /// Classic diamond: entry 0, branch 1/2, join 3, exit 4.
-    fn diamond() -> DiGraph<()> {
-        DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+    fn diamond() -> Csr<()> {
+        Csr::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
     }
 
     #[test]
@@ -161,7 +162,7 @@ mod tests {
 
     #[test]
     fn unreachable_nodes() {
-        let g = DiGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
         let d = Dominators::compute(&g, 0);
         assert!(!d.is_reachable(2));
         assert_eq!(d.idom(3), None);
@@ -172,7 +173,7 @@ mod tests {
     #[test]
     fn loop_with_back_edge() {
         // 0 → 1 → 2 → 1 (back edge), 2 → 3
-        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
         let d = Dominators::compute(&g, 0);
         assert_eq!(d.idom(1), Some(0));
         assert_eq!(d.idom(2), Some(1));

@@ -5,12 +5,20 @@
 //! reachability), so rather than pulling in an external graph library this
 //! crate implements the needed substrate directly:
 //!
-//! * [`DiGraph`] — a compact adjacency-list directed graph with typed edge
-//!   labels (the CLG tags its edges `Internal`/`Control`/`Sync`);
+//! * [`Csr`] / [`GraphBuilder`] — a compressed-sparse-row directed graph
+//!   with typed edge labels (the CLG tags its edges
+//!   `Internal`/`Control`/`Sync`), built once from a flat edge arena and
+//!   immutable thereafter;
+//! * [`GraphView`] — the minimal read-only adjacency trait every algorithm
+//!   is written against, so alternative representations (test references,
+//!   condensations) share the same algorithm code;
 //! * [`BitSet`] / [`BitMatrix`] — dense bit collections backing reachability
-//!   and the `precedes` relation of the ordering dataflow;
-//! * [`dfs`] — iterative depth-first traversals with edge filtering;
-//! * [`scc`] — iterative Tarjan strongly-connected components;
+//!   and the `precedes` relation of the ordering dataflow; the single
+//!   node-set representation of the workspace;
+//! * [`dfs`] — iterative depth-first traversals;
+//! * [`scc`] — iterative Tarjan strongly-connected components with an
+//!   `Option<&BitSet>` node mask (the per-head incremental restriction of
+//!   the refined algorithm);
 //! * [`dominators`] — Cooper–Harvey–Kennedy dominator trees;
 //! * [`topo`] — Kahn topological sort / acyclicity;
 //! * [`cycles`] — budget-bounded simple-cycle enumeration (Johnson-style),
@@ -20,14 +28,16 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod csr;
 pub mod cycles;
 pub mod dfs;
-pub mod digraph;
 pub mod dominators;
 pub mod scc;
 pub mod topo;
+pub mod view;
 
 pub use bitset::{BitMatrix, BitSet};
-pub use digraph::DiGraph;
+pub use csr::{Csr, GraphBuilder};
 pub use dominators::Dominators;
 pub use scc::Scc;
+pub use view::GraphView;

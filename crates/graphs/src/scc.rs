@@ -1,13 +1,19 @@
-//! Strongly connected components (iterative Tarjan).
+//! Strongly connected components (iterative Tarjan) with optional node
+//! masking.
 //!
 //! The refined deadlock-detection algorithm (paper §4.2) runs one SCC
-//! search per hypothesised head node over a filtered CLG, asking whether the
+//! search per hypothesised head node over a masked CLG, asking whether the
 //! head's component is non-trivial. Tarjan gives all components in a single
-//! `O(N + E)` pass, matching the per-iteration cost the paper claims.
+//! `O(N + E)` pass, matching the per-iteration cost the paper claims. The
+//! mask (an `Option<&BitSet>`) is the one construction knob: `None` is the
+//! whole-graph decomposition shared across heads, `Some(mask)` is the
+//! per-head incremental restriction — both go through the same entry point
+//! so there is exactly one Tarjan implementation to trust.
 
-use crate::{BitSet, DiGraph};
+use crate::view::GraphView;
+use crate::{BitSet, Csr, GraphBuilder};
 
-/// The strongly-connected-component decomposition of a [`DiGraph`].
+/// The strongly-connected-component decomposition of a graph.
 #[derive(Clone, Debug)]
 pub struct Scc {
     /// `comp[v]` = component index of node `v` (dense, `0..num_components`).
@@ -19,19 +25,16 @@ pub struct Scc {
 }
 
 impl Scc {
-    /// Compute the SCCs of `g` (all nodes, whether reachable or not).
-    #[must_use]
-    pub fn compute<L>(g: &DiGraph<L>) -> Scc {
-        SccState::run(g, None)
-    }
-
-    /// Compute the SCCs of the subgraph induced by `enabled` nodes.
+    /// Compute the SCCs of `g`, optionally restricted to the subgraph
+    /// induced by `mask`.
     ///
-    /// Nodes outside `enabled` are placed in singleton components and never
-    /// traversed.
+    /// With `mask = None` every node participates. With `mask = Some(m)`,
+    /// nodes outside `m` are placed in singleton components (in node order)
+    /// and never traversed — this is the per-head incremental restriction of
+    /// the shared whole-graph decomposition.
     #[must_use]
-    pub fn compute_induced<L>(g: &DiGraph<L>, enabled: &BitSet) -> Scc {
-        SccState::run(g, Some(enabled))
+    pub fn compute<G: GraphView + ?Sized>(g: &G, mask: Option<&BitSet>) -> Scc {
+        SccState::run(g, mask)
     }
 
     /// Number of components.
@@ -52,12 +55,12 @@ impl Scc {
     /// A non-trivial component containing a hypothesised head node is what
     /// the refined algorithm reports as a possible deadlock.
     #[must_use]
-    pub fn in_nontrivial_component<L>(&self, g: &DiGraph<L>, v: usize) -> bool {
+    pub fn in_nontrivial_component<G: GraphView + ?Sized>(&self, g: &G, v: usize) -> bool {
         let c = self.component_of(v);
         if self.members[c].len() > 1 {
             return true;
         }
-        g.successors(v).iter().any(|(t, _)| *t as usize == v)
+        g.successors(v).contains(&(v as u32))
     }
 
     /// Are `u` and `v` in the same component?
@@ -69,14 +72,14 @@ impl Scc {
     /// All components with more than one member (or a self-loop), as member
     /// lists. Needs `g` to detect self-loops.
     #[must_use]
-    pub fn nontrivial_components<L>(&self, g: &DiGraph<L>) -> Vec<Vec<u32>> {
+    pub fn nontrivial_components<G: GraphView + ?Sized>(&self, g: &G) -> Vec<Vec<u32>> {
         self.members
             .iter()
             .filter(|m| {
                 m.len() > 1
                     || (m.len() == 1 && {
                         let v = m[0] as usize;
-                        g.successors(v).iter().any(|(t, _)| *t as usize == v)
+                        g.successors(v).contains(&m[0])
                     })
             })
             .cloned()
@@ -86,16 +89,18 @@ impl Scc {
     /// The condensation DAG: one node per component, edges between distinct
     /// components wherever `g` has an edge.
     #[must_use]
-    pub fn condensation<L>(&self, g: &DiGraph<L>) -> DiGraph<()> {
-        let mut dag = DiGraph::with_nodes(self.num_components());
+    pub fn condensation<G: GraphView + ?Sized>(&self, g: &G) -> Csr<()> {
+        let mut dag = GraphBuilder::with_nodes(self.num_components());
         let mut seen = std::collections::HashSet::new();
-        for (u, v, _) in g.edges() {
-            let (cu, cv) = (self.comp[u], self.comp[v]);
-            if cu != cv && seen.insert((cu, cv)) {
-                dag.add_arc(cu as usize, cv as usize);
+        for u in 0..g.num_nodes() {
+            for &v in g.successors(u) {
+                let (cu, cv) = (self.comp[u], self.comp[v as usize]);
+                if cu != cv && seen.insert((cu, cv)) {
+                    dag.add_arc(cu as usize, cv as usize);
+                }
             }
         }
-        dag
+        dag.freeze()
     }
 }
 
@@ -113,7 +118,7 @@ struct SccState {
 const UNVISITED: u32 = u32::MAX;
 
 impl SccState {
-    fn run<L>(g: &DiGraph<L>, enabled: Option<&BitSet>) -> Scc {
+    fn run<G: GraphView + ?Sized>(g: &G, mask: Option<&BitSet>) -> Scc {
         let n = g.num_nodes();
         let mut st = SccState {
             index: vec![UNVISITED; n],
@@ -124,7 +129,7 @@ impl SccState {
             comp: vec![0; n],
             members: Vec::new(),
         };
-        let is_enabled = |v: usize| enabled.is_none_or(|e| e.contains(v));
+        let is_enabled = |v: usize| mask.is_none_or(|e| e.contains(v));
         for v in 0..n {
             if st.index[v] == UNVISITED {
                 if is_enabled(v) {
@@ -144,7 +149,12 @@ impl SccState {
         }
     }
 
-    fn visit<L>(&mut self, g: &DiGraph<L>, root: usize, is_enabled: &impl Fn(usize) -> bool) {
+    fn visit<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        root: usize,
+        is_enabled: &impl Fn(usize) -> bool,
+    ) {
         // Frame: (node, next successor index).
         let mut call: Vec<(usize, usize)> = vec![(root, 0)];
         self.index[root] = self.next_index;
@@ -155,9 +165,8 @@ impl SccState {
 
         while let Some(&mut (u, ref mut next)) = call.last_mut() {
             if *next < g.out_degree(u) {
-                let (w, _) = g.successors(u)[*next];
+                let w = g.successors(u)[*next] as usize;
                 *next += 1;
-                let w = w as usize;
                 if !is_enabled(w) {
                     continue;
                 }
@@ -202,11 +211,8 @@ mod tests {
     #[test]
     fn two_cycles_and_a_bridge() {
         // {0,1,2} cycle → {3,4} cycle, plus isolated 5
-        let g = DiGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
-        );
-        let scc = Scc::compute(&g);
+        let g = Csr::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]);
+        let scc = Scc::compute(&g, None);
         assert!(scc.same_component(0, 1) && scc.same_component(1, 2));
         assert!(scc.same_component(3, 4));
         assert!(!scc.same_component(2, 3));
@@ -220,32 +226,37 @@ mod tests {
 
     #[test]
     fn self_loop_is_nontrivial() {
-        let mut g: DiGraph<()> = DiGraph::with_nodes(2);
-        g.add_arc(0, 0);
-        let scc = Scc::compute(&g);
+        let g = Csr::from_edges(2, &[(0, 0)]);
+        let scc = Scc::compute(&g, None);
         assert!(scc.in_nontrivial_component(&g, 0));
         assert!(!scc.in_nontrivial_component(&g, 1));
     }
 
     #[test]
-    fn induced_subgraph_breaks_cycle() {
-        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+    fn masked_subgraph_breaks_cycle() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
         let all = BitSet::full(3);
-        assert!(Scc::compute_induced(&g, &all).in_nontrivial_component(&g, 0));
+        assert!(Scc::compute(&g, Some(&all)).in_nontrivial_component(&g, 0));
         let mut without1 = BitSet::full(3);
         without1.remove(1);
-        let scc = Scc::compute_induced(&g, &without1);
+        let scc = Scc::compute(&g, Some(&without1));
         assert!(!scc.in_nontrivial_component(&g, 0));
         assert_eq!(scc.num_components(), 3);
     }
 
     #[test]
+    fn masked_matches_unmasked_on_full_mask() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)]);
+        let unmasked = Scc::compute(&g, None);
+        let masked = Scc::compute(&g, Some(&BitSet::full(5)));
+        assert_eq!(unmasked.comp, masked.comp);
+        assert_eq!(unmasked.members, masked.members);
+    }
+
+    #[test]
     fn condensation_is_a_dag_in_reverse_topo_numbering() {
-        let g = DiGraph::from_edges(
-            5,
-            &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)],
-        );
-        let scc = Scc::compute(&g);
+        let g = Csr::from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)]);
+        let scc = Scc::compute(&g, None);
         let dag = scc.condensation(&g);
         assert_eq!(dag.num_nodes(), 3);
         // Tarjan numbers components in reverse topological order: an edge
@@ -258,8 +269,8 @@ mod tests {
 
     #[test]
     fn dag_has_all_singletons() {
-        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
-        let scc = Scc::compute(&g);
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (1, 3)]);
+        let scc = Scc::compute(&g, None);
         assert_eq!(scc.num_components(), 4);
         for v in 0..4 {
             assert!(!scc.in_nontrivial_component(&g, v));

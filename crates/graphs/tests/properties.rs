@@ -1,28 +1,82 @@
-//! Property-based tests pitting the graph algorithms against brute force.
+//! Property-based tests: brute-force checks of the graph algorithms, plus
+//! the CSR-vs-adjacency-list equivalence suite guarding the PR-7 graph-core
+//! redesign.
+//!
+//! [`AdjGraph`] below reimplements the pre-redesign `DiGraph` storage
+//! (per-node `Vec` push order on both adjacency sides) as a test-local
+//! [`GraphView`]. Every algorithm result — SCC component numbering and
+//! member order, condensation edges, cycle enumeration, dominators, topo
+//! order — must be *byte-identical* between the two representations on
+//! random digraphs, because downstream reports are pinned to these orders.
 
-use iwa_graphs::dfs::has_cycle_from;
 use iwa_graphs::cycles::{enumerate_cycles, CycleBudget};
-use iwa_graphs::topo::is_acyclic;
-use iwa_graphs::{BitSet, DiGraph, Dominators, Scc};
+use iwa_graphs::dfs::has_cycle_from;
+use iwa_graphs::topo::{is_acyclic, topological_sort};
+use iwa_graphs::{BitSet, Csr, Dominators, GraphView, Scc};
 use proptest::prelude::*;
 
-/// Strategy: a random digraph with up to `n` nodes and arbitrary edges.
-fn arb_graph(max_n: usize) -> impl Strategy<Value = DiGraph<()>> {
+/// The pre-redesign adjacency-list representation, kept as the reference
+/// implementation for the equivalence proptests.
+#[derive(Clone, Debug)]
+struct AdjGraph {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl AdjGraph {
+    fn with_nodes(n: usize) -> Self {
+        AdjGraph {
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    fn add_arc(&mut self, u: usize, v: usize) {
+        self.succs[u].push(v as u32);
+        self.preds[v].push(u as u32);
+        self.num_edges += 1;
+    }
+}
+
+impl GraphView for AdjGraph {
+    fn num_nodes(&self) -> usize {
+        self.succs.len()
+    }
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+    fn successors(&self, u: usize) -> &[u32] {
+        &self.succs[u]
+    }
+    fn predecessors(&self, u: usize) -> &[u32] {
+        &self.preds[u]
+    }
+}
+
+/// Strategy: a random edge list over `1..=max_n` nodes. Built as a btree set
+/// so the graph is *simple* (parallel edges would make node-sequence cycle
+/// identity ambiguous, and never arise in CLGs).
+fn arb_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (1..=max_n).prop_flat_map(|n| {
-        proptest::collection::btree_set((0..n, 0..n), 0..(n * 3)).prop_map(move |edges| {
-            // A *simple* digraph: parallel edges would make node-sequence
-            // cycle identity ambiguous (and never arise in CLGs).
-            let mut g = DiGraph::with_nodes(n);
-            for (u, v) in edges {
-                g.add_arc(u, v);
-            }
-            g
-        })
+        proptest::collection::btree_set((0..n, 0..n), 0..(n * 3))
+            .prop_map(move |edges| (n, edges.into_iter().collect()))
     })
 }
 
+/// Build both representations from one edge list.
+fn both(n: usize, edges: &[(usize, usize)]) -> (Csr<()>, AdjGraph) {
+    let csr = Csr::from_edges(n, edges);
+    let mut adj = AdjGraph::with_nodes(n);
+    for &(u, v) in edges {
+        adj.add_arc(u, v);
+    }
+    (csr, adj)
+}
+
 /// Brute-force reachability matrix by repeated DFS.
-fn reach_matrix(g: &DiGraph<()>) -> Vec<BitSet> {
+fn reach_matrix(g: &Csr<()>) -> Vec<BitSet> {
     (0..g.num_nodes()).map(|v| g.reachable_from(v)).collect()
 }
 
@@ -31,11 +85,13 @@ proptest! {
 
     /// Tarjan components == mutual-reachability equivalence classes.
     #[test]
-    fn scc_matches_mutual_reachability(g in arb_graph(12)) {
-        let scc = Scc::compute(&g);
+    fn scc_matches_mutual_reachability(input in arb_edges(12)) {
+        let (n, edges) = input;
+        let g = Csr::from_edges(n, &edges);
+        let scc = Scc::compute(&g, None);
         let reach = reach_matrix(&g);
-        for u in 0..g.num_nodes() {
-            for v in 0..g.num_nodes() {
+        for u in 0..n {
+            for v in 0..n {
                 let mutual = reach[u].contains(v) && reach[v].contains(u);
                 prop_assert_eq!(
                     scc.same_component(u, v),
@@ -49,38 +105,44 @@ proptest! {
     /// A graph has a cycle reachable from node 0 iff some reachable node sits
     /// in a non-trivial SCC.
     #[test]
-    fn cycle_from_matches_scc(g in arb_graph(12)) {
-        let scc = Scc::compute(&g);
+    fn cycle_from_matches_scc(input in arb_edges(12)) {
+        let (n, edges) = input;
+        let g = Csr::from_edges(n, &edges);
+        let scc = Scc::compute(&g, None);
         let reachable = g.reachable_from(0);
         let via_scc = reachable
-            .iter()
+            .iter_ones()
             .any(|v| scc.in_nontrivial_component(&g, v));
         prop_assert_eq!(has_cycle_from(&g, 0), via_scc);
     }
 
     /// Kahn acyclicity agrees with "no non-trivial SCC and no self-loop".
     #[test]
-    fn topo_agrees_with_scc(g in arb_graph(12)) {
-        let scc = Scc::compute(&g);
-        let any_cycle = (0..g.num_nodes()).any(|v| scc.in_nontrivial_component(&g, v));
+    fn topo_agrees_with_scc(input in arb_edges(12)) {
+        let (n, edges) = input;
+        let g = Csr::from_edges(n, &edges);
+        let scc = Scc::compute(&g, None);
+        let any_cycle = (0..n).any(|v| scc.in_nontrivial_component(&g, v));
         prop_assert_eq!(is_acyclic(&g), !any_cycle);
     }
 
     /// Dominance: `a` dominates `b` iff removing `a` makes `b` unreachable
     /// from the entry (for a != b, both reachable).
     #[test]
-    fn dominators_match_removal_definition(g in arb_graph(10)) {
+    fn dominators_match_removal_definition(input in arb_edges(10)) {
+        let (n, edges) = input;
+        let g = Csr::from_edges(n, &edges);
         let entry = 0usize;
         let dom = Dominators::compute(&g, entry);
         let reachable = g.reachable_from(entry);
-        for a in 0..g.num_nodes() {
+        for a in 0..n {
             if a == entry || !reachable.contains(a) {
                 continue;
             }
             // Reachability with `a` deleted.
             let without_a =
                 g.reachable_from_filtered(entry, |u, v, _| u != a && v != a);
-            for b in 0..g.num_nodes() {
+            for b in 0..n {
                 if !reachable.contains(b) || b == a {
                     continue;
                 }
@@ -97,7 +159,9 @@ proptest! {
     /// Every enumerated cycle is simple and its edges exist; count agrees
     /// with acyclicity.
     #[test]
-    fn cycles_are_simple_and_complete(g in arb_graph(8)) {
+    fn cycles_are_simple_and_complete(input in arb_edges(8)) {
+        let (n, edges) = input;
+        let g = Csr::from_edges(n, &edges);
         let e = enumerate_cycles(&g, 1 << 16, 1 << 20);
         prop_assert_eq!(e.budget, CycleBudget::Complete);
         prop_assert_eq!(e.cycles.is_empty(), is_acyclic(&g));
@@ -116,7 +180,9 @@ proptest! {
     /// No duplicate cycles are emitted (set of node-sets with rotation
     /// canonicalisation must be unique).
     #[test]
-    fn cycles_are_unique(g in arb_graph(7)) {
+    fn cycles_are_unique(input in arb_edges(7)) {
+        let (n, edges) = input;
+        let g = Csr::from_edges(n, &edges);
         let e = enumerate_cycles(&g, 1 << 16, 1 << 20);
         prop_assert_eq!(e.budget, CycleBudget::Complete);
         let mut canon: Vec<Vec<usize>> = e.cycles.to_vec();
@@ -124,5 +190,85 @@ proptest! {
         canon.sort();
         canon.dedup();
         prop_assert_eq!(canon.len(), before);
+    }
+
+    // ---- CSR vs legacy-adjacency-list equivalence (PR-7 redesign gate) ----
+
+    /// Adjacency slices agree edge-for-edge, in order, on both sides.
+    #[test]
+    fn csr_adjacency_identical(input in arb_edges(14)) {
+        let (n, edges) = input;
+        let (csr, adj) = both(n, &edges);
+        prop_assert_eq!(csr.num_edges(), adj.num_edges());
+        for v in 0..n {
+            prop_assert_eq!(Csr::successors(&csr, v), adj.successors(v));
+            prop_assert_eq!(Csr::predecessors(&csr, v), adj.predecessors(v));
+        }
+    }
+
+    /// SCC output — component numbering AND member order — is byte-identical.
+    #[test]
+    fn csr_scc_identical(input in arb_edges(14)) {
+        let (n, edges) = input;
+        let (csr, adj) = both(n, &edges);
+        let a = Scc::compute(&csr, None);
+        let b = Scc::compute(&adj, None);
+        prop_assert_eq!(&a.comp, &b.comp);
+        prop_assert_eq!(&a.members, &b.members);
+        // Masked runs agree too (mask = even nodes).
+        let mut mask = BitSet::new(n);
+        for v in (0..n).step_by(2) {
+            mask.insert(v);
+        }
+        let am = Scc::compute(&csr, Some(&mask));
+        let bm = Scc::compute(&adj, Some(&mask));
+        prop_assert_eq!(&am.comp, &bm.comp);
+        prop_assert_eq!(&am.members, &bm.members);
+    }
+
+    /// Condensation edge lists are identical (order included).
+    #[test]
+    fn csr_condensation_identical(input in arb_edges(14)) {
+        let (n, edges) = input;
+        let (csr, adj) = both(n, &edges);
+        let a = Scc::compute(&csr, None).condensation(&csr);
+        let b = Scc::compute(&adj, None).condensation(&adj);
+        let ae: Vec<(usize, usize)> = a.edges().map(|(u, v, ())| (u, v)).collect();
+        let be: Vec<(usize, usize)> = b.edges().map(|(u, v, ())| (u, v)).collect();
+        prop_assert_eq!(ae, be);
+        prop_assert_eq!(a.num_nodes(), b.num_nodes());
+    }
+
+    /// Cycle enumeration emits the same cycles in the same order.
+    #[test]
+    fn csr_cycles_identical(input in arb_edges(8)) {
+        let (n, edges) = input;
+        let (csr, adj) = both(n, &edges);
+        let a = enumerate_cycles(&csr, 1 << 16, 1 << 20);
+        let b = enumerate_cycles(&adj, 1 << 16, 1 << 20);
+        prop_assert_eq!(a.budget, b.budget);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.cycles, b.cycles);
+    }
+
+    /// Dominator tables agree node-for-node.
+    #[test]
+    fn csr_dominators_identical(input in arb_edges(12)) {
+        let (n, edges) = input;
+        let (csr, adj) = both(n, &edges);
+        let a = Dominators::compute(&csr, 0);
+        let b = Dominators::compute(&adj, 0);
+        for v in 0..n {
+            prop_assert_eq!(a.idom(v), b.idom(v), "idom of {}", v);
+            prop_assert_eq!(a.is_reachable(v), b.is_reachable(v));
+        }
+    }
+
+    /// Topological order (including its exact node sequence) is identical.
+    #[test]
+    fn csr_topo_identical(input in arb_edges(14)) {
+        let (n, edges) = input;
+        let (csr, adj) = both(n, &edges);
+        prop_assert_eq!(topological_sort(&csr), topological_sort(&adj));
     }
 }

@@ -48,7 +48,7 @@ pub fn net_from_sync_graph(sg: &SyncGraph) -> PetriNet {
             .control
             .successors(B)
             .iter()
-            .map(|(v, ())| *v as usize)
+            .map(|&v| v as usize)
             .filter(|&v| sg.is_rendezvous(v) && sg.node(v).task == task)
             .map(|v| at_place[v])
             .collect();
@@ -69,8 +69,8 @@ pub fn net_from_sync_graph(sg: &SyncGraph) -> PetriNet {
         sg.control
             .successors(n)
             .iter()
-            .map(|(v, ())| {
-                let v = *v as usize;
+            .map(|&v| {
+                let v = v as usize;
                 if v == E {
                     done_place[sg.node(n).task.index()]
                 } else {

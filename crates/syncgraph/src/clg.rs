@@ -19,7 +19,7 @@
 //! refined algorithm must be able to *skip sync edges* at marked nodes.
 
 use crate::graph::{SyncGraph, B, E, FIRST_RV};
-use iwa_graphs::DiGraph;
+use iwa_graphs::{Csr, GraphBuilder};
 
 /// Edge provenance in the CLG.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,7 +37,7 @@ pub enum ClgEdge {
 pub struct Clg {
     /// The directed graph. Node indices: `b` = 0, `e` = 1, then
     /// `r_o`/`r_i` pairs (see [`Clg::out_node`]/[`Clg::in_node`]).
-    pub graph: DiGraph<ClgEdge>,
+    pub graph: Csr<ClgEdge>,
     num_rendezvous: usize,
 }
 
@@ -46,9 +46,9 @@ impl Clg {
     #[must_use]
     pub fn build(sg: &SyncGraph) -> Clg {
         let nrv = sg.num_rendezvous();
-        let mut graph: DiGraph<ClgEdge> = DiGraph::with_nodes(2 + 2 * nrv);
+        let mut graph: GraphBuilder<ClgEdge> = GraphBuilder::with_nodes(2 + 2 * nrv);
         let clg = Clg {
-            graph: DiGraph::new(),
+            graph: Csr::new(),
             num_rendezvous: nrv,
         };
         // Step 3: internal edges.
@@ -77,7 +77,7 @@ impl Clg {
             }
         }
         Clg {
-            graph,
+            graph: graph.freeze(),
             num_rendezvous: nrv,
         }
     }

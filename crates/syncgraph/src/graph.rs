@@ -1,7 +1,7 @@
 //! Sync graph construction and queries.
 
 use iwa_core::{Rendezvous, Sign, SignalId, Span, Symbols, TaskId};
-use iwa_graphs::{BitSet, DiGraph};
+use iwa_graphs::{BitSet, Csr, GraphBuilder};
 use iwa_tasklang::cfg::{self, Guard, ProgramCfg};
 use iwa_tasklang::Program;
 
@@ -49,7 +49,7 @@ pub struct SyncGraph {
     nodes: Vec<NodeData>,
     /// Directed control-flow edges `E_C` (over all node indices, including
     /// `b` and `e`).
-    pub control: DiGraph<()>,
+    pub control: Csr<()>,
     /// Undirected sync edges `E_S`: `sync[n]` lists the sync neighbours of
     /// node `n` (empty for `b`/`e`).
     sync: Vec<Vec<u32>>,
@@ -242,7 +242,7 @@ impl SyncGraph {
                         .control
                         .successors(n)
                         .iter()
-                        .any(|(v, ())| self.is_rendezvous(*v as usize))
+                        .any(|&v| self.is_rendezvous(v as usize))
             })
             .collect()
     }
@@ -261,7 +261,7 @@ impl SyncGraph {
     /// within `task` (plus `b →` entries and `→ e` exits of that task) are
     /// kept.
     #[must_use]
-    pub fn task_control_view(&self, task: TaskId) -> DiGraph<()> {
+    pub fn task_control_view(&self, task: TaskId) -> Csr<()> {
         self.control.filtered(
             |n| {
                 n == B || n == E || (self.is_rendezvous(n) && self.node(n).task == task)
@@ -368,7 +368,7 @@ impl SyncGraphBuilder {
     #[must_use]
     pub fn build(self) -> SyncGraph {
         let n = FIRST_RV + self.nodes.len();
-        let mut control = DiGraph::with_nodes(n);
+        let mut control = GraphBuilder::with_nodes(n);
         let mut seen = std::collections::HashSet::new();
         for (u, v) in self.control_edges {
             assert!(u < n && v < n, "control edge endpoint out of range");
@@ -376,6 +376,7 @@ impl SyncGraphBuilder {
                 control.add_edge(u, v, ());
             }
         }
+        let control = control.freeze();
         let mut sync: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut seen_sync = std::collections::HashSet::new();
         for (a, b) in self.sync_edges {

@@ -25,6 +25,8 @@
 pub mod clg;
 pub mod dot;
 pub mod graph;
+pub mod ports;
 
 pub use clg::{Clg, ClgEdge};
 pub use graph::{NodeData, SyncGraph, SyncGraphBuilder, B, E, FIRST_RV};
+pub use ports::PortClg;

@@ -1,0 +1,221 @@
+//! The port-expanded CLG: sync-edge endpoints reified as nodes.
+//!
+//! The refined algorithm (paper §4.2) repeatedly asks for the SCCs of the
+//! CLG *with some sync edges removed* — sync edges incident to marked nodes
+//! are banned per hypothesised head. Edge-filtered SCC queries cannot be
+//! answered from one shared decomposition, but node-masked ones can
+//! (`iwa_graphs::Scc::compute` takes an `Option<&BitSet>` mask). This module
+//! therefore inserts one *port* node on each side of every potential sync
+//! connection:
+//!
+//! * `r_o → r_so` — the sync-out port: every sync edge leaving `r` departs
+//!   from `r_so`;
+//! * `r_si → r_i` — the sync-in port: every sync edge entering `r` arrives
+//!   at `r_si`;
+//! * sync edge `{r, s}` becomes `r_so → s_si` and `s_so → r_si`.
+//!
+//! Banning all outgoing sync edges of `r` is now exactly "mask out node
+//! `r_so`"; banning incoming ones is "mask out `r_si`"; marking `r`
+//! do-not-enter is "mask out all four ports". Because `r_so` has a single
+//! in-edge (from `r_o`) and `r_si` a single out-edge (to `r_i`), cycles of
+//! the port graph correspond one-to-one to cycles of the edge-filtered CLG,
+//! and the SCC membership of the `r_o`/`r_i` nodes is identical. One shared
+//! whole-graph SCC (computed once per analysis) then serves every per-head
+//! query: heads whose witness ports sit in trivial or differing components
+//! are refuted for free, and the rest need a single Tarjan run masked down
+//! to one component's members.
+
+use crate::clg::ClgEdge;
+use crate::graph::{SyncGraph, B, E, FIRST_RV};
+use iwa_graphs::{Csr, GraphBuilder};
+
+/// The port-expanded cycle location graph derived from a [`SyncGraph`].
+#[derive(Clone, Debug)]
+pub struct PortClg {
+    /// The directed graph. Node indices: `b` = 0, `e` = 1, then
+    /// `r_o`/`r_i`/`r_so`/`r_si` quadruples (see [`PortClg::out_node`] and
+    /// friends).
+    pub graph: Csr<ClgEdge>,
+    num_rendezvous: usize,
+}
+
+impl PortClg {
+    /// Build the port-expanded CLG of `sg`.
+    ///
+    /// Construction mirrors [`crate::clg::Clg::build`] step for step;
+    /// only the sync edges are routed through the port nodes.
+    #[must_use]
+    pub fn build(sg: &SyncGraph) -> PortClg {
+        let nrv = sg.num_rendezvous();
+        let mut graph: GraphBuilder<ClgEdge> = GraphBuilder::with_nodes(2 + 4 * nrv);
+        let pg = PortClg {
+            graph: Csr::new(),
+            num_rendezvous: nrv,
+        };
+        // Internal pass-through plus the two port stubs per rendezvous.
+        for r in sg.rendezvous_nodes() {
+            graph.add_edge(pg.out_node(r), pg.in_node(r), ClgEdge::Internal);
+            graph.add_edge(pg.out_node(r), pg.sync_out_port(r), ClgEdge::Internal);
+            graph.add_edge(pg.sync_in_port(r), pg.in_node(r), ClgEdge::Internal);
+        }
+        // Control edges, exactly as in the plain CLG.
+        for (u, v, ()) in sg.control.edges() {
+            match (u, v) {
+                (B, E) => graph.add_edge(B, E, ClgEdge::Control),
+                (B, v) => graph.add_edge(B, pg.out_node(v), ClgEdge::Control),
+                (u, E) => graph.add_edge(pg.in_node(u), E, ClgEdge::Control),
+                (u, v) => graph.add_edge(pg.in_node(u), pg.out_node(v), ClgEdge::Control),
+            }
+        }
+        // Sync edges, both directions, routed port to port.
+        for r in sg.rendezvous_nodes() {
+            for &s in sg.sync_neighbors(r) {
+                let s = s as usize;
+                if r < s {
+                    graph.add_edge(pg.sync_out_port(r), pg.sync_in_port(s), ClgEdge::Sync);
+                    graph.add_edge(pg.sync_out_port(s), pg.sync_in_port(r), ClgEdge::Sync);
+                }
+            }
+        }
+        PortClg {
+            graph: graph.freeze(),
+            num_rendezvous: nrv,
+        }
+    }
+
+    /// The `r_o` (control-out) node of sync-graph node `r`.
+    ///
+    /// # Panics
+    /// If `r` is `b`/`e`.
+    #[must_use]
+    pub fn out_node(&self, r: usize) -> usize {
+        assert!(r >= FIRST_RV, "b/e have no split nodes");
+        2 + 4 * (r - FIRST_RV)
+    }
+
+    /// The `r_i` (control-in) node of sync-graph node `r`.
+    #[must_use]
+    pub fn in_node(&self, r: usize) -> usize {
+        self.out_node(r) + 1
+    }
+
+    /// The `r_so` port all sync edges leaving `r` depart from.
+    #[must_use]
+    pub fn sync_out_port(&self, r: usize) -> usize {
+        self.out_node(r) + 2
+    }
+
+    /// The `r_si` port all sync edges entering `r` arrive at.
+    #[must_use]
+    pub fn sync_in_port(&self, r: usize) -> usize {
+        self.out_node(r) + 3
+    }
+
+    /// Map a port-CLG node back to its sync-graph node (`b`/`e` map to
+    /// themselves).
+    #[must_use]
+    pub fn sync_node_of(&self, node: usize) -> usize {
+        if node < 2 {
+            node
+        } else {
+            FIRST_RV + (node - 2) / 4
+        }
+    }
+
+    /// Number of port-CLG nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        2 + 4 * self.num_rendezvous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clg::Clg;
+    use iwa_graphs::{BitSet, Scc};
+    use iwa_tasklang::parse;
+
+    fn build(src: &str) -> (SyncGraph, Clg, PortClg) {
+        let p = parse(src).unwrap();
+        let sg = SyncGraph::from_program(&p);
+        let clg = Clg::build(&sg);
+        let pg = PortClg::build(&sg);
+        (sg, clg, pg)
+    }
+
+    const DEADLOCK: &str =
+        "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }";
+    const CLEAN: &str =
+        "task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }";
+
+    #[test]
+    fn structure_counts() {
+        let (sg, clg, pg) = build(DEADLOCK);
+        assert_eq!(pg.num_nodes(), 2 + 4 * sg.num_rendezvous());
+        // Two extra stub edges per rendezvous relative to the plain CLG.
+        assert_eq!(
+            pg.graph.num_edges(),
+            clg.graph.num_edges() + 2 * sg.num_rendezvous()
+        );
+    }
+
+    #[test]
+    fn node_mapping_roundtrips() {
+        let (sg, _clg, pg) = build(DEADLOCK);
+        for r in sg.rendezvous_nodes() {
+            assert_eq!(pg.sync_node_of(pg.out_node(r)), r);
+            assert_eq!(pg.sync_node_of(pg.in_node(r)), r);
+            assert_eq!(pg.sync_node_of(pg.sync_out_port(r)), r);
+            assert_eq!(pg.sync_node_of(pg.sync_in_port(r)), r);
+        }
+        assert_eq!(pg.sync_node_of(B), B);
+        assert_eq!(pg.sync_node_of(E), E);
+    }
+
+    /// SCC membership of the `r_o`/`r_i` nodes matches the plain CLG's, both
+    /// unmasked and with a node masked out.
+    #[test]
+    fn scc_membership_matches_plain_clg() {
+        for src in [DEADLOCK, CLEAN] {
+            let (sg, clg, pg) = build(src);
+            let scc_clg = Scc::compute(&clg.graph, None);
+            let scc_pg = Scc::compute(&pg.graph, None);
+            for r in sg.rendezvous_nodes() {
+                for s in sg.rendezvous_nodes() {
+                    assert_eq!(
+                        scc_clg.same_component(clg.in_node(r), clg.in_node(s)),
+                        scc_pg.same_component(pg.in_node(r), pg.in_node(s)),
+                    );
+                    assert_eq!(
+                        scc_clg.in_nontrivial_component(&clg.graph, clg.in_node(r)),
+                        scc_pg.in_nontrivial_component(&pg.graph, pg.in_node(r)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Masking a sync-out port kills exactly that node's outgoing sync
+    /// edges, matching an edge-filtered plain CLG.
+    #[test]
+    fn port_mask_equals_edge_filter() {
+        let (sg, clg, pg) = build(DEADLOCK);
+        let banned = sg.rendezvous_nodes().next().unwrap();
+        let filtered = clg.graph.filtered(
+            |_| true,
+            |u, _, kind| *kind != ClgEdge::Sync || u != clg.out_node(banned),
+        );
+        let scc_f = Scc::compute(&filtered, None);
+        let mut mask = BitSet::full(pg.num_nodes());
+        mask.remove(pg.sync_out_port(banned));
+        let scc_m = Scc::compute(&pg.graph, Some(&mask));
+        for r in sg.rendezvous_nodes() {
+            assert_eq!(
+                scc_f.in_nontrivial_component(&filtered, clg.in_node(r)),
+                scc_m.in_nontrivial_component(&pg.graph, pg.in_node(r)),
+                "rendezvous {r}"
+            );
+        }
+    }
+}

@@ -10,7 +10,7 @@
 
 use crate::ast::{Cond, Program, Stmt, Task};
 use iwa_core::{Rendezvous, Span, TaskId};
-use iwa_graphs::DiGraph;
+use iwa_graphs::{Csr, GraphBuilder};
 
 /// Index of the distinguished entry node in every [`TaskCfg`].
 pub const ENTRY: usize = 0;
@@ -58,7 +58,7 @@ pub struct TaskCfg {
     /// Which task this is.
     pub task: TaskId,
     /// The contracted graph.
-    pub graph: DiGraph<()>,
+    pub graph: Csr<()>,
     /// Metadata per node; `None` for `ENTRY`/`EXIT`.
     pub info: Vec<Option<RvInfo>>,
 }
@@ -97,7 +97,7 @@ impl TaskCfg {
         self.graph
             .successors(ENTRY)
             .iter()
-            .map(|(v, ())| *v as usize)
+            .map(|&v| v as usize)
             .collect()
     }
 
@@ -148,7 +148,7 @@ enum MicroKind {
 }
 
 struct Lowering {
-    micro: DiGraph<()>,
+    micro: GraphBuilder<()>,
     kinds: Vec<MicroKind>,
     rv_infos: Vec<RvInfo>,
     guards: Vec<Guard>,
@@ -157,7 +157,7 @@ struct Lowering {
 impl Lowering {
     fn lower(task: &Task) -> TaskCfg {
         let mut lw = Lowering {
-            micro: DiGraph::new(),
+            micro: GraphBuilder::new(),
             kinds: Vec::new(),
             rv_infos: Vec::new(),
             guards: Vec::new(),
@@ -310,10 +310,17 @@ impl Lowering {
     /// rendezvous, with an edge wherever a micro path crosses no other
     /// rendezvous.
     fn contract(self, task: TaskId, entry: usize, exit: usize) -> TaskCfg {
-        let nrv = self.rv_infos.len();
-        let mut graph = DiGraph::with_nodes(FIRST_RV + nrv);
+        let Lowering {
+            micro,
+            kinds,
+            rv_infos,
+            guards: _,
+        } = self;
+        let micro = micro.freeze();
+        let nrv = rv_infos.len();
+        let mut graph = GraphBuilder::with_nodes(FIRST_RV + nrv);
         let mut info: Vec<Option<RvInfo>> = vec![None, None];
-        info.extend(self.rv_infos.iter().cloned().map(Some));
+        info.extend(rv_infos.iter().cloned().map(Some));
 
         // Map micro rendezvous node → final node index.
         let final_of = |kind: MicroKind| -> Option<usize> {
@@ -328,39 +335,44 @@ impl Lowering {
         // From each source (entry or rendezvous micro node), flood through
         // ε-nodes; stop at rendezvous/exit nodes and record an edge.
         let mut targets_seen = std::collections::HashSet::new();
-        for src_micro in 0..self.micro.num_nodes() {
-            let src_final = match self.kinds[src_micro] {
+        for src_micro in 0..micro.num_nodes() {
+            let src_final = match kinds[src_micro] {
                 MicroKind::Entry => ENTRY,
                 MicroKind::Rv(i) => FIRST_RV + i,
                 _ => continue,
             };
             targets_seen.clear();
-            let mut visited = vec![false; self.micro.num_nodes()];
-            let mut stack: Vec<usize> = self.micro.successors(src_micro)
+            let mut visited = vec![false; micro.num_nodes()];
+            let mut stack: Vec<usize> = micro
+                .successors(src_micro)
                 .iter()
-                .map(|(v, ())| *v as usize)
+                .map(|&v| v as usize)
                 .collect();
             while let Some(m) = stack.pop() {
                 if visited[m] {
                     continue;
                 }
                 visited[m] = true;
-                match final_of(self.kinds[m]) {
+                match final_of(kinds[m]) {
                     Some(dst_final) if dst_final != ENTRY => {
                         if targets_seen.insert(dst_final) {
                             graph.add_edge(src_final, dst_final, ());
                         }
                     }
                     _ => {
-                        for (v, ()) in self.micro.successors(m) {
-                            stack.push(*v as usize);
+                        for &v in micro.successors(m) {
+                            stack.push(v as usize);
                         }
                     }
                 }
             }
         }
         let _ = (entry, exit);
-        TaskCfg { task, graph, info }
+        TaskCfg {
+            task,
+            graph: graph.freeze(),
+            info,
+        }
     }
 }
 

@@ -51,14 +51,14 @@ fn strict_forward(sg: &SyncGraph, n: usize) -> BitSet {
         .control
         .successors(n)
         .iter()
-        .map(|(v, ())| *v as usize)
+        .map(|&v| v as usize)
         .collect();
     for &s in &stack {
         seen.insert(s);
     }
     while let Some(u) = stack.pop() {
-        for (v, ()) in sg.control.successors(u) {
-            let v = *v as usize;
+        for &v in sg.control.successors(u) {
+            let v = v as usize;
             if seen.insert(v) {
                 stack.push(v);
             }
@@ -112,7 +112,7 @@ pub fn classify(sg: &SyncGraph, wave: &Wave) -> AnomalyReport {
     // coupling *cycle* is a deadlock (Theorem 1's proof); nodes whose
     // coupling chains merely lead into a cycle or stall are "coupled".
     let k = active.len();
-    let mut coupling: iwa_graphs::DiGraph<()> = iwa_graphs::DiGraph::with_nodes(k);
+    let mut coupling: iwa_graphs::GraphBuilder<()> = iwa_graphs::GraphBuilder::with_nodes(k);
     for (ri, &r) in active.iter().enumerate() {
         for (si, (_, s_reach)) in strict.iter().enumerate() {
             if coupled_to(r, s_reach) {
@@ -120,7 +120,8 @@ pub fn classify(sg: &SyncGraph, wave: &Wave) -> AnomalyReport {
             }
         }
     }
-    let scc = iwa_graphs::Scc::compute(&coupling);
+    let coupling = coupling.freeze();
+    let scc = iwa_graphs::Scc::compute(&coupling, None);
     let deadlock_set: Vec<usize> = (0..k)
         .filter(|&i| scc.in_nontrivial_component(&coupling, i))
         .map(|i| active[i])
@@ -140,7 +141,7 @@ pub fn classify(sg: &SyncGraph, wave: &Wave) -> AnomalyReport {
             if coupling
                 .successors(i)
                 .iter()
-                .any(|(j, ())| accounted[*j as usize])
+                .any(|&j| accounted[j as usize])
             {
                 accounted[i] = true;
                 grew = true;

@@ -125,7 +125,7 @@ pub fn initial_waves(sg: &SyncGraph) -> Result<Vec<Wave>, IwaError> {
             .control
             .successors(B)
             .iter()
-            .map(|(v, ())| *v as usize)
+            .map(|&v| v as usize)
             .filter(|&v| v != E && sg.is_rendezvous(v) && sg.node(v).task == task)
             .map(|v| v as u32)
             .collect();
@@ -162,8 +162,8 @@ fn successor_slots(sg: &SyncGraph, node: usize) -> Vec<u32> {
     sg.control
         .successors(node)
         .iter()
-        .map(|(v, ())| {
-            let v = *v as usize;
+        .map(|&v| {
+            let v = v as usize;
             if v == E {
                 DONE
             } else {

@@ -5,9 +5,9 @@
 //! everything else has migrated, so a deprecation warning anywhere else
 //! is a regression (`cargo clippy -- -D warnings` enforces that).
 //!
-//! The whole file compiles only with the default-on `legacy-api`
-//! feature; `--no-default-features` builds prove the rest of the
-//! workspace is off the deprecated surface.
+//! The whole file compiles only with the `legacy-api` feature (off by
+//! default; CI opts in with `--features legacy-api` to keep the shims
+//! pinned until their removal).
 #![cfg(feature = "legacy-api")]
 #![allow(deprecated)]
 

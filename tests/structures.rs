@@ -62,8 +62,8 @@ proptest! {
                 prop_assert_eq!(sg.has_sync_edge(n, m), expected, "{} {}", n, m);
             }
             // Control successors stay within the task (or e).
-            for (v, ()) in sg.control.successors(n) {
-                let v = *v as usize;
+            for &v in sg.control.successors(n) {
+                let v = v as usize;
                 prop_assert!(
                     v == E || sg.node(v).task == d.task,
                     "control edge escapes the task"
@@ -122,7 +122,7 @@ proptest! {
         let has_cycle = reachable
             .iter()
             .any(|n| {
-                let scc = iwa::graphs::Scc::compute(&clg.graph);
+                let scc = iwa::graphs::Scc::compute(&clg.graph, None);
                 scc.in_nontrivial_component(&clg.graph, n)
             });
         prop_assert_eq!(naive.deadlock_free, !has_cycle);
@@ -156,7 +156,7 @@ proptest! {
                 .control
                 .successors(h)
                 .iter()
-                .any(|(v, ())| sg.is_rendezvous(*v as usize)));
+                .any(|&v| sg.is_rendezvous(v as usize)));
         }
     }
 }
