@@ -246,6 +246,22 @@ impl AnalysisCtx {
         crate::refined::refined_impl(sg, opts, self)
     }
 
+    /// [`refined`](AnalysisCtx::refined) with an explicit head-hypothesis
+    /// set instead of the generic [`SyncGraph::poss_heads`] scan — for
+    /// frontends that know where deadlock cycles can start (the
+    /// lock-order lowering seeds its hold-point nodes). The searches and
+    /// pruning rules are identical; only the hypothesis list differs, so
+    /// seeding a superset of `poss_heads()` is safe and seeding a subset
+    /// restricts the certificate to those heads.
+    pub fn refined_seeded(
+        &self,
+        sg: &SyncGraph,
+        seeds: &[usize],
+        opts: &RefinedOptions,
+    ) -> Result<RefinedResult, IwaError> {
+        crate::refined::refined_seeded_impl(sg, seeds, opts, self)
+    }
+
     /// [`refined`](AnalysisCtx::refined) with precomputed supporting
     /// tables (CLG, `SEQUENCEABLE`, `NOT-COEXEC`) — for callers that
     /// amortise the tables across many runs, like the ablation studies.
@@ -338,6 +354,25 @@ mod tests {
             .any());
         let stall = ctx.stall(&clean, &StallOptions::default());
         assert!(matches!(stall.verdict, crate::stall::StallVerdict::StallFree));
+    }
+
+    #[test]
+    fn seeded_refined_matches_the_generic_head_scan() {
+        let sg = SyncGraph::from_program(&parse(CROSSED).unwrap());
+        let generic = ctx().refined(&sg, &RefinedOptions::default()).unwrap();
+        let seeded = ctx()
+            .refined_seeded(&sg, &sg.poss_heads(), &RefinedOptions::default())
+            .unwrap();
+        assert_eq!(seeded.deadlock_free, generic.deadlock_free);
+        assert_eq!(
+            seeded.flagged.iter().map(|f| f.head).collect::<Vec<_>>(),
+            generic.flagged.iter().map(|f| f.head).collect::<Vec<_>>()
+        );
+        // An empty hypothesis set certifies trivially.
+        let none = ctx()
+            .refined_seeded(&sg, &[], &RefinedOptions::default())
+            .unwrap();
+        assert!(none.deadlock_free);
     }
 
     #[test]

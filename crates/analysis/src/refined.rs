@@ -263,6 +263,51 @@ pub(crate) fn refined_with_impl(
     opts: &RefinedOptions,
     ctx: &AnalysisCtx,
 ) -> Result<RefinedResult, IwaError> {
+    refined_seeded_with_impl(sg, clg, seq, cx, None, opts, ctx)
+}
+
+/// [`AnalysisCtx::refined_seeded`]: build the supporting tables, then run
+/// the marked searches over an explicit hypothesis set.
+pub(crate) fn refined_seeded_impl(
+    sg: &SyncGraph,
+    seeds: &[usize],
+    opts: &RefinedOptions,
+    ctx: &AnalysisCtx,
+) -> Result<RefinedResult, IwaError> {
+    let clg = {
+        let _span = ctx.span("analysis", "clg");
+        Clg::build(sg)
+    };
+    let seq = {
+        let _span = ctx.span("analysis", "sequence");
+        SequenceInfo::compute(sg)
+    };
+    let cx = {
+        let _span = ctx.span("analysis", "coexec");
+        if opts.use_condition_coexec {
+            CoexecInfo::compute_with_conditions(sg)
+        } else {
+            CoexecInfo::compute(sg)
+        }
+    };
+    refined_seeded_with_impl(sg, &clg, &seq, &cx, Some(seeds), opts, ctx)
+}
+
+/// The shared per-head search loop. `seeds` overrides the hypothesis set:
+/// frontends that know where deadlock cycles can start (the lock-order
+/// lowering's hold-points, for instance) seed exactly those nodes instead
+/// of paying the generic [`SyncGraph::poss_heads`] scan over every
+/// rendezvous — the searches, pruning rules, and result shape are
+/// identical either way.
+pub(crate) fn refined_seeded_with_impl(
+    sg: &SyncGraph,
+    clg: &Clg,
+    seq: &SequenceInfo,
+    cx: &CoexecInfo,
+    seeds: Option<&[usize]>,
+    opts: &RefinedOptions,
+    ctx: &AnalysisCtx,
+) -> Result<RefinedResult, IwaError> {
     let rescued = if opts.apply_constraint4 {
         constraint4_rescued(sg, seq)
     } else {
@@ -270,11 +315,14 @@ pub(crate) fn refined_with_impl(
     };
     // Constraint-4 rescued nodes can never be WAITING on an anomalous
     // wave, so they are dropped from the hypothesis list up front.
-    let heads: Vec<usize> = sg
-        .poss_heads()
-        .into_iter()
-        .filter(|h| !rescued.contains(h))
-        .collect();
+    let heads: Vec<usize> = match seeds {
+        Some(s) => s.iter().copied().filter(|h| !rescued.contains(h)).collect(),
+        None => sg
+            .poss_heads()
+            .into_iter()
+            .filter(|h| !rescued.contains(h))
+            .collect(),
+    };
 
     // The shared decomposition every head hypothesis is checked against:
     // one full SCC pass over the port-expanded CLG, computed once.

@@ -38,6 +38,7 @@ fn bench_baselines(c: &mut Criterion) {
                         max_states: 1 << 24,
                         max_anomalies: 2,
                         track_witnesses: false,
+                        ..ExploreConfig::default()
                     },
                 )
                 .unwrap()

@@ -391,6 +391,7 @@ fn e10_baselines(ctx: &Ctx) -> Table {
                     max_states: 1 << 24,
                     max_anomalies: 4,
                     track_witnesses: false,
+                    ..ExploreConfig::default()
                 },
             )
             .expect("bounded")

@@ -16,9 +16,11 @@
 use crate::families::{relay_chain, replicated_pairs, sized_random};
 use crate::timed;
 use iwa_core::obs::{Counters, Metrics};
-use iwa_engine::{analyze, EngineOptions, Rung};
+use iwa_engine::{analyze, analyze_model, EngineOptions, Rung};
+use iwa_frontend::{registry as frontends, Lang};
 use iwa_tasklang::ast::Program;
 use iwa_workloads::adversarial::{deep_loop_nest, rendezvous_mesh, wide_branch};
+use iwa_workloads::locks::{lock_chain, lock_mesh};
 use serde::Serialize;
 use serde_json::Value;
 
@@ -62,34 +64,56 @@ pub struct BenchReport {
 /// trajectory ([`crate::history`]) can record which workload it describes.
 pub const SIZED_RANDOM_SEED: u64 = 7;
 
-/// The suite: `(family, size, program)` triples for one mode. Smoke mode
+/// One suite member's model: a tasklang AST, or `.lok` source text (the
+/// lock frontend's parse + dataflow + lowering are part of what its rows
+/// measure).
+enum Member {
+    Iwa(Program),
+    Lok(String),
+}
+
+/// The suite: `(family, size, member)` triples for one mode. Smoke mode
 /// shrinks every family to CI-friendly sizes without dropping any family —
 /// the regression oracle needs every counter source exercised.
-fn members(smoke: bool) -> Vec<(&'static str, u64, Program)> {
-    let mut out: Vec<(&'static str, u64, Program)> = Vec::new();
+fn members(smoke: bool) -> Vec<(&'static str, u64, Member)> {
+    let mut out: Vec<(&'static str, u64, Member)> = Vec::new();
     let pair_sizes: &[u64] = if smoke { &[4] } else { &[4, 8, 16] };
     for &n in pair_sizes {
-        out.push(("replicated_pairs", n, replicated_pairs(n as usize, 2)));
+        out.push(("replicated_pairs", n, Member::Iwa(replicated_pairs(n as usize, 2))));
     }
     let hop_sizes: &[u64] = if smoke { &[8] } else { &[8, 16, 32] };
     for &n in hop_sizes {
-        out.push(("relay_chain", n, relay_chain(n as usize)));
+        out.push(("relay_chain", n, Member::Iwa(relay_chain(n as usize))));
     }
     let random_sizes: &[u64] = if smoke { &[4] } else { &[4, 8, 12] };
     for &n in random_sizes {
-        out.push(("sized_random", n, sized_random(SIZED_RANDOM_SEED, n as usize, 6)));
+        out.push((
+            "sized_random",
+            n,
+            Member::Iwa(sized_random(SIZED_RANDOM_SEED, n as usize, 6)),
+        ));
     }
     let nest_sizes: &[u64] = if smoke { &[2] } else { &[2, 3] };
     for &n in nest_sizes {
-        out.push(("deep_loop_nest", n, deep_loop_nest(n as usize, 2)));
+        out.push(("deep_loop_nest", n, Member::Iwa(deep_loop_nest(n as usize, 2))));
     }
     let mesh_sizes: &[u64] = if smoke { &[4] } else { &[4, 6, 8] };
     for &n in mesh_sizes {
-        out.push(("rendezvous_mesh", n, rendezvous_mesh(n as usize, true)));
+        out.push(("rendezvous_mesh", n, Member::Iwa(rendezvous_mesh(n as usize, true))));
     }
     let branch_sizes: &[u64] = if smoke { &[4] } else { &[4, 6, 8] };
     for &n in branch_sizes {
-        out.push(("wide_branch", n, wide_branch(n as usize)));
+        out.push(("wide_branch", n, Member::Iwa(wide_branch(n as usize))));
+    }
+    // The `.lok` frontend families: a witness-producing ring and a dense
+    // clean mesh, so both the anomaly and certification paths are timed.
+    let chain_sizes: &[u64] = if smoke { &[8] } else { &[8, 16, 32] };
+    for &n in chain_sizes {
+        out.push(("lock_chain", n, Member::Lok(lock_chain(n as usize, false))));
+    }
+    let lock_mesh_sizes: &[u64] = if smoke { &[4] } else { &[4, 6, 8] };
+    for &n in lock_mesh_sizes {
+        out.push(("lock_mesh", n, Member::Lok(lock_mesh(n as usize, true))));
     }
     out
 }
@@ -101,7 +125,7 @@ pub fn run_suite(smoke: bool) -> BenchReport {
     let max_steps = if smoke { 500_000 } else { 20_000_000 };
     let rows = members(smoke)
         .into_iter()
-        .map(|(family, size, program)| {
+        .map(|(family, size, member)| {
             let metrics = Metrics::new();
             let opts = EngineOptions {
                 // Heads keeps every family polynomial; the step ceiling
@@ -112,13 +136,37 @@ pub fn run_suite(smoke: bool) -> BenchReport {
                 metrics: Some(metrics.clone()),
                 ..EngineOptions::default()
             };
-            let (report, wall) = timed(|| analyze(&program, &opts));
+            let (tasks, rendezvous, report, wall) = match member {
+                Member::Iwa(program) => {
+                    let (report, wall) = timed(|| analyze(&program, &opts));
+                    (
+                        program.num_tasks() as u64,
+                        program.num_rendezvous() as u64,
+                        report,
+                        wall,
+                    )
+                }
+                Member::Lok(src) => {
+                    // Load inside the timed section: the frontend's parse,
+                    // may-hold dataflow, and lowering are the family's cost.
+                    let (outcome, wall) = timed(|| {
+                        let model = frontends::by_lang(Lang::Lok)
+                            .load(&src)
+                            .expect("generated .lok families are valid");
+                        let report = analyze_model(&model, &opts);
+                        let sg = model.sync_graph();
+                        (sg.num_tasks as u64, sg.num_rendezvous() as u64, report)
+                    });
+                    let (tasks, rendezvous, report) = outcome;
+                    (tasks, rendezvous, report, wall)
+                }
+            };
             let report = report.expect("generated families are valid programs");
             BenchRow {
                 family: family.to_owned(),
                 size,
-                tasks: program.num_tasks() as u64,
-                rendezvous: program.num_rendezvous() as u64,
+                tasks,
+                rendezvous,
                 wall_ms: wall.as_millis().try_into().unwrap_or(u64::MAX),
                 steps: report.attempts.iter().map(|a| a.steps).sum(),
                 metrics: metrics.snapshot(),
@@ -198,6 +246,15 @@ mod tests {
         // The suite must exercise the refined pipeline: some family
         // produces head examinations, else the regression oracle is blind.
         assert!(report.rows.iter().any(|r| r.metrics.heads_examined > 0));
+        // Both .lok families ride along, with real model sizes recorded.
+        for fam in ["lock_chain", "lock_mesh"] {
+            let row = report
+                .rows
+                .iter()
+                .find(|r| r.family == fam)
+                .unwrap_or_else(|| panic!("{fam} missing"));
+            assert!(row.tasks > 0 && row.rendezvous > 0, "{fam}: {row:?}");
+        }
     }
 
     #[test]

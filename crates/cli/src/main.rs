@@ -22,8 +22,12 @@ use iwa_core::{Budget, FaultPlan, IwaError};
 use iwa_engine::{
     CheckOptions, EngineOptions, EngineReport, EngineVerdict, LintStage, Rung, SCHEMA_VERSION,
 };
+use iwa_frontend::{registry as frontends, Lang};
 use iwa_lint::render::{render_diagnostic, render_diagnostics, render_parse_error};
-use iwa_lint::{quick_registry, registry, run_lints, Diagnostic, LintConfig, Severity};
+use iwa_lint::{
+    quick_registry, registry, registry_for, run_lints, run_lints_lok, Diagnostic, LintConfig,
+    Severity,
+};
 use iwa_syncgraph::{dot, Clg, SyncGraph};
 use iwa_tasklang::{parse, Program};
 use iwa_wavesim::{explore, ExploreConfig, Verdict};
@@ -74,9 +78,10 @@ const USAGE: &str = "\
 iwa — static infinite-wait anomaly detection (Masticola & Ryder, ICPP 1990)
 
 USAGE:
-    iwa analyze <file.iwa | fixture:NAME> [OPTIONS]
-    iwa check   <file.iwa | dir> [OPTIONS]     batch-check a corpus
-    iwa lint    <file.iwa | dir> [OPTIONS]     run the lint catalog
+    iwa analyze <file.iwa | file.lok | fixture:NAME> [OPTIONS]
+    iwa check   <file | dir> [OPTIONS]         batch-check a corpus
+    iwa lint    <file | dir> [OPTIONS]         run the lint catalog
+    iwa lint    --explain <lint>               describe one lint
     iwa bench   [--smoke] [--out PATH] [--validate [FILE]] [--label NAME]
                 [--history PATH] [--no-history]
     iwa serve   [OPTIONS]                      persistent analysis daemon
@@ -87,7 +92,11 @@ USAGE:
     iwa fixtures
     iwa help
 
-COMMON OPTIONS (analyze and check):
+COMMON OPTIONS (analyze, check, lint):
+    --lang iwa|lok                 force the frontend for every input file
+                                   (default: by extension; .iwa and .lok
+                                   are recognised, explicit files with an
+                                   unknown extension fall back to iwa)
     --json                         machine-readable output
     --deadline-ms N                wall-clock budget (analyze: whole ladder;
                                    check: per file, default 2000)
@@ -101,7 +110,10 @@ LINT OPTIONS:
     --format text|json|sarif       output format (default: text)
     -W, -A, -D <lint>              set a lint to warn, allow, or deny
     --deny-warnings                promote every warning to an error
-    (exit 0: no denials; 1: at least one denial; 2: usage/parse error)
+    --explain <lint>               print a lint's description, default
+                                   severity, and applicable frontends
+    (directory walks report files no frontend speaks as skipped;
+     exit 0: no denials; 1: at least one denial; 2: usage/parse error)
 
 ANALYZE OPTIONS:
     --tier heads|pairs|headtails   refined-algorithm tier (default: heads)
@@ -175,6 +187,16 @@ fn load_program(spec: &str) -> Result<(Program, Option<String>), String> {
             Ok(p) => Ok((p, Some(src))),
             Err(e) => Err(parse_failure(spec, &src, &e)),
         }
+    }
+}
+
+/// The frontend for `path`: `--lang` wins, then the file extension, then
+/// the tasklang default (an explicit file always stands for itself).
+fn frontend_for(path: &str, forced: Option<Lang>) -> &'static dyn iwa_frontend::Frontend {
+    match forced {
+        Some(lang) => frontends::by_lang(lang),
+        None => frontends::by_extension(std::path::Path::new(path))
+            .unwrap_or_else(|| frontends::by_lang(Lang::Tasklang)),
     }
 }
 
@@ -256,6 +278,20 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let spec = spec.ok_or("missing program (file path or fixture:NAME)")?;
+
+    // `.lok` programs have no single-tier certify pipeline and no Lemma-1
+    // transforms; they always run the engine ladder (the full-precision
+    // oracle rung is the default start, so a budget-free run is exact).
+    if !spec.starts_with("fixture:") && frontend_for(&spec, common.lang).lang() == Lang::Lok {
+        if tier_given {
+            return Err("--tier applies to .iwa programs (use --start for .lok)".into());
+        }
+        if !transforms {
+            return Err("--no-transforms applies to .iwa programs".into());
+        }
+        return analyze_lok(&spec, &common, trace_out.as_deref());
+    }
+
     let (program, source) = load_program(&spec)?;
     let trace = trace_out.as_ref().map(|_| TraceSink::new());
 
@@ -413,6 +449,48 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
     Ok(if clean { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
+/// `iwa analyze` for a `.lok` program: load through the lock-order
+/// frontend, run the engine ladder over the lowered sync graph, and
+/// report lock-order findings (cycles with their span-anchored
+/// acquisition chains) as lint diagnostics alongside the verdict.
+fn analyze_lok(
+    spec: &str,
+    common: &CommonOpts,
+    trace_out: Option<&str>,
+) -> Result<ExitCode, String> {
+    let src = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+    let model = frontends::by_lang(Lang::Lok)
+        .load(&src)
+        .map_err(|e| parse_failure(spec, &src, &e))?;
+
+    let trace = trace_out.map(|_| TraceSink::new());
+    let mut opts = common.engine_options(None)?;
+    opts.workers = common.jobs();
+    opts.trace = trace.clone();
+    let report = iwa_engine::analyze_model(&model, &opts).map_err(|e| e.to_string())?;
+    if let (Some(path), Some(sink)) = (trace_out, &trace) {
+        write_trace(path, sink)?;
+    }
+
+    if common.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print_engine_report(spec, &report);
+        for w in &model.warnings {
+            println!("warning   : {w}");
+        }
+        let lok = model.as_lok().expect("the lok frontend produced this model");
+        let diags = run_lints_lok(lok, &LintConfig::default(), &registry_for(Lang::Lok));
+        for d in &diags {
+            print!("{}", render_diagnostic(spec, &src, d));
+        }
+    }
+    Ok(engine_exit(report.verdict, report.degraded))
+}
+
 /// The flags `analyze` and `check` accept identically — one parser, one
 /// set of error messages, whichever subcommand the flag appears under.
 #[derive(Default)]
@@ -422,6 +500,7 @@ struct CommonOpts {
     max_steps: Option<u64>,
     start: Option<String>,
     jobs: Option<usize>,
+    lang: Option<Lang>,
 }
 
 impl CommonOpts {
@@ -453,6 +532,9 @@ impl CommonOpts {
             "-j" | "--jobs" => {
                 let v = value("-j")?;
                 self.jobs = Some(v.parse().map_err(|_| format!("bad -j '{v}'"))?);
+            }
+            "--lang" => {
+                self.lang = Some(Lang::from_name(value("--lang")?)?);
             }
             _ => return Ok(false),
         }
@@ -561,13 +643,13 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
         opts.deadline = Some(std::time::Duration::from_millis(2_000));
     }
 
-    let files =
-        iwa_engine::collect_files(std::path::Path::new(&target)).map_err(|e| e.to_string())?;
-    if files.is_empty() {
-        return Err(format!("no .iwa files under {target}"));
+    let sources =
+        iwa_engine::collect_sources(std::path::Path::new(&target)).map_err(|e| e.to_string())?;
+    if sources.files.is_empty() {
+        return Err(format!("no analyzable files under {target}"));
     }
     let summary = iwa_engine::check_batch(
-        &files,
+        &sources.files,
         &CheckOptions {
             engine: opts,
             jobs: common.jobs(),
@@ -578,6 +660,12 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             lint_config: LintConfig::default(),
             faults,
             retry: iwa_engine::RetryPolicy::with_attempts(retries.max(1)),
+            lang: common.lang,
+            skipped: sources
+                .skipped
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect(),
         },
     );
 
@@ -607,9 +695,12 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
                 print!("{}", render_diagnostics(&f.path, &src, &f.diagnostics));
             }
         }
+        for s in &summary.skipped {
+            println!("{:<14} {:<9} {s}  (unknown language)", "skipped", "-");
+        }
         println!(
             "checked {} files in {} ms: {} clean, {} anomalous, {} unknown, \
-             {} degraded, {} errors, {} panicked",
+             {} degraded, {} errors, {} panicked, {} skipped",
             summary.total,
             summary.elapsed_ms,
             summary.clean,
@@ -618,6 +709,7 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             summary.degraded,
             summary.errors,
             summary.panicked,
+            summary.skipped.len(),
         );
     }
     Ok(ExitCode::from(summary.exit_code()))
@@ -886,17 +978,50 @@ fn serve_bench(args: &[String]) -> Result<ExitCode, String> {
 struct LintReport {
     schema_version: u32,
     files: Vec<LintFileReport>,
+    /// Files the directory walk saw but no frontend speaks, each
+    /// paths; the text renderer suffixes "skipped (unknown language)".
+    skipped: Vec<String>,
 }
 
 #[derive(Serialize)]
 struct LintFileReport {
     path: String,
+    lang: String,
     diagnostics: Vec<Diagnostic>,
+}
+
+/// `iwa lint --explain <lint>`: the lint's registry card — description,
+/// default severity, and which frontends it applies to (the same
+/// applicability matrix `registry_for` filters by).
+fn explain_lint(name: &str) -> Result<ExitCode, String> {
+    let passes = registry();
+    let Some(pass) = passes.iter().find(|p| p.lint().name == name) else {
+        let known: Vec<&str> = passes.iter().map(|p| p.lint().name).collect();
+        return Err(format!(
+            "unknown lint '{name}'; known lints: {}",
+            known.join(", ")
+        ));
+    };
+    let l = pass.lint();
+    println!("{}", l.name);
+    println!("  default severity : {}", l.default_severity);
+    println!("  description      : {}", l.description);
+    let frontends: Vec<String> = l
+        .applies_to
+        .iter()
+        .map(|lang| {
+            let f = frontends::by_lang(*lang);
+            format!("{} (.{})", lang.name(), f.extensions().join(", ."))
+        })
+        .collect();
+    println!("  applies to       : {}", frontends.join(", "));
+    Ok(ExitCode::SUCCESS)
 }
 
 fn lint(args: &[String]) -> Result<ExitCode, String> {
     let mut target = None;
     let mut format: Option<String> = None;
+    let mut explain: Option<String> = None;
     let mut config = LintConfig::default();
     let mut common = CommonOpts::default();
     let mut it = args.iter();
@@ -905,6 +1030,9 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
             continue;
         }
         match a.as_str() {
+            "--explain" => {
+                explain = Some(it.next().ok_or("--explain needs a lint name")?.clone());
+            }
             "--format" => {
                 let v = it.next().ok_or("--format needs a value")?;
                 match v.as_str() {
@@ -931,7 +1059,10 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
-    let target = target.ok_or("missing path (a .iwa file or a directory)")?;
+    if let Some(name) = explain {
+        return explain_lint(&name);
+    }
+    let target = target.ok_or("missing path (a source file or a directory)")?;
     if common.start.is_some() {
         return Err("--start applies to analyze/check, not lint".into());
     }
@@ -955,32 +1086,55 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
         .workers(common.jobs())
         .build();
 
-    let files =
-        iwa_engine::collect_files(std::path::Path::new(&target)).map_err(|e| e.to_string())?;
-    if files.is_empty() {
-        return Err(format!("no .iwa files under {target}"));
+    let collected =
+        iwa_engine::collect_sources(std::path::Path::new(&target)).map_err(|e| e.to_string())?;
+    if collected.files.is_empty() {
+        return Err(format!("no lintable files under {target}"));
     }
+    let skipped: Vec<String> = collected
+        .skipped
+        .iter()
+        .map(|p| p.display().to_string())
+        .collect();
 
-    let passes = registry();
-    let mut per_file: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    // Each file runs the catalog slice its frontend speaks — the same
+    // applicability matrix `--explain` prints.
+    let mut per_file: Vec<(String, String, Vec<Diagnostic>)> = Vec::new();
     let mut sources: Vec<String> = Vec::new();
-    for path in &files {
+    for path in &collected.files {
         let display = path.display().to_string();
         let src = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {display}: {e}"))?;
-        let program = match parse(&src) {
-            Ok(p) => p,
-            Err(e) => return Err(parse_failure(&display, &src, &e)),
+        let frontend = frontend_for(&display, common.lang);
+        let lang = frontend.lang();
+        let diags = match lang {
+            Lang::Tasklang => {
+                let program = match parse(&src) {
+                    Ok(p) => p,
+                    Err(e) => return Err(parse_failure(&display, &src, &e)),
+                };
+                run_lints(&ctx, &program, &config, &registry_for(lang))
+                    .map_err(|e| format!("{display}: {e}"))?
+            }
+            Lang::Lok => {
+                let model = frontend
+                    .load(&src)
+                    .map_err(|e| parse_failure(&display, &src, &e))?;
+                let lok = model.as_lok().expect("the lok frontend produced this model");
+                run_lints_lok(lok, &config, &registry_for(lang))
+            }
         };
-        let diags =
-            run_lints(&ctx, &program, &config, &passes).map_err(|e| format!("{display}: {e}"))?;
         sources.push(src);
-        per_file.push((display, diags));
+        per_file.push((display, lang.name().to_owned(), diags));
     }
 
     match format.as_str() {
         "sarif" => {
-            let doc = iwa_lint::sarif::to_sarif(&per_file);
+            let flat: Vec<(String, Vec<Diagnostic>)> = per_file
+                .iter()
+                .map(|(path, _, diags)| (path.clone(), diags.clone()))
+                .collect();
+            let doc = iwa_lint::sarif::to_sarif(&flat);
             println!(
                 "{}",
                 serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
@@ -991,11 +1145,13 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
                 schema_version: SCHEMA_VERSION,
                 files: per_file
                     .iter()
-                    .map(|(path, diagnostics)| LintFileReport {
+                    .map(|(path, lang, diagnostics)| LintFileReport {
                         path: path.clone(),
+                        lang: lang.clone(),
                         diagnostics: diagnostics.clone(),
                     })
                     .collect(),
+                skipped: skipped.clone(),
             };
             println!(
                 "{}",
@@ -1003,31 +1159,35 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
             );
         }
         _ => {
-            for ((path, diags), src) in per_file.iter().zip(&sources) {
+            for ((path, _, diags), src) in per_file.iter().zip(&sources) {
                 if !diags.is_empty() {
                     print!("{}", render_diagnostics(path, src, diags));
                 }
             }
+            for s in &skipped {
+                println!("{s}: skipped (unknown language)");
+            }
             let errors: usize = per_file
                 .iter()
-                .flat_map(|(_, d)| d)
+                .flat_map(|(_, _, d)| d)
                 .filter(|d| d.severity == Severity::Deny)
                 .count();
             let warnings: usize = per_file
                 .iter()
-                .flat_map(|(_, d)| d)
+                .flat_map(|(_, _, d)| d)
                 .filter(|d| d.severity == Severity::Warn)
                 .count();
             println!(
-                "linted {} file(s): {errors} error(s), {warnings} warning(s)",
-                per_file.len()
+                "linted {} file(s): {errors} error(s), {warnings} warning(s), {} skipped",
+                per_file.len(),
+                skipped.len()
             );
         }
     }
 
     let denied = per_file
         .iter()
-        .any(|(_, diags)| iwa_lint::has_denials(diags));
+        .any(|(_, _, diags)| iwa_lint::has_denials(diags));
     Ok(if denied {
         ExitCode::FAILURE
     } else {
@@ -1127,10 +1287,21 @@ fn graph(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let spec = spec.ok_or("missing program (file path or fixture:NAME)")?;
-    let (program, _) = load_program(&spec)?;
-    let program = iwa_tasklang::transforms::inline_procs(&program)
-        .map_err(|e| e.to_string())?;
-    let sg = SyncGraph::from_program(&program);
+    // `.lok` models lower eagerly; dump the lowered graph directly.
+    let sg = if !spec.starts_with("fixture:")
+        && frontend_for(&spec, None).lang() == Lang::Lok
+    {
+        let src = std::fs::read_to_string(&spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+        let model = frontends::by_lang(Lang::Lok)
+            .load(&src)
+            .map_err(|e| parse_failure(&spec, &src, &e))?;
+        model.sync_graph()
+    } else {
+        let (program, _) = load_program(&spec)?;
+        let program = iwa_tasklang::transforms::inline_procs(&program)
+            .map_err(|e| e.to_string())?;
+        SyncGraph::from_program(&program)
+    };
     if want_clg {
         let clg = Clg::build(&sg);
         print!("{}", dot::clg_dot(&sg, &clg));

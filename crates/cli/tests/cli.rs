@@ -725,3 +725,116 @@ fn serve_bench_smoke_report_validates_and_survives_faults() {
     assert!(out.contains("0 hangs"), "{out}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+// ---------------------------------------------------------- lok frontend
+
+#[test]
+fn analyzing_a_lok_cycle_exits_nonzero_with_a_span_anchored_witness() {
+    let (out, err, code) = iwa_at_root(&["analyze", "corpus/locks/three_cycle.lok"]);
+    assert_eq!(code, Some(1), "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("anomalous"), "{out}");
+    // The lint rides along in text mode: the full acquisition chain with
+    // one source span per acquire site.
+    assert!(out.contains("a → b → c → a"), "{out}");
+    assert!(out.contains("holds a (6:13) while locking b (6:21)"), "{out}");
+}
+
+#[test]
+fn analyzing_a_clean_lok_file_exits_zero() {
+    let (out, err, code) = iwa_at_root(&["analyze", "corpus/locks/ordered_chain.lok"]);
+    assert_eq!(code, Some(0), "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("verdict   : clean"), "{out}");
+}
+
+#[test]
+fn lok_rejects_iwa_only_flags_with_clear_messages() {
+    let (_, err, code) = iwa_at_root(&["analyze", "corpus/locks/abba.lok", "--tier", "pairs"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("--tier applies to .iwa programs"), "{err}");
+    let (_, err, code) = iwa_at_root(&["analyze", "corpus/locks/abba.lok", "--no-transforms"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("--no-transforms applies to .iwa programs"), "{err}");
+}
+
+#[test]
+fn the_lang_flag_forces_a_frontend_regardless_of_extension() {
+    let dir = std::env::temp_dir().join("iwa_cli_lang_flag");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prog.txt");
+    std::fs::write(&path, "thread t { lock a; lock b; unlock b; unlock a; }").unwrap();
+    // Unknown extension defaults to tasklang: a parse error.
+    let (_, err, code) = iwa(&["analyze", path.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{err}");
+    // Forced to the lock frontend it is a clean two-lock program.
+    let (out, err, code) = iwa(&["analyze", path.to_str().unwrap(), "--lang", "lok"]);
+    assert_eq!(code, Some(0), "stdout: {out}\nstderr: {err}");
+    let (_, err, code) = iwa(&["analyze", path.to_str().unwrap(), "--lang", "ada"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("unknown language"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn check_over_the_locks_corpus_is_byte_identical_for_any_job_count() {
+    let locks = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus/locks");
+    let locks = locks.to_str().unwrap();
+    let run = |jobs: &str| {
+        let (out, err, code) =
+            iwa(&["check", locks, "--json", "--max-steps", "200000", "-j", jobs]);
+        assert_eq!(code, Some(1), "stdout: {out}\nstderr: {err}");
+        iwa_testsupport::masked(&out)
+    };
+    let sequential = run("1");
+    assert_eq!(sequential, run("2"), "-j 2 must match -j 1");
+    assert_eq!(sequential, run("8"), "-j 8 must match -j 1");
+}
+
+#[test]
+fn lint_reports_skipped_files_instead_of_silently_dropping_them() {
+    let dir = std::env::temp_dir().join("iwa_cli_lint_skip");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("ok.iwa"), "task a { send b.m; } task b { accept m; }").unwrap();
+    std::fs::write(dir.join("notes.md"), "# not a model\n").unwrap();
+    let (out, err, code) = iwa(&["lint", dir.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("notes.md: skipped (unknown language)"), "{out}");
+    assert!(out.contains("1 skipped"), "{out}");
+    let (out, _, _) = iwa(&["lint", dir.to_str().unwrap(), "--format", "json"]);
+    let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+    let skipped = v["skipped"].as_array().expect("skipped array");
+    assert_eq!(skipped.len(), 1, "{out}");
+    assert!(skipped[0].as_str().unwrap().ends_with("notes.md"), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lint_explain_prints_doc_severity_and_applicable_frontends() {
+    let (out, _, code) = iwa(&["lint", "--explain", "lock-order-cycle"]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("lock-order-cycle"), "{out}");
+    assert!(out.contains("default severity"), "{out}");
+    assert!(out.contains("applies to"), "{out}");
+    assert!(out.contains("lok"), "{out}");
+    // A tasklang-only lint names the tasklang frontend, not lok.
+    let (out, _, code) = iwa(&["lint", "--explain", "silent-task"]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("iwa"), "{out}");
+    // Unknown lints list the known names.
+    let (_, err, code) = iwa(&["lint", "--explain", "no-such-lint"]);
+    assert_eq!(code, Some(2));
+    assert!(err.contains("unknown lint"), "{err}");
+    assert!(err.contains("lock-order-cycle"), "{err}");
+}
+
+#[test]
+fn lok_lints_fire_on_the_locks_corpus() {
+    let (out, _, code) = iwa_at_root(&["lint", "corpus/locks/double_lock.lok"]);
+    assert_eq!(code, Some(1), "double-lock denies: {out}");
+    assert!(out.contains("double-lock"), "{out}");
+    let (out, _, code) = iwa_at_root(&["lint", "corpus/locks/unbalanced.lok"]);
+    assert_eq!(code, Some(0), "warnings alone exit 0: {out}");
+    assert!(out.contains("lock-held-at-exit"), "{out}");
+    let (out, _, code) = iwa_at_root(&["lint", "corpus/locks/three_cycle.lok"]);
+    assert_eq!(code, Some(1), "{out}");
+    assert!(out.contains("lock-order-cycle"), "{out}");
+}

@@ -240,11 +240,15 @@ pub struct SpanEvent {
     pub tid: u64,
     /// Attached counters (step counts, head counts, graph sizes…).
     pub args: Vec<(&'static str, u64)>,
+    /// Sink-wide span-open order (1-based) — the final sort tie-breaker,
+    /// so sub-microsecond siblings still render in open order.
+    pub seq: u64,
 }
 
 #[derive(Debug)]
 struct TraceInner {
     epoch: Instant,
+    next_seq: AtomicU64,
     events: Mutex<Vec<SpanEvent>>,
 }
 
@@ -284,6 +288,7 @@ impl TraceSink {
         TraceSink {
             inner: Arc::new(TraceInner {
                 epoch: Instant::now(),
+                next_seq: AtomicU64::new(1),
                 events: Mutex::new(Vec::new()),
             }),
         }
@@ -298,6 +303,7 @@ impl TraceSink {
             name: name.into(),
             started: Instant::now(),
             args: Vec::new(),
+            seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -310,7 +316,8 @@ impl TraceSink {
     }
 
     /// All spans recorded so far, sorted by `(start_us, tid)` with longer
-    /// (containing) spans first on ties — a stable, render-ready order.
+    /// (containing) spans first and open order breaking exact ties — a
+    /// deterministic, render-ready order even for sub-microsecond spans.
     #[must_use]
     pub fn events(&self) -> Vec<SpanEvent> {
         let mut evs = self
@@ -320,8 +327,8 @@ impl TraceSink {
             .unwrap_or_else(PoisonError::into_inner)
             .clone();
         evs.sort_by(|a, b| {
-            (a.start_us, a.tid, std::cmp::Reverse(a.dur_us))
-                .cmp(&(b.start_us, b.tid, std::cmp::Reverse(b.dur_us)))
+            (a.start_us, a.tid, std::cmp::Reverse(a.dur_us), a.seq)
+                .cmp(&(b.start_us, b.tid, std::cmp::Reverse(b.dur_us), b.seq))
         });
         evs
     }
@@ -423,6 +430,7 @@ pub struct SpanGuard {
     name: String,
     started: Instant,
     args: Vec<(&'static str, u64)>,
+    seq: u64,
 }
 
 impl SpanGuard {
@@ -454,6 +462,7 @@ impl Drop for SpanGuard {
             dur_us,
             tid: current_tid(),
             args: std::mem::take(&mut self.args),
+            seq: self.seq,
         };
         self.sink.record(ev);
     }

@@ -20,12 +20,12 @@
 //! matching files — still works as an alias for
 //! `check-file=panic:label=<substring>`.
 
-use crate::ladder::{analyze, EngineOptions, EngineReport, EngineVerdict, Rung, SCHEMA_VERSION};
+use crate::ladder::{analyze_model, EngineOptions, EngineReport, EngineVerdict, Rung, SCHEMA_VERSION};
 use iwa_core::fault::{FaultPlan, FaultSite};
 use iwa_core::obs::{Counters, Meta};
 use iwa_core::{pool, Budget, IwaError};
-use iwa_lint::{quick_registry, registry, run_lints, Diagnostic, LintConfig};
-use iwa_tasklang::parse;
+use iwa_frontend::{registry as frontends, Lang, ModelIr};
+use iwa_lint::{quick_registry, registry, registry_for, run_lints, run_lints_lok, Diagnostic, LintConfig};
 use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -77,6 +77,9 @@ impl RetryPolicy {
 pub struct FileOutcome {
     /// The file's path as given.
     pub path: String,
+    /// The frontend that handled the file ([`Lang::name`]: `"iwa"` or
+    /// `"lok"`), resolved from [`CheckOptions::lang`] or the extension.
+    pub lang: String,
     /// `"ok"`, `"parse-error"`, `"invalid-program"`, `"io-error"`, or
     /// `"panicked"`.
     pub status: String,
@@ -139,6 +142,14 @@ pub struct CheckOptions {
     /// default (1 attempt) disables retries. Retries are counted in
     /// [`Counters::io_retries`].
     pub retry: RetryPolicy,
+    /// Force every file through this frontend instead of resolving by
+    /// extension (the CLI's `--lang`). `None` (the default) dispatches
+    /// per file; unknown extensions fall back to tasklang.
+    pub lang: Option<Lang>,
+    /// Paths discovered but not analysable (unknown language), carried
+    /// into [`CheckSummary::skipped`] so batch reports account for every
+    /// file the walk saw. Populate from [`collect_sources`].
+    pub skipped: Vec<String>,
 }
 
 /// Roll-up of a whole [`check_batch`] run.
@@ -163,6 +174,10 @@ pub struct CheckSummary {
     pub errors: usize,
     /// Files whose analysis panicked (isolated; the run continued).
     pub panicked: usize,
+    /// Files the collection walk saw but no frontend speaks (unknown
+    /// language) — reported so a batch accounts for every file, never
+    /// silently drops one.
+    pub skipped: Vec<String>,
     /// Wall-clock milliseconds for the whole run.
     pub elapsed_ms: u64,
     /// Deterministic analysis counters plus scheduling stats, summed over
@@ -193,16 +208,32 @@ impl CheckSummary {
     }
 }
 
-/// Expand `root` into the list of files to check: a file stands for
-/// itself; a directory is walked recursively for `*.iwa` files, sorted
-/// for reproducible output.
-pub fn collect_files(root: &Path) -> Result<Vec<PathBuf>, IwaError> {
+/// What a directory walk found: the analysable source files plus every
+/// file no registered frontend speaks.
+#[derive(Clone, Debug, Default)]
+pub struct CollectedSources {
+    /// Files some frontend can load, sorted for reproducible output.
+    pub files: Vec<PathBuf>,
+    /// Files whose extension matches no registered frontend, sorted.
+    /// Empty when the root was a single explicit file (an explicit file
+    /// always stands for itself).
+    pub skipped: Vec<PathBuf>,
+}
+
+/// Expand `root` into the source files to check: a file stands for
+/// itself; a directory is walked recursively for files any registered
+/// frontend speaks (`*.iwa`, `*.lok`), with everything else accounted
+/// for in [`CollectedSources::skipped`] rather than silently dropped.
+pub fn collect_sources(root: &Path) -> Result<CollectedSources, IwaError> {
     let meta = std::fs::metadata(root)
         .map_err(|e| IwaError::Io(format!("{}: {e}", root.display())))?;
     if meta.is_file() {
-        return Ok(vec![root.to_path_buf()]);
+        return Ok(CollectedSources {
+            files: vec![root.to_path_buf()],
+            skipped: Vec::new(),
+        });
     }
-    let mut files = Vec::new();
+    let mut out = CollectedSources::default();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
         let entries =
@@ -213,13 +244,22 @@ pub fn collect_files(root: &Path) -> Result<Vec<PathBuf>, IwaError> {
                 .path();
             if path.is_dir() {
                 stack.push(path);
-            } else if path.extension().is_some_and(|ext| ext == "iwa") {
-                files.push(path);
+            } else if frontends::by_extension(&path).is_some() {
+                out.files.push(path);
+            } else {
+                out.skipped.push(path);
             }
         }
     }
-    files.sort();
-    Ok(files)
+    out.files.sort();
+    out.skipped.sort();
+    Ok(out)
+}
+
+/// [`collect_sources`] without the skipped accounting — the historical
+/// entry point, kept for callers that only want the analysable files.
+pub fn collect_files(root: &Path) -> Result<Vec<PathBuf>, IwaError> {
+    collect_sources(root).map(|c| c.files)
 }
 
 /// Deprecated sequential batch entry point.
@@ -231,12 +271,7 @@ pub fn check_paths(paths: &[PathBuf], opts: &EngineOptions) -> CheckSummary {
         paths,
         &CheckOptions {
             engine: opts.clone(),
-            jobs: 1,
-            batch_deadline: None,
-            lint: LintStage::Off,
-            lint_config: LintConfig::default(),
-            faults: None,
-            retry: RetryPolicy::default(),
+            ..CheckOptions::default()
         },
     )
 }
@@ -286,7 +321,14 @@ pub fn check_batch(paths: &[PathBuf], opts: &CheckOptions) -> CheckSummary {
         if let Some(rem) = batch_budget.as_ref().and_then(Budget::remaining_time) {
             eopts.deadline = Some(eopts.deadline.map_or(rem, |d| d.min(rem)));
         }
-        Ok::<_, IwaError>(check_one(&paths[i], &eopts, opts.lint, &opts.lint_config, &opts.retry))
+        Ok::<_, IwaError>(check_one(
+            &paths[i],
+            &eopts,
+            opts.lang,
+            opts.lint,
+            &opts.lint_config,
+            &opts.retry,
+        ))
     });
     let files: Vec<FileOutcome> = files.expect("per-file closure is infallible");
     metrics.record_steals(stats.steals);
@@ -301,6 +343,7 @@ pub fn check_batch(paths: &[PathBuf], opts: &CheckOptions) -> CheckSummary {
         degraded: count(&|o| o.degraded),
         errors: count(&|o| matches!(o.status.as_str(), "parse-error" | "invalid-program" | "io-error")),
         panicked: count(&|o| o.status == "panicked"),
+        skipped: opts.skipped.clone(),
         elapsed_ms: started.elapsed().as_millis().try_into().unwrap_or(u64::MAX),
         meta: metrics.meta(),
         files,
@@ -324,10 +367,22 @@ fn checked_fault(e: IwaError) -> Checked {
     }
 }
 
+/// The frontend that will handle `path`: the forced language when set,
+/// the extension's frontend otherwise, tasklang as the fallback for an
+/// explicitly listed file of unknown extension.
+fn frontend_for(path: &Path, forced: Option<Lang>) -> &'static dyn iwa_frontend::Frontend {
+    match forced {
+        Some(lang) => frontends::by_lang(lang),
+        None => frontends::by_extension(path)
+            .unwrap_or_else(|| frontends::by_lang(Lang::Tasklang)),
+    }
+}
+
 fn check_attempt(
     path: &Path,
     display: &str,
     opts: &EngineOptions,
+    forced: Option<Lang>,
     lint: LintStage,
     lint_config: &LintConfig,
 ) -> Checked {
@@ -345,27 +400,35 @@ fn check_attempt(
             return checked_fault(e);
         }
     }
-    let program = match parse(&src) {
-        Ok(p) => p,
-        Err(e) => return Checked::Parse(e),
+    // `load` covers both parsing and model validation; keep the two
+    // apart in the outcome taxonomy.
+    let model = match frontend_for(path, forced).load(&src) {
+        Ok(m) => m,
+        Err(e @ IwaError::Parse { .. }) => return Checked::Parse(e),
+        Err(e) => return Checked::Invalid(e),
     };
-    let report = match analyze(&program, opts) {
+    let report = match analyze_model(&model, opts) {
         Ok(report) => report,
         Err(e) => return Checked::Invalid(e),
     };
-    // The program analysed cleanly, so the lint context builds; a
+    // The model analysed cleanly, so the lint context builds; a
     // budget-tripped graph lint degrades to silence, not an error.
-    let diagnostics = match lint {
-        LintStage::Off => Vec::new(),
-        LintStage::Quick => {
+    let diagnostics = match (&model.ir, lint) {
+        (_, LintStage::Off) => Vec::new(),
+        (ModelIr::Tasklang(program), LintStage::Quick) => {
             let ctx = iwa_analysis::AnalysisCtx::builder().build();
-            run_lints(&ctx, &program, lint_config, &quick_registry()).unwrap_or_default()
+            run_lints(&ctx, program, lint_config, &quick_registry()).unwrap_or_default()
         }
-        LintStage::Full => {
+        (ModelIr::Tasklang(program), LintStage::Full) => {
             let ctx = iwa_analysis::AnalysisCtx::builder()
                 .workers(opts.workers)
                 .build();
-            run_lints(&ctx, &program, lint_config, &registry()).unwrap_or_default()
+            run_lints(&ctx, program, lint_config, &registry()).unwrap_or_default()
+        }
+        // Every `.lok` lint runs on the precomputed lock graph, so the
+        // quick/full split collapses for this frontend.
+        (ModelIr::Lok(m), LintStage::Quick | LintStage::Full) => {
+            run_lints_lok(m, lint_config, &registry_for(Lang::Lok))
         }
     };
     Checked::Report(report, diagnostics)
@@ -374,18 +437,20 @@ fn check_attempt(
 fn check_one(
     path: &Path,
     opts: &EngineOptions,
+    forced: Option<Lang>,
     lint: LintStage,
     lint_config: &LintConfig,
     retry: &RetryPolicy,
 ) -> FileOutcome {
     let started = Instant::now();
     let display = path.display().to_string();
+    let lang = frontend_for(path, forced).lang().name().to_owned();
     let max_attempts = u64::from(retry.max_attempts.max(1));
 
     let mut retries = 0u64;
     let run = loop {
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            check_attempt(path, &display, opts, lint, lint_config)
+            check_attempt(path, &display, opts, forced, lint, lint_config)
         }));
         // Only transient io-errors are retryable; panics, parse errors,
         // and analysis errors are not going to change on a second look.
@@ -427,6 +492,7 @@ fn check_one(
     };
     FileOutcome {
         path: display,
+        lang,
         status: status.to_owned(),
         verdict,
         rung,

@@ -31,6 +31,7 @@ use iwa_analysis::{
 use iwa_core::fault::{FaultPlan, FaultSite};
 use iwa_core::obs::{Counters, Meta, Metrics, TraceSink};
 use iwa_core::{Budget, CancelToken, IwaError};
+use iwa_frontend::{LoadedModel, LokModel, ModelIr};
 use iwa_syncgraph::SyncGraph;
 use iwa_tasklang::transforms::{inline_procs, unroll_twice};
 use iwa_tasklang::validate::check_model;
@@ -50,8 +51,10 @@ use std::time::Duration;
 /// summary; `3` added the shared `meta` observability block
 /// ([`Meta`]) to [`EngineReport`] and
 /// [`CheckSummary`](crate::check::CheckSummary); `4` added the
-/// `io_retries` counter to the `meta.metrics` block.
-pub const SCHEMA_VERSION: u32 = 4;
+/// `io_retries` counter to the `meta.metrics` block; `5` added frontend
+/// dispatch — `lang` on [`FileOutcome`](crate::check::FileOutcome) and
+/// the `skipped` list on [`CheckSummary`](crate::check::CheckSummary).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// One rung of the degradation ladder, most precise first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize)]
@@ -259,7 +262,55 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
     } else {
         p
     };
+    Ok(run_ladder(opts, |rung, slice, metrics| {
+        run_rung(p, rung, opts, slice, metrics)
+    }))
+}
 
+/// Run the ladder on any loaded frontend model, dispatching on its IR:
+/// tasklang models go through [`analyze`] unchanged; `.lok` models run
+/// the [lock-order ladder](analyze_lok). This is the entry point the
+/// batch driver, the CLI, and the serve daemon share.
+pub fn analyze_model(model: &LoadedModel, opts: &EngineOptions) -> Result<EngineReport, IwaError> {
+    match &model.ir {
+        ModelIr::Tasklang(p) => analyze(p, opts),
+        ModelIr::Lok(m) => analyze_lok(m, opts),
+    }
+}
+
+/// Run the degradation ladder on a loaded `.lok` model.
+///
+/// The rungs reuse the same machinery as the tasklang ladder against the
+/// lowered sync graph, specialised to the lock-order model:
+///
+/// * the **oracle** explores in deadlock-only mode (`ignore_stalls`) —
+///   stall-only stuck waves are benign for this lowering (every task is
+///   skippable, so an unpartnered acquire branch is a legal non-event);
+/// * the **refined** rungs seed the per-head SCC search with the
+///   hold-point nodes ([`LokModel::hold_points`]), which cover every
+///   possible head of the lowered graph, and certify the deadlock half
+///   only — there is no stall half to abstain on, so a deadlock-free
+///   result is `Clean`, never `Unknown`;
+/// * the **naive** floor's CLG cycle check is *exact* here (the lowered
+///   graph is control-loop-free and its CLG cycles are precisely the
+///   lock-order cycles), so even the floor never degrades to `Unknown`.
+///
+/// Anomalous verdicts report the canonical lock-order cycles with their
+/// span-anchored acquisition chains as the flagged witnesses.
+pub fn analyze_lok(m: &LokModel, opts: &EngineOptions) -> Result<EngineReport, IwaError> {
+    Ok(run_ladder(opts, |rung, slice, metrics| {
+        run_rung_lok(m, rung, opts, slice, metrics)
+    }))
+}
+
+/// The shared ladder driver: budget slicing, per-rung attempts, the
+/// degraded-but-labelled fall-through, and the observability plumbing.
+/// `run_rung` does the model-specific work of one rung and must be
+/// infallible for [`Rung::Naive`].
+fn run_ladder(
+    opts: &EngineOptions,
+    run_rung: impl Fn(Rung, &Budget, &Metrics) -> Result<(EngineVerdict, Vec<String>), IwaError>,
+) -> EngineReport {
     let mut outer = Budget::unlimited();
     if let Some(d) = opts.deadline {
         outer = outer.and_deadline(d);
@@ -291,7 +342,7 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
             .trace
             .as_ref()
             .map(|t| t.span("engine", format!("rung {rung}")));
-        let run = run_rung(p, rung, opts, &slice, &metrics);
+        let run = run_rung(rung, &slice, &metrics);
         let steps = slice.steps();
         if let Some(mut span) = rung_span {
             span.note("steps", steps);
@@ -340,7 +391,7 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
     drop(ladder_span);
 
     let (rung, verdict, flagged) = produced.expect("the naive floor cannot fail");
-    Ok(EngineReport {
+    EngineReport {
         schema_version: SCHEMA_VERSION,
         verdict,
         rung,
@@ -349,7 +400,7 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
         flagged,
         elapsed_ms: ms(outer.elapsed()),
         meta: metrics.meta(),
-    })
+    }
 }
 
 fn ms(d: Duration) -> u64 {
@@ -456,6 +507,93 @@ fn run_rung(
             Ok((verdict, flagged))
         }
         Rung::Naive => Ok(naive_floor(p, metrics)),
+    }
+}
+
+/// One rung of the lock-order ladder (see [`analyze_lok`] for the
+/// per-rung specialisation). Every rung is exact for this model, so an
+/// `Anomalous` verdict always reports the same canonical witnesses: the
+/// lock-order cycles with their span-anchored acquisition chains.
+fn run_rung_lok(
+    m: &LokModel,
+    rung: Rung,
+    opts: &EngineOptions,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<(EngineVerdict, Vec<String>), IwaError> {
+    if rung != Rung::Naive {
+        if let Some(plan) = &opts.faults {
+            plan.fire(FaultSite::Certify, rung.name())?;
+            if matches!(rung, Rung::HeadTails | Rung::HeadPairs | Rung::Heads) {
+                plan.fire(FaultSite::RefinedSearch, rung.name())?;
+            }
+        }
+    }
+    let witnesses = || {
+        m.cycles
+            .iter()
+            .map(|c| format!("lock-order cycle: {}", m.lock_graph.render_cycle(c)))
+            .collect::<Vec<_>>()
+    };
+    match rung {
+        Rung::Oracle => {
+            budget.probe("oracle exploration")?;
+            // Deadlock-only mode: stall-only stuck waves are benign in
+            // the lock lowering (every task is skippable).
+            let config = ExploreConfig {
+                ignore_stalls: true,
+                ..opts.oracle_config
+            };
+            let e = explore_budgeted(&m.sg, &config, budget)?;
+            metrics.commit(&Counters {
+                sg_nodes: m.sg.num_nodes() as u64,
+                ..Counters::default()
+            });
+            match e.verdict {
+                Verdict::AnomalyFree => Ok((EngineVerdict::Clean, Vec::new())),
+                Verdict::Anomalous => Ok((EngineVerdict::Anomalous, witnesses())),
+            }
+        }
+        Rung::HeadTails | Rung::HeadPairs | Rung::Heads => {
+            let tier = match rung {
+                Rung::HeadTails => Tier::HeadTails,
+                Rung::HeadPairs => Tier::HeadPairs,
+                _ => Tier::Heads,
+            };
+            let ropts = RefinedOptions {
+                tier,
+                ..RefinedOptions::default()
+            };
+            let mut builder = AnalysisCtx::builder()
+                .budget(budget.clone())
+                .workers(opts.workers)
+                .metrics(metrics.clone());
+            if let Some(t) = &opts.trace {
+                builder = builder.trace(t.clone());
+            }
+            let r = builder.build().refined_seeded(&m.sg, &m.hold_points, &ropts)?;
+            if r.deadlock_free {
+                Ok((EngineVerdict::Clean, Vec::new()))
+            } else {
+                Ok((EngineVerdict::Anomalous, witnesses()))
+            }
+        }
+        Rung::Naive => {
+            // Exact for this model: the lowered graph is control-loop-free
+            // and its CLG cycles are precisely the lock-order cycles, so
+            // the floor never answers `Unknown` on `.lok` input.
+            let naive = naive_analysis(&m.sg);
+            metrics.commit(&Counters {
+                sg_nodes: m.sg.num_nodes() as u64,
+                clg_cycles: naive.cycle_components.len() as u64,
+                ..Counters::default()
+            });
+            if naive.deadlock_free {
+                Ok((EngineVerdict::Clean, Vec::new()))
+            } else {
+                Ok((EngineVerdict::Anomalous, witnesses()))
+            }
+        }
     }
 }
 

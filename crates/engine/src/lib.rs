@@ -28,12 +28,12 @@ pub mod check;
 pub mod ladder;
 
 pub use check::{
-    check_batch, collect_files, CheckOptions, CheckSummary, FileOutcome, LintStage, RetryPolicy,
-    FAULT_INJECT_ENV,
+    check_batch, collect_files, collect_sources, CheckOptions, CheckSummary, CollectedSources,
+    FileOutcome, LintStage, RetryPolicy, FAULT_INJECT_ENV,
 };
 pub use ladder::{
-    analyze, EngineOptions, EngineReport, EngineVerdict, Rung, RungAttempt, LADDER,
-    SCHEMA_VERSION,
+    analyze, analyze_lok, analyze_model, EngineOptions, EngineReport, EngineVerdict, Rung,
+    RungAttempt, LADDER, SCHEMA_VERSION,
 };
 
 // The deprecated sequential batch entry point stays re-exported so old

@@ -323,7 +323,7 @@ fn the_json_schema_is_pinned() {
         keys(&v),
         [
             "schema_version", "files", "total", "clean", "anomalous", "unknown",
-            "degraded", "errors", "panicked", "elapsed_ms", "meta",
+            "degraded", "errors", "panicked", "skipped", "elapsed_ms", "meta",
         ],
         "CheckSummary changed shape: bump SCHEMA_VERSION and update this test"
     );
@@ -335,7 +335,7 @@ fn the_json_schema_is_pinned() {
     assert_eq!(
         keys(&v["files"][0]),
         [
-            "path", "status", "verdict", "rung", "degraded", "elapsed_ms", "error",
+            "path", "lang", "status", "verdict", "rung", "degraded", "elapsed_ms", "error",
             "diagnostics",
         ],
         "FileOutcome changed shape: bump SCHEMA_VERSION and update this test"
@@ -397,4 +397,97 @@ fn the_lint_stage_populates_diagnostics_only_when_enabled() {
         ok.diagnostics
     );
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+const ABBA_LOK: &str = "thread t1 { with a { lock b; unlock b; } }
+thread t2 { with b { lock a; unlock a; } }";
+const ORDERED_LOK: &str = "thread t1 { with a { lock b; unlock b; } }
+thread t2 { with a { lock b; unlock b; } }";
+
+#[test]
+fn a_mixed_language_corpus_dispatches_per_file() {
+    let dir = scratch("lok-dispatch");
+    std::fs::write(dir.join("clean.iwa"), CLEAN).unwrap();
+    std::fs::write(dir.join("ordered.lok"), ORDERED_LOK).unwrap();
+    std::fs::write(dir.join("abba.lok"), ABBA_LOK).unwrap();
+    std::fs::write(dir.join("README.md"), "docs").unwrap();
+
+    let sources = iwa_engine::collect_sources(&dir).unwrap();
+    assert_eq!(sources.files.len(), 3, "both languages collected");
+    assert_eq!(sources.skipped.len(), 1, "unknown files accounted for");
+
+    let summary = check_batch(
+        &sources.files,
+        &CheckOptions {
+            lint: iwa_engine::LintStage::Quick,
+            skipped: sources
+                .skipped
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect(),
+            ..CheckOptions::default()
+        },
+    );
+    assert_eq!(summary.clean, 2);
+    assert_eq!(summary.anomalous, 1);
+    assert_eq!(summary.skipped.len(), 1);
+    assert!(summary.skipped[0].ends_with("README.md"));
+
+    let abba = summary.files.iter().find(|f| f.path.ends_with("abba.lok")).unwrap();
+    assert_eq!(abba.lang, "lok");
+    assert_eq!(abba.verdict, Some(EngineVerdict::Anomalous));
+    assert!(
+        abba.diagnostics.iter().any(|d| d.lint == "lock-order-cycle"),
+        "lok lints ride along: {:?}",
+        abba.diagnostics
+    );
+    let iwa = summary.files.iter().find(|f| f.path.ends_with("clean.iwa")).unwrap();
+    assert_eq!(iwa.lang, "iwa");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn analyze_model_reports_lock_cycles_with_span_anchored_witnesses() {
+    let model = iwa_frontend::registry::by_lang(iwa_frontend::Lang::Lok)
+        .load(ABBA_LOK)
+        .unwrap();
+    let report = iwa_engine::analyze_model(&model, &EngineOptions::default()).unwrap();
+    assert_eq!(report.verdict, EngineVerdict::Anomalous);
+    assert_eq!(report.rung, Rung::Oracle);
+    assert!(!report.degraded);
+    assert_eq!(report.flagged.len(), 1);
+    assert!(
+        report.flagged[0].contains("a → b → a") && report.flagged[0].contains("1:22"),
+        "witness chain with spans: {}",
+        report.flagged[0]
+    );
+
+    // Every rung of the lok ladder agrees, including the naive floor
+    // (exact for this frontend — never Unknown).
+    for start in [Rung::HeadTails, Rung::Heads, Rung::Naive] {
+        let report = iwa_engine::analyze_model(
+            &model,
+            &EngineOptions {
+                start,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.verdict, EngineVerdict::Anomalous, "rung {start}");
+        assert!(report.flagged[0].contains("a → b → a"));
+    }
+    let clean = iwa_frontend::registry::by_lang(iwa_frontend::Lang::Lok)
+        .load(ORDERED_LOK)
+        .unwrap();
+    for start in [Rung::Oracle, Rung::Heads, Rung::Naive] {
+        let report = iwa_engine::analyze_model(
+            &clean,
+            &EngineOptions {
+                start,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.verdict, EngineVerdict::Clean, "rung {start}");
+    }
 }

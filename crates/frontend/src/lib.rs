@@ -1,0 +1,299 @@
+//! Frontend IR: the parse → validate → lower contract between a source
+//! language and the paper's model-agnostic analysis stack.
+//!
+//! Nothing in the CLG/SCC machinery cares that a [`SyncGraph`] came from
+//! an Ada-subset rendezvous program — the refined search, the naive cycle
+//! check, and the wavesim oracle all consume the graph alone. A
+//! [`Frontend`] packages everything that *is* language-specific:
+//!
+//! * **parse** — source text to a language AST, with spans and the shared
+//!   [`IwaError::Parse`](iwa_core::IwaError) error shape;
+//! * **validate** — model checks that reject un-analysable programs plus
+//!   warnings for suspicious-but-analysable ones;
+//! * **lower** — the AST to the paper's sync graph (and whatever
+//!   language-level IR the lints and reports need alongside it).
+//!
+//! Two frontends ship today: [`TasklangFrontend`] (the original `.iwa`
+//! rendezvous DSL) and [`LokFrontend`] (the `.lok` lock-order language,
+//! whose lock-acquisition-order cycles lower onto CLG cycles — see
+//! [`lok`]). The [`registry`] resolves a frontend by file extension or
+//! explicit `--lang` name, and [`Lang`] doubles as the lint
+//! applicability key: each lint declares which languages it speaks.
+
+use iwa_core::IwaError;
+use iwa_syncgraph::SyncGraph;
+use iwa_tasklang::Program;
+use serde::{Serialize, Value};
+use std::fmt;
+use std::path::Path;
+
+pub mod lok;
+
+pub use lok::{LokFrontend, LokModel};
+
+/// The source languages the analyzer understands. Doubles as the lint
+/// applicability key ([`iwa-lint`]'s `Lint::applies_to`) and the wire
+/// name in reports (serialized as [`Lang::name`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Lang {
+    /// The `.iwa` rendezvous DSL (tasks, send/accept, the paper's model).
+    Tasklang,
+    /// The `.lok` lock-order language (threads acquiring named mutexes).
+    Lok,
+}
+
+impl Lang {
+    /// The stable lowercase name (`iwa`, `lok`) used by `--lang`, the
+    /// serve protocol, and JSON reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lang::Tasklang => "iwa",
+            Lang::Lok => "lok",
+        }
+    }
+
+    /// Parse a `--lang` value. Accepts the stable name plus the obvious
+    /// aliases (`tasklang`, `lock`, `locks`).
+    pub fn from_name(s: &str) -> Result<Lang, String> {
+        match s {
+            "iwa" | "tasklang" => Ok(Lang::Tasklang),
+            "lok" | "lock" | "locks" => Ok(Lang::Lok),
+            other => Err(format!("unknown language '{other}' (expected iwa or lok)")),
+        }
+    }
+}
+
+impl fmt::Display for Lang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for Lang {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_owned())
+    }
+}
+
+/// The language-level IR a frontend produced alongside the sync graph —
+/// whatever the lints and human-facing reports need that the graph no
+/// longer carries.
+#[derive(Clone, Debug)]
+pub enum ModelIr {
+    /// A parsed `.iwa` program (the engine re-lowers it itself so the
+    /// Lemma 1 transforms can run on the AST).
+    Tasklang(Program),
+    /// A loaded `.lok` model: AST, lock-order graph, and the lowered
+    /// sync graph. Boxed — it is by far the larger variant.
+    Lok(Box<LokModel>),
+}
+
+/// What a [`Frontend::load`] produces: the language IR plus the
+/// validation warnings the load surfaced (rendered; analysable programs
+/// only — hard model violations are `Err`s).
+#[derive(Clone, Debug)]
+pub struct LoadedModel {
+    /// Which frontend produced this model.
+    pub lang: Lang,
+    /// The language-level IR.
+    pub ir: ModelIr,
+    /// Rendered validation warnings (suspicious but analysable).
+    pub warnings: Vec<String>,
+}
+
+impl LoadedModel {
+    /// The sync graph of the loaded model, lowered on demand for
+    /// tasklang (the engine applies AST transforms first and lowers its
+    /// own copies) and shared for frontends that lower eagerly.
+    #[must_use]
+    pub fn sync_graph(&self) -> SyncGraph {
+        match &self.ir {
+            ModelIr::Tasklang(p) => SyncGraph::from_program(p),
+            ModelIr::Lok(m) => m.sg.clone(),
+        }
+    }
+
+    /// The tasklang program, when this model came from the `.iwa`
+    /// frontend.
+    #[must_use]
+    pub fn as_tasklang(&self) -> Option<&Program> {
+        match &self.ir {
+            ModelIr::Tasklang(p) => Some(p),
+            ModelIr::Lok(_) => None,
+        }
+    }
+
+    /// The lock-order model, when this model came from the `.lok`
+    /// frontend.
+    #[must_use]
+    pub fn as_lok(&self) -> Option<&LokModel> {
+        match &self.ir {
+            ModelIr::Lok(m) => Some(m),
+            ModelIr::Tasklang(_) => None,
+        }
+    }
+}
+
+/// A language frontend: parse → validate → lower, as one `load` call.
+///
+/// Implementations are stateless unit structs registered in
+/// [`registry::all`]; everything per-model lives in the returned
+/// [`LoadedModel`].
+pub trait Frontend: Sync {
+    /// The language this frontend implements.
+    fn lang(&self) -> Lang;
+
+    /// File extensions (without the dot) this frontend claims.
+    fn extensions(&self) -> &'static [&'static str];
+
+    /// One-line description for `--explain` output and docs.
+    fn description(&self) -> &'static str;
+
+    /// Parse, validate, and lower `src`. `Err` means the model cannot be
+    /// analysed (syntax error or hard model violation); warnings ride on
+    /// the `Ok` model.
+    fn load(&self, src: &str) -> Result<LoadedModel, IwaError>;
+}
+
+/// The `.iwa` frontend: the original tasklang pipeline behind the
+/// [`Frontend`] contract.
+pub struct TasklangFrontend;
+
+impl Frontend for TasklangFrontend {
+    fn lang(&self) -> Lang {
+        Lang::Tasklang
+    }
+
+    fn extensions(&self) -> &'static [&'static str] {
+        &["iwa"]
+    }
+
+    fn description(&self) -> &'static str {
+        "rendezvous tasks over send/accept signals (Masticola & Ryder's model)"
+    }
+
+    fn load(&self, src: &str) -> Result<LoadedModel, IwaError> {
+        let p = iwa_tasklang::parse(src)?;
+        iwa_tasklang::validate::check_model(&p)?;
+        let warnings = iwa_tasklang::validate::model_warnings(&p)
+            .iter()
+            .map(render_tasklang_warning)
+            .collect();
+        Ok(LoadedModel {
+            lang: Lang::Tasklang,
+            ir: ModelIr::Tasklang(p),
+            warnings,
+        })
+    }
+}
+
+fn render_tasklang_warning(w: &iwa_tasklang::validate::Warning) -> String {
+    use iwa_tasklang::validate::Warning;
+    match w {
+        Warning::SelfSend { task, signal } => {
+            format!("task {task} sends signal {signal} to itself")
+        }
+        Warning::UnmatchedSignal {
+            signal,
+            sends,
+            accepts,
+        } => format!("signal {signal} has {sends} send(s) but {accepts} accept(s)"),
+        Warning::SilentTask { task } => {
+            format!("task {task} contains no rendezvous")
+        }
+    }
+}
+
+/// Frontend resolution: by language, by file extension, by `--lang` name.
+pub mod registry {
+    use super::{Frontend, Lang, LokFrontend, Path, TasklangFrontend};
+
+    static TASKLANG: TasklangFrontend = TasklangFrontend;
+    static LOK: LokFrontend = LokFrontend;
+
+    /// Every registered frontend, tasklang first.
+    #[must_use]
+    pub fn all() -> [&'static dyn Frontend; 2] {
+        [&TASKLANG, &LOK]
+    }
+
+    /// The frontend for `lang` (total — every [`Lang`] has one).
+    #[must_use]
+    pub fn by_lang(lang: Lang) -> &'static dyn Frontend {
+        match lang {
+            Lang::Tasklang => &TASKLANG,
+            Lang::Lok => &LOK,
+        }
+    }
+
+    /// Resolve by file extension; `None` for unknown languages (the
+    /// caller reports the file as skipped).
+    #[must_use]
+    pub fn by_extension(path: &Path) -> Option<&'static dyn Frontend> {
+        let ext = path.extension()?.to_str()?;
+        all()
+            .into_iter()
+            .find(|f| f.extensions().contains(&ext))
+    }
+
+    /// Resolve a `--lang` name (accepts [`Lang::from_name`] aliases).
+    pub fn by_name(name: &str) -> Result<&'static dyn Frontend, String> {
+        Lang::from_name(name).map(by_lang)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lang_names_round_trip() {
+        for lang in [Lang::Tasklang, Lang::Lok] {
+            assert_eq!(Lang::from_name(lang.name()), Ok(lang));
+        }
+        assert!(Lang::from_name("ada").is_err());
+        assert_eq!(Lang::from_name("tasklang"), Ok(Lang::Tasklang));
+    }
+
+    #[test]
+    fn registry_resolves_by_extension() {
+        let f = registry::by_extension(Path::new("a/b/model.iwa")).unwrap();
+        assert_eq!(f.lang(), Lang::Tasklang);
+        let f = registry::by_extension(Path::new("threads.lok")).unwrap();
+        assert_eq!(f.lang(), Lang::Lok);
+        assert!(registry::by_extension(Path::new("README.md")).is_none());
+        assert!(registry::by_extension(Path::new("no_extension")).is_none());
+    }
+
+    #[test]
+    fn tasklang_frontend_loads_and_warns() {
+        let f = registry::by_lang(Lang::Tasklang);
+        let m = f
+            .load("task t1 { send t2.a; accept b; } task t2 { accept a; send t1.b; }")
+            .unwrap();
+        assert_eq!(m.lang, Lang::Tasklang);
+        assert!(m.warnings.is_empty());
+        assert_eq!(m.as_tasklang().unwrap().num_tasks(), 2);
+        assert!(m.as_lok().is_none());
+        assert_eq!(m.sync_graph().num_rendezvous(), 4);
+
+        // Suspicious-but-analysable patterns surface as warnings.
+        let m = f.load("task t { send t.m; accept m; }").unwrap();
+        assert!(!m.warnings.is_empty());
+
+        // Parse errors are Errs.
+        assert!(f.load("task {").is_err());
+    }
+
+    #[test]
+    fn lang_serializes_as_its_stable_name() {
+        // Serialize through the serde_json shim used by all reports.
+        #[derive(Serialize)]
+        struct Probe {
+            lang: Lang,
+        }
+        let s = serde_json::to_string(&Probe { lang: Lang::Lok }).unwrap();
+        assert!(s.contains("\"lok\""), "got {s}");
+    }
+}

@@ -1,0 +1,94 @@
+//! The `.lok` AST: threads over structured lock/unlock statements.
+
+use iwa_core::Span;
+
+/// A parsed `.lok` program. Mutexes are interned in first-mention order
+/// (the index is the mutex id used throughout the lock graph and the
+/// lowering), so ids are stable under reparse.
+#[derive(Clone, Debug)]
+pub struct LokProgram {
+    /// The declared threads, in declaration order.
+    pub threads: Vec<Thread>,
+    /// Interned mutex names; index = mutex id.
+    pub mutexes: Vec<String>,
+}
+
+impl LokProgram {
+    /// The name of mutex `m`.
+    #[must_use]
+    pub fn mutex_name(&self, m: usize) -> &str {
+        self.mutexes.get(m).map_or("<unknown mutex>", String::as_str)
+    }
+}
+
+/// One thread declaration.
+#[derive(Clone, Debug)]
+pub struct Thread {
+    /// The thread's name.
+    pub name: String,
+    /// Its body.
+    pub body: Vec<LokStmt>,
+    /// Span of the name token in the declaration.
+    pub span: Span,
+}
+
+/// A `.lok` statement. Branch conditions are opaque (the analysis is
+/// path-insensitive, like the paper's treatment of `.iwa` branches).
+#[derive(Clone, Debug)]
+pub enum LokStmt {
+    /// `lock m;` — acquire mutex `m`, blocking while another thread
+    /// holds it.
+    Lock {
+        /// Mutex id.
+        mutex: usize,
+        /// Span of the `lock` keyword (the acquire site).
+        span: Span,
+    },
+    /// `unlock m;` — release mutex `m`.
+    Unlock {
+        /// Mutex id.
+        mutex: usize,
+        /// Span of the `unlock` keyword.
+        span: Span,
+    },
+    /// `with m { … }` — scoped guard: acquire `m`, run the body, release
+    /// `m` on exit.
+    With {
+        /// Mutex id.
+        mutex: usize,
+        /// The guarded body.
+        body: Vec<LokStmt>,
+        /// Span of the `with` keyword (the acquire site).
+        span: Span,
+    },
+    /// `if { … } [else { … }]` — opaque branch.
+    If {
+        /// The then branch.
+        then_branch: Vec<LokStmt>,
+        /// The else branch (empty when absent).
+        else_branch: Vec<LokStmt>,
+        /// Span of the `if` keyword.
+        span: Span,
+    },
+    /// `loop { … }` — executes zero or more times.
+    Loop {
+        /// The loop body.
+        body: Vec<LokStmt>,
+        /// Span of the `loop` keyword.
+        span: Span,
+    },
+}
+
+impl LokStmt {
+    /// The statement's source span.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            LokStmt::Lock { span, .. }
+            | LokStmt::Unlock { span, .. }
+            | LokStmt::With { span, .. }
+            | LokStmt::If { span, .. }
+            | LokStmt::Loop { span, .. } => *span,
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Lowering the lock-order graph onto the paper's sync-graph model.
+//!
+//! Each mutex `m` becomes a task `T_m` with one signal `sig_m`; each
+//! lock-order edge `(m1 → m2)` becomes its own begin-to-end branch of
+//! `T_m1`:
+//!
+//! ```text
+//! b → A(accept sig_m1) → B(send sig_m2) → e
+//! ```
+//!
+//! `A` is the **hold-point** — "some thread holds `m1` here" — and `B`
+//! is the **request** — "…while asking for `m2`". Sync edges are derived
+//! from the signal typing: every `A` of mutex `m` pairs with every `B`
+//! sending `sig_m`, i.e. with every acquire site that can block on `m`.
+//! All tasks are skippable (an acquire site may simply never be
+//! reached), so waves where some branches never start are legal.
+//!
+//! **Why cycles correspond exactly** (both directions):
+//!
+//! * *CLG side.* A `B` node's only control successor is `e`, so any CLG
+//!   cycle must alternate `A_i → B_i` control steps with `B_i — A_{i+1}`
+//!   sync steps; each alternation is one lock edge, so CLG cycles ⇔
+//!   lock-order cycles. In particular the lowered graph is loop-free in
+//!   its control edges — no Lemma 1 unrolling, and the naive §3.1 cycle
+//!   check is *exact* for this frontend.
+//! * *Wave side.* On a stuck wave only `A` nodes can have outgoing
+//!   coupling edges (a node's strict control descendants must include a
+//!   sync partner of the coupled node, and only `A` has a rendezvous
+//!   successor), and `A(m1)`'s couplings point along lock edges into
+//!   `m1`. So every coupling cycle — the paper's deadlocked set `D`,
+//!   Theorem 1 — traces a lock-order cycle, and conversely a wave
+//!   holding every `A` of a lock cycle is reachable (all tasks are
+//!   skippable) and stuck. Acyclic lock graphs still produce stall-only
+//!   stuck waves, which are benign for this model: run the oracle with
+//!   `ignore_stalls` (deadlock-only mode).
+//!
+//! A self-edge `m → m` (double acquire) lowers to `A(accept sig_m) →
+//! B(send sig_m)` inside `T_m` — the same shape as tasklang's
+//! self-send, which the whole stack already flags as a one-node
+//! deadlock cycle.
+
+use super::lockgraph::LockGraph;
+use iwa_core::{Rendezvous, Symbols, TaskId};
+use iwa_syncgraph::{SyncGraph, SyncGraphBuilder, B, E};
+
+/// The signal name carried by every mutex task (the signal identity is
+/// `(T_m, HELD)`, so names never collide across mutexes).
+const HELD: &str = "held";
+
+/// Lower `lg` to a sync graph. Returns the graph and the hold-point
+/// (`A`) node indices in lock-edge order — the head seeds for the
+/// refined analysis (every deadlock cycle of the lowered graph passes
+/// through a hold-point).
+#[must_use]
+pub fn lower(lg: &LockGraph) -> (SyncGraph, Vec<usize>) {
+    let mut symbols = Symbols::new();
+    let tasks: Vec<TaskId> = lg
+        .mutexes
+        .iter()
+        .map(|name| symbols.intern_task(name))
+        .collect();
+    let signals: Vec<_> = tasks
+        .iter()
+        .map(|&t| symbols.intern_signal(t, HELD))
+        .collect();
+
+    let mut builder = SyncGraphBuilder::new(symbols, tasks.len());
+    for &t in &tasks {
+        builder.mark_task_skippable(t);
+    }
+    let mut hold_points = Vec::with_capacity(lg.edges.len());
+    for e in &lg.edges {
+        let a = builder.add_node_full(
+            tasks[e.from],
+            Rendezvous::accept(signals[e.from]),
+            Some(format!("{} held by {}", lg.mutex_name(e.from), e.thread)),
+            Vec::new(),
+            None,
+            None,
+            e.held_span,
+        );
+        let b = builder.add_node_full(
+            tasks[e.from],
+            Rendezvous::send(signals[e.to]),
+            Some(format!("{} wanted by {}", lg.mutex_name(e.to), e.thread)),
+            Vec::new(),
+            None,
+            None,
+            e.acquire_span,
+        );
+        builder.add_control(B, a);
+        builder.add_control(a, b);
+        builder.add_control(b, E);
+        hold_points.push(a);
+    }
+    builder.derive_sync_edges();
+    (builder.build(), hold_points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lockgraph::LockGraph;
+    use super::super::parser::parse_lok;
+    use super::*;
+    use iwa_analysis::{naive_analysis, AnalysisCtx, RefinedOptions};
+    use iwa_wavesim::{explore, ExploreConfig, Verdict};
+
+    fn lowered(src: &str) -> (LockGraph, SyncGraph, Vec<usize>) {
+        let lg = LockGraph::build(&parse_lok(src).unwrap());
+        let (sg, heads) = lower(&lg);
+        (lg, sg, heads)
+    }
+
+    fn deadlock_only() -> ExploreConfig {
+        ExploreConfig {
+            ignore_stalls: true,
+            ..ExploreConfig::default()
+        }
+    }
+
+    const ABBA: &str = "thread t1 { with a { lock b; unlock b; } }
+                        thread t2 { with b { lock a; unlock a; } }";
+    const ORDERED: &str = "thread t1 { with a { lock b; unlock b; } }
+                           thread t2 { with a { lock b; unlock b; } }";
+
+    #[test]
+    fn abba_deadlocks_on_every_rung() {
+        let (lg, sg, heads) = lowered(ABBA);
+        assert_eq!(lg.cycles().len(), 1);
+        // Naive CLG cycle check.
+        assert!(!naive_analysis(&sg).deadlock_free);
+        // Refined search seeded with the hold-points.
+        let refined = AnalysisCtx::builder()
+            .build()
+            .refined_seeded(&sg, &heads, &RefinedOptions::default())
+            .unwrap();
+        assert!(!refined.deadlock_free);
+        // Deadlock-only oracle.
+        let e = explore(&sg, &deadlock_only()).unwrap();
+        assert_eq!(e.verdict, Verdict::Anomalous);
+        assert!(e.has_deadlock());
+    }
+
+    #[test]
+    fn ordered_acquisition_is_clean_on_every_rung() {
+        let (lg, sg, heads) = lowered(ORDERED);
+        assert!(lg.cycles().is_empty());
+        assert!(naive_analysis(&sg).deadlock_free);
+        let refined = AnalysisCtx::builder()
+            .build()
+            .refined_seeded(&sg, &heads, &RefinedOptions::default())
+            .unwrap();
+        assert!(refined.deadlock_free);
+        let e = explore(&sg, &deadlock_only()).unwrap();
+        assert_eq!(e.verdict, Verdict::AnomalyFree);
+    }
+
+    #[test]
+    fn lowered_graph_is_control_loop_free_with_real_spans() {
+        let (lg, sg, heads) = lowered(ABBA);
+        assert_eq!(heads.len(), lg.edges.len());
+        // Every rendezvous node carries the acquire-site span.
+        for n in sg.rendezvous_nodes() {
+            assert!(sg.node(n).span.is_real(), "node {n} lost its span");
+        }
+        // b → A → B → e only: every rendezvous has exactly one control
+        // successor, and only A successors are rendezvous.
+        for &a in &heads {
+            let succs = sg.control.successors(a);
+            assert_eq!(succs.len(), 1);
+            assert!(sg.is_rendezvous(succs[0] as usize));
+        }
+    }
+
+    #[test]
+    fn hold_points_cover_poss_heads() {
+        // The generic head scan can only propose hold-points (B nodes'
+        // sole successor is e), so seeding them loses nothing.
+        let (_, sg, heads) = lowered(ABBA);
+        for h in sg.poss_heads() {
+            assert!(heads.contains(&h), "poss_head {h} is not a hold-point");
+        }
+    }
+
+    #[test]
+    fn double_lock_lowers_to_a_self_cycle() {
+        let (lg, sg, _) = lowered("thread t { lock a; lock a; unlock a; }");
+        assert_eq!(lg.cycles().len(), 1);
+        assert!(!naive_analysis(&sg).deadlock_free);
+        let e = explore(&sg, &deadlock_only()).unwrap();
+        assert!(e.has_deadlock());
+    }
+
+    #[test]
+    fn three_mutex_cycle_agrees_across_the_stack() {
+        let (lg, sg, heads) = lowered(
+            "thread t1 { with a { lock b; unlock b; } }
+             thread t2 { with b { lock c; unlock c; } }
+             thread t3 { with c { lock a; unlock a; } }",
+        );
+        assert_eq!(lg.cycles()[0].mutexes.len(), 3);
+        assert!(!naive_analysis(&sg).deadlock_free);
+        let refined = AnalysisCtx::builder()
+            .build()
+            .refined_seeded(&sg, &heads, &RefinedOptions::default())
+            .unwrap();
+        assert!(!refined.deadlock_free);
+        assert!(explore(&sg, &deadlock_only()).unwrap().has_deadlock());
+    }
+}

@@ -1,0 +1,457 @@
+//! Recursive-descent parser for the `.lok` DSL.
+//!
+//! Grammar (whitespace-insensitive, `//` line comments):
+//!
+//! ```text
+//! program := threaddecl*
+//! threaddecl := "thread" IDENT "{" stmt* "}"
+//! stmt := "lock" IDENT ";"
+//!       | "unlock" IDENT ";"
+//!       | "with" IDENT "{" stmt* "}"
+//!       | "if" "{" stmt* "}" ["else" "{" stmt* "}"]
+//!       | "loop" "{" stmt* "}"
+//! ```
+//!
+//! Mirrors the tasklang parser's structure and hardening: same token
+//! shapes, same error positions, and the same [`MAX_NESTING_DEPTH`]
+//! recursion cap (the proptest no-panic suite pins the parity).
+
+use super::ast::{LokProgram, LokStmt, Thread};
+use iwa_core::{IwaError, Span};
+use std::collections::HashMap;
+
+/// Maximum statement-nesting depth the parser accepts — identical to
+/// tasklang's cap, for the same reason: the parser and every AST walk
+/// recurse per nesting level, and an uncapped `with a{with a{…` soup
+/// would overflow the stack with an uncatchable abort.
+pub const MAX_NESTING_DEPTH: usize = iwa_tasklang::parser::MAX_NESTING_DEPTH;
+
+/// Parse `.lok` source text into a [`LokProgram`].
+///
+/// ```
+/// let p = iwa_frontend::lok::parse_lok(r"
+///     thread t1 { with a { lock b; unlock b; } }
+///     thread t2 { with b { lock a; unlock a; } }
+/// ").unwrap();
+/// assert_eq!(p.threads.len(), 2);
+/// assert_eq!(p.mutexes, ["a", "b"]);
+/// ```
+pub fn parse_lok(src: &str) -> Result<LokProgram, IwaError> {
+    let tokens = lex(src)?;
+    Parser {
+        tokens,
+        pos: 0,
+        mutexes: Vec::new(),
+        mutex_ids: HashMap::new(),
+        depth: 0,
+    }
+    .program()
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    LBrace,
+    RBrace,
+    Semi,
+    Eof,
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+    len: usize,
+}
+
+impl Spanned {
+    fn span(&self) -> Span {
+        Span::new(self.line as u32, self.col as u32, self.len as u32)
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, IwaError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        let bump = |c: char, line: &mut usize, col: &mut usize| {
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        };
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+            }
+            '/' => {
+                chars.next();
+                bump('/', &mut line, &mut col);
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        bump(c, &mut line, &mut col);
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(IwaError::Parse {
+                        line: tline,
+                        col: tcol,
+                        message: "unexpected '/' (comments are '//')".into(),
+                    });
+                }
+            }
+            '{' | '}' | ';' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    _ => Tok::Semi,
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                    len: 1,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                        bump(c, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                let len = ident.chars().count();
+                out.push(Spanned {
+                    tok: Tok::Ident(ident),
+                    line: tline,
+                    col: tcol,
+                    len,
+                });
+            }
+            other => {
+                return Err(IwaError::Parse {
+                    line: tline,
+                    col: tcol,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+        len: 0,
+    });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    mutexes: Vec<String>,
+    mutex_ids: HashMap<String, usize>,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Spanned {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, at: &Spanned, message: impl Into<String>) -> IwaError {
+        IwaError::Parse {
+            line: at.line,
+            col: at.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<Spanned, IwaError> {
+        let t = self.advance();
+        if &t.tok == want {
+            Ok(t)
+        } else {
+            Err(self.err(&t, format!("expected {what}, found {:?}", t.tok)))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Spanned), IwaError> {
+        let t = self.advance();
+        match &t.tok {
+            Tok::Ident(s) => Ok((s.clone(), t.clone())),
+            other => Err(self.err(&t, format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Ident(s) if s == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn intern_mutex(&mut self, name: &str) -> usize {
+        if let Some(&id) = self.mutex_ids.get(name) {
+            return id;
+        }
+        let id = self.mutexes.len();
+        self.mutexes.push(name.to_owned());
+        self.mutex_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    fn program(mut self) -> Result<LokProgram, IwaError> {
+        let mut threads: Vec<Thread> = Vec::new();
+        loop {
+            if self.peek().tok == Tok::Eof {
+                break;
+            }
+            let kw = self.advance();
+            match &kw.tok {
+                Tok::Ident(s) if s == "thread" => {
+                    let (name, at) = self.ident("thread name")?;
+                    if threads.iter().any(|t| t.name == name) {
+                        return Err(self.err(&at, format!("thread '{name}' declared twice")));
+                    }
+                    self.expect(&Tok::LBrace, "'{'")?;
+                    let body = self.block()?;
+                    threads.push(Thread {
+                        name,
+                        body,
+                        span: at.span(),
+                    });
+                }
+                _ => return Err(self.err(&kw, "expected 'thread'")),
+            }
+        }
+        Ok(LokProgram {
+            threads,
+            mutexes: self.mutexes,
+        })
+    }
+
+    /// Parse statements until the matching `}` (consumed).
+    fn block(&mut self) -> Result<Vec<LokStmt>, IwaError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            let t = self.peek().clone();
+            return Err(self.err(
+                &t,
+                format!("statements nested deeper than {MAX_NESTING_DEPTH} levels"),
+            ));
+        }
+        let result = self.block_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn block_inner(&mut self) -> Result<Vec<LokStmt>, IwaError> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.peek().tok == Tok::RBrace {
+                self.advance();
+                return Ok(stmts);
+            }
+            if self.peek().tok == Tok::Eof {
+                let t = self.peek().clone();
+                return Err(self.err(&t, "unexpected end of input (missing '}')"));
+            }
+            stmts.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<LokStmt, IwaError> {
+        let t = self.advance();
+        let kw = match &t.tok {
+            Tok::Ident(s) => s.clone(),
+            other => return Err(self.err(&t, format!("expected a statement, found {other:?}"))),
+        };
+        match kw.as_str() {
+            "lock" => {
+                let (name, _) = self.ident("mutex name")?;
+                let mutex = self.intern_mutex(&name);
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(LokStmt::Lock {
+                    mutex,
+                    span: t.span(),
+                })
+            }
+            "unlock" => {
+                let (name, _) = self.ident("mutex name")?;
+                let mutex = self.intern_mutex(&name);
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(LokStmt::Unlock {
+                    mutex,
+                    span: t.span(),
+                })
+            }
+            "with" => {
+                let (name, _) = self.ident("mutex name")?;
+                let mutex = self.intern_mutex(&name);
+                self.expect(&Tok::LBrace, "'{'")?;
+                let body = self.block()?;
+                Ok(LokStmt::With {
+                    mutex,
+                    body,
+                    span: t.span(),
+                })
+            }
+            "if" => {
+                self.expect(&Tok::LBrace, "'{'")?;
+                let then_branch = self.block()?;
+                let else_branch = if self.eat_kw("else") {
+                    self.expect(&Tok::LBrace, "'{'")?;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(LokStmt::If {
+                    then_branch,
+                    else_branch,
+                    span: t.span(),
+                })
+            }
+            "loop" => {
+                self.expect(&Tok::LBrace, "'{'")?;
+                let body = self.block()?;
+                Ok(LokStmt::Loop {
+                    body,
+                    span: t.span(),
+                })
+            }
+            other => Err(self.err(
+                &t,
+                format!("unknown statement keyword '{other}' (expected lock/unlock/with/if/loop)"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_program() {
+        let p = parse_lok("thread t { lock a; unlock a; }").unwrap();
+        assert_eq!(p.threads.len(), 1);
+        assert_eq!(p.mutexes, ["a"]);
+    }
+
+    #[test]
+    fn mutex_ids_are_first_mention_order() {
+        let p = parse_lok(
+            "thread t1 { lock b; lock a; } thread t2 { lock c; lock b; }",
+        )
+        .unwrap();
+        assert_eq!(p.mutexes, ["b", "a", "c"]);
+    }
+
+    #[test]
+    fn all_constructs_parse() {
+        let p = parse_lok(
+            "// guards, branches, loops
+             thread t {
+                 with a {
+                     if { lock b; unlock b; } else { loop { lock c; unlock c; } }
+                 }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.mutexes, ["a", "b", "c"]);
+        match &p.threads[0].body[0] {
+            LokStmt::With { mutex, body, .. } => {
+                assert_eq!(*mutex, 0);
+                assert!(matches!(body[0], LokStmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_thread_is_an_error() {
+        let e = parse_lok("thread t { } thread t { }").unwrap_err();
+        assert!(e.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_lok("thread t {\n  lock a\n}").unwrap_err();
+        match e {
+            IwaError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_is_an_error() {
+        let e = parse_lok("thread t { explode; }").unwrap_err();
+        assert!(e.to_string().contains("unknown statement keyword"));
+    }
+
+    #[test]
+    fn nesting_is_capped_at_tasklang_parity() {
+        assert_eq!(MAX_NESTING_DEPTH, iwa_tasklang::parser::MAX_NESTING_DEPTH);
+        let deep = "with a { ".repeat(MAX_NESTING_DEPTH + 1);
+        let src = format!("thread t {{ {deep}");
+        let e = parse_lok(&src).unwrap_err();
+        assert!(e.to_string().contains("nested deeper"), "got: {e}");
+        // One level under the cap parses (given matching braces).
+        let ok = format!(
+            "thread t {{ {}{} }}",
+            "if { ".repeat(MAX_NESTING_DEPTH - 2),
+            "} ".repeat(MAX_NESTING_DEPTH - 2)
+        );
+        parse_lok(&ok).unwrap();
+    }
+
+    #[test]
+    fn empty_source_is_an_empty_program() {
+        let p = parse_lok("").unwrap();
+        assert!(p.threads.is_empty());
+        assert!(p.mutexes.is_empty());
+    }
+
+    #[test]
+    fn spans_point_at_keywords() {
+        let p = parse_lok("thread t {\n  lock alpha;\n}").unwrap();
+        let LokStmt::Lock { span, .. } = &p.threads[0].body[0] else {
+            panic!("expected lock");
+        };
+        assert_eq!((span.line, span.col, span.len), (2, 3, 4));
+    }
+}

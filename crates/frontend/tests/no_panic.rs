@@ -1,0 +1,115 @@
+//! Robustness: the `.lok` parser and the whole load pipeline must
+//! *reject* hostile input, never panic on it. `iwa check` feeds
+//! arbitrary files straight into `Frontend::load`, so any panic here
+//! would surface as a crashed worker instead of a clean `parse-error`.
+
+use iwa_frontend::lok::{parse_lok, MAX_NESTING_DEPTH};
+use iwa_frontend::registry;
+use iwa_frontend::Lang;
+use proptest::prelude::*;
+
+/// Fragments a hostile-but-plausible `.lok` file might contain: every
+/// keyword and punctuation mark the grammar knows, identifiers, and some
+/// bytes it does not.
+const TOKENS: &[&str] = &[
+    "thread", "lock", "unlock", "with", "if", "else", "loop", "{", "}", ";", "a", "b", "m1",
+    "worker", "//", "\n", "\t", "$", "0xFF", "thread thread",
+];
+
+fn load_lok(src: &str) {
+    // Run the *full* pipeline — parse, lock-graph walk, cycle search,
+    // lowering — not just the parser: the walk and the lowering must be
+    // panic-free on every program the parser accepts.
+    let _ = registry::by_lang(Lang::Lok).load(src);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: decode lossily and load. Nothing may panic.
+    #[test]
+    fn lok_pipeline_never_panics_on_byte_soup(bytes in proptest::collection::vec(0u8..=255, 0usize..256)) {
+        load_lok(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Token soup: grammar fragments in random order. Much likelier than
+    /// raw bytes to reach deep parser paths (and occasionally to form a
+    /// valid program — also fine).
+    #[test]
+    fn lok_pipeline_never_panics_on_token_soup(picks in proptest::collection::vec(0usize..TOKENS.len(), 0usize..128)) {
+        let src = picks
+            .iter()
+            .map(|&i| TOKENS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        load_lok(&src);
+    }
+}
+
+/// The `.lok` parser shares tasklang's depth cap (re-exported, not
+/// copied), so the two frontends reject pathological nesting at the same
+/// depth — an abort-free parse error either way.
+#[test]
+fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+    assert_eq!(MAX_NESTING_DEPTH, iwa_tasklang::parser::MAX_NESTING_DEPTH);
+    let depth = 50_000;
+    let mut src = String::from("thread t { ");
+    for _ in 0..depth {
+        src.push_str("loop { ");
+    }
+    src.push_str("lock a; unlock a; ");
+    for _ in 0..depth {
+        src.push_str("} ");
+    }
+    src.push('}');
+    let err = parse_lok(&src).unwrap_err();
+    assert!(
+        err.to_string().contains("nested deeper"),
+        "expected the depth cap, got: {err}"
+    );
+}
+
+/// Programs at the cap still parse — the limit only rejects pathology.
+#[test]
+fn nesting_below_the_cap_parses() {
+    let depth = MAX_NESTING_DEPTH - 2; // thread body + innermost block
+    let mut src = String::from("thread t { ");
+    for _ in 0..depth {
+        src.push_str("if { ");
+    }
+    src.push_str("lock a; unlock a; ");
+    for _ in 0..depth {
+        src.push_str("} ");
+    }
+    src.push('}');
+    let p = parse_lok(&src).unwrap();
+    assert_eq!(p.mutexes.len(), 1);
+}
+
+/// Unterminated constructs, stray closers, and truncated statements all
+/// come back as positioned parse errors.
+#[test]
+fn truncations_and_stray_tokens_error_cleanly() {
+    for src in [
+        "thread",
+        "thread t",
+        "thread t {",
+        "thread t { lock",
+        "thread t { lock a",
+        "thread t { lock a; ",
+        "thread t { with a ",
+        "thread t { if { } else ",
+        "}",
+        ";",
+        "thread t { } }",
+        "thread t { unlock; }",
+        "lock a;",
+        "thread \u{0} { }",
+    ] {
+        match parse_lok(src) {
+            Err(iwa_core::IwaError::Parse { .. }) => {}
+            Err(other) => panic!("{src:?}: non-parse error {other:?}"),
+            Ok(_) => panic!("{src:?}: unexpectedly parsed"),
+        }
+    }
+}

@@ -27,6 +27,7 @@
 
 use iwa_analysis::AnalysisCtx;
 use iwa_core::{IwaError, Span};
+use iwa_frontend::LokModel;
 use iwa_tasklang::Program;
 use serde::Serialize;
 use std::fmt;
@@ -37,6 +38,7 @@ pub mod render;
 pub mod sarif;
 
 pub use context::LintContext;
+pub use iwa_frontend::Lang;
 
 /// How seriously a finding is taken.
 ///
@@ -70,8 +72,12 @@ pub struct Lint {
     pub name: &'static str,
     /// Severity when no override applies.
     pub default_severity: Severity,
-    /// One-line description (shown in SARIF rule metadata).
+    /// One-line description (shown in SARIF rule metadata and
+    /// `iwa lint --explain`).
     pub description: &'static str,
+    /// The frontends this lint speaks — the applicability matrix behind
+    /// [`registry_for`] and `iwa lint --explain`.
+    pub applies_to: &'static [Lang],
 }
 
 /// One finding.
@@ -124,22 +130,41 @@ impl LintConfig {
 
 /// One lint: a descriptor plus the code that looks for it.
 ///
-/// Passes append [`Diagnostic`]s with [`Severity::Warn`]; the driver
-/// ([`run_lints`]) rewrites severities from the configuration, drops
-/// `Allow`s, sorts, and deduplicates. A pass therefore never needs to see
-/// the configuration.
+/// Passes append [`Diagnostic`]s with [`Severity::Warn`]; the drivers
+/// ([`run_lints`], [`run_lints_lok`]) rewrite severities from the
+/// configuration, drop `Allow`s, sort, and deduplicate. A pass therefore
+/// never needs to see the configuration.
+///
+/// A pass implements the entry point(s) for the language(s) in its
+/// descriptor's [`Lint::applies_to`]; the other entry points default to
+/// no-ops, so mixed registries are safe to run against any model.
 pub trait LintPass {
     /// The static descriptor.
     fn lint(&self) -> &'static Lint;
-    /// Scan `ctx` and append findings to `out`.
-    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+    /// Scan a tasklang model and append findings to `out`.
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let _ = (ctx, out);
+    }
+    /// Scan a `.lok` model and append findings to `out`.
+    fn run_lok(&self, model: &LokModel, out: &mut Vec<Diagnostic>) {
+        let _ = (model, out);
+    }
 }
 
-/// The full lint catalog, in documentation order.
+/// The full lint catalog across every frontend, in documentation order.
 #[must_use]
 pub fn registry() -> Vec<Box<dyn LintPass>> {
     let mut v = quick_registry();
     v.extend(graph_registry());
+    v.extend(locks_registry());
+    v
+}
+
+/// The catalog filtered to the lints that speak `lang`.
+#[must_use]
+pub fn registry_for(lang: Lang) -> Vec<Box<dyn LintPass>> {
+    let mut v = registry();
+    v.retain(|p| p.lint().applies_to.contains(&lang));
     v
 }
 
@@ -166,6 +191,19 @@ pub fn graph_registry() -> Vec<Box<dyn LintPass>> {
         Box::new(passes::graph::SelfRendezvousCycle),
         Box::new(passes::graph::AlwaysStallingWait),
         Box::new(passes::graph::DeadlockHead),
+    ]
+}
+
+/// The `.lok` lock-order lints. All are AST/lock-graph level (the lock
+/// graph and its cycles are precomputed on the loaded model), so there is
+/// no quick/deep split for this frontend.
+#[must_use]
+pub fn locks_registry() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(passes::locks::LockOrderCycle),
+        Box::new(passes::locks::DoubleLock),
+        Box::new(passes::locks::UnbalancedUnlock),
+        Box::new(passes::locks::LockHeldAtExit),
     ]
 }
 
@@ -197,12 +235,43 @@ pub fn run_lints(
             d.severity = sev;
         }
     }
+    postprocess(&mut out);
+    Ok(out)
+}
+
+/// Run `passes` over one loaded `.lok` model, with the same severity
+/// configuration and post-processing as [`run_lints`]. Infallible: the
+/// lock graph and its cycles are already on the model.
+#[must_use]
+pub fn run_lints_lok(
+    model: &LokModel,
+    config: &LintConfig,
+    passes: &[Box<dyn LintPass>],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for pass in passes {
+        let sev = config.severity_of(pass.lint());
+        if sev == Severity::Allow {
+            continue;
+        }
+        let start = out.len();
+        pass.run_lok(model, &mut out);
+        for d in &mut out[start..] {
+            d.severity = sev;
+        }
+    }
+    postprocess(&mut out);
+    out
+}
+
+/// Shared finding post-processing: sort positionally (span, then lint
+/// name, then message) and deduplicate.
+fn postprocess(out: &mut Vec<Diagnostic>) {
     out.sort_by(|a, b| {
         (a.span, a.lint.as_str(), a.message.as_str())
             .cmp(&(b.span, b.lint.as_str(), b.message.as_str()))
     });
     out.dedup();
-    Ok(out)
 }
 
 /// Does any finding fail the run under the exit-code contract?
@@ -237,6 +306,7 @@ mod tests {
             name: "self-send",
             default_severity: Severity::Warn,
             description: "",
+            applies_to: &[Lang::Tasklang],
         };
         let mut cfg = LintConfig::default();
         assert_eq!(cfg.severity_of(&lint), Severity::Warn);

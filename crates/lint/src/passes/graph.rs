@@ -6,7 +6,7 @@
 //! analysis cannot finish, the pass reports nothing rather than guessing
 //! — lint output stays deterministic for whatever the analysis certified.
 
-use crate::{Diagnostic, Lint, LintContext, LintPass, Severity};
+use crate::{Diagnostic, Lang, Lint, LintContext, LintPass, Severity};
 use iwa_analysis::{RefinedOptions, StallOptions, StallVerdict};
 use iwa_core::Sign;
 
@@ -22,6 +22,7 @@ static SELF_RENDEZVOUS_CYCLE: Lint = Lint {
     name: "self-rendezvous-cycle",
     default_severity: Severity::Warn,
     description: "an entry is only ever called from its own task; the rendezvous cannot complete",
+    applies_to: &[Lang::Tasklang],
 };
 
 impl LintPass for SelfRendezvousCycle {
@@ -68,6 +69,7 @@ static ALWAYS_STALLING_WAIT: Lint = Lint {
     name: "always-stalling-wait",
     default_severity: Severity::Warn,
     description: "the stall analysis found a path combination with unbalanced waits on a signal",
+    applies_to: &[Lang::Tasklang],
 };
 
 impl LintPass for AlwaysStallingWait {
@@ -113,6 +115,7 @@ static DEADLOCK_HEAD: Lint = Lint {
     name: "deadlock-head",
     default_severity: Severity::Deny,
     description: "the refined analysis flagged this rendezvous as the head of a deadlock cycle",
+    applies_to: &[Lang::Tasklang],
 };
 
 impl LintPass for DeadlockHead {

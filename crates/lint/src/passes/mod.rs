@@ -1,6 +1,6 @@
 //! The lint catalog.
 //!
-//! Two families:
+//! Three families:
 //!
 //! * [`structural`] — AST-level passes over the parsed (and, where noted,
 //!   inlined) program: the migrated `validate` census plus reachability
@@ -8,7 +8,10 @@
 //! * [`graph`] — passes that run the paper's analyses (stall balance,
 //!   refined deadlock certification) through the shared
 //!   [`AnalysisCtx`](iwa_analysis::AnalysisCtx) and map the graph-level
-//!   findings back to source spans.
+//!   findings back to source spans;
+//! * [`locks`] — the `.lok` lock-order family: acquisition-order cycles
+//!   (with witness chains), double acquires, and lock hygiene.
 
 pub mod graph;
+pub mod locks;
 pub mod structural;

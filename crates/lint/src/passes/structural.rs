@@ -1,6 +1,6 @@
 //! AST-level lints.
 
-use crate::{Diagnostic, Lint, LintContext, LintPass, Severity};
+use crate::{Diagnostic, Lang, Lint, LintContext, LintPass, Severity};
 use iwa_core::{Sign, TaskId};
 use iwa_tasklang::cfg::{self, TaskCfg};
 use iwa_tasklang::Stmt;
@@ -23,6 +23,7 @@ static SELF_SEND: Lint = Lint {
     name: "self-send",
     default_severity: Severity::Warn,
     description: "a task sends a signal to itself; the rendezvous can never complete",
+    applies_to: &[Lang::Tasklang],
 };
 
 impl LintPass for SelfSend {
@@ -63,6 +64,7 @@ static UNMATCHED_SIGNAL: Lint = Lint {
     name: "unmatched-signal",
     default_severity: Severity::Warn,
     description: "a signal is sent but has no accept point anywhere",
+    applies_to: &[Lang::Tasklang],
 };
 
 impl LintPass for UnmatchedSignal {
@@ -110,6 +112,7 @@ static ENTRY_NEVER_CALLED: Lint = Lint {
     name: "entry-never-called",
     default_severity: Severity::Warn,
     description: "an entry is accepted but no task ever calls it",
+    applies_to: &[Lang::Tasklang],
 };
 
 impl LintPass for EntryNeverCalled {
@@ -149,6 +152,7 @@ static SILENT_TASK: Lint = Lint {
     name: "silent-task",
     default_severity: Severity::Warn,
     description: "a task contains no rendezvous and is invisible to the analyses",
+    applies_to: &[Lang::Tasklang],
 };
 
 impl LintPass for SilentTask {
@@ -187,6 +191,7 @@ static NEVER_STARTED_TASK: Lint = Lint {
     name: "never-started-task",
     default_severity: Severity::Warn,
     description: "every path into the task starts by waiting on an entry that is never called",
+    applies_to: &[Lang::Tasklang],
 };
 
 impl LintPass for NeverStartedTask {
@@ -237,6 +242,7 @@ static UNREACHABLE_STATEMENT: Lint = Lint {
     name: "unreachable-statement",
     default_severity: Severity::Warn,
     description: "the statement follows a wait that can never complete",
+    applies_to: &[Lang::Tasklang],
 };
 
 impl UnreachableStatement {

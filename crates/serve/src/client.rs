@@ -90,6 +90,22 @@ impl Client {
         Value::Object(fields)
     }
 
+    /// Build an `analyze` request for an explicit source language
+    /// (`iwa`, `lok`).
+    #[must_use]
+    pub fn analyze_request_lang(
+        id: u64,
+        source: &str,
+        lang: &str,
+        deadline_ms: Option<u64>,
+    ) -> Value {
+        let mut req = Self::analyze_request(id, source, deadline_ms);
+        if let Value::Object(fields) = &mut req {
+            fields.push(("lang".to_owned(), Value::String(lang.to_owned())));
+        }
+        req
+    }
+
     /// Build a fieldless request (`ping`, `stats`, `shutdown`).
     #[must_use]
     pub fn simple_request(id: u64, op: &str) -> Value {

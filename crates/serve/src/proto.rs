@@ -176,6 +176,9 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
     /// Most precise ladder rung to attempt (`oracle` … `naive`).
     pub start: Option<String>,
+    /// Source language (`iwa`, `lok`). When absent the server resolves
+    /// by the `name` extension, falling back to `iwa`.
+    pub lang: Option<String>,
 }
 
 /// Parse a request frame. Errors are strings ready to echo back in an
@@ -197,7 +200,13 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
         name: string_field("name"),
         deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
         start: string_field("start"),
+        lang: string_field("lang"),
     };
+    // Validate the language name at the protocol boundary so a typo is a
+    // request error, not a silent tasklang fallback.
+    if let Some(lang) = &req.lang {
+        iwa_frontend::Lang::from_name(lang)?;
+    }
     match req.op {
         Op::Analyze | Op::Lint if req.source.is_none() => {
             Err(format!("op '{}' requires a 'source' field", op_name(req.op)))
@@ -361,6 +370,15 @@ mod tests {
         assert_eq!(req.source.as_deref(), Some("task t {}"));
         assert_eq!(req.deadline_ms, Some(500));
         assert!(req.start.is_none());
+
+        let req = parse_request(
+            br#"{"id": 8, "op": "analyze", "source": "thread t { lock a; }", "lang": "lok"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.lang.as_deref(), Some("lok"));
+        assert!(parse_request(br#"{"op": "analyze", "source": "x", "lang": "ada"}"#)
+            .unwrap_err()
+            .contains("unknown language"));
 
         assert!(parse_request(br#"{"op": "analyze"}"#).unwrap_err().contains("source"));
         assert!(parse_request(br#"{"op": "check"}"#).unwrap_err().contains("path"));

@@ -28,7 +28,8 @@ use crate::proto::{parse_request, write_frame, Frame, FrameReader, Op, Request, 
 use iwa_core::fault::{FaultAction, FaultPlan, FaultSite};
 use iwa_core::{Budget, CancelToken};
 use iwa_engine::{CheckOptions, EngineOptions, LintStage, RetryPolicy, Rung};
-use iwa_lint::{registry, run_lints, LintConfig};
+use iwa_frontend::{registry as frontends, Lang};
+use iwa_lint::{registry_for, run_lints, run_lints_lok, LintConfig};
 use serde::{Serialize, Value};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -687,9 +688,25 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// The options signature for cache keying: everything verdict-affecting
 /// except the deadline (degraded reports are never cached, so deadlines
-/// cannot change what a cached report says).
-fn options_sig(op: Op, start: Rung) -> String {
-    format!("proto1|{:?}|{}", op, start.name())
+/// cannot change what a cached report says). The language is part of the
+/// signature — the same bytes mean different models to different
+/// frontends.
+fn options_sig(op: Op, start: Rung, lang: Lang) -> String {
+    format!("proto1|{:?}|{}|{}", op, start.name(), lang.name())
+}
+
+/// Resolve a request's frontend language: explicit `lang` wins, then the
+/// `name` extension, then the tasklang default. The protocol layer
+/// already validated the name, so this cannot fail for parsed requests.
+fn request_lang(req: &Request) -> Result<Lang, String> {
+    if let Some(lang) = &req.lang {
+        return Lang::from_name(lang);
+    }
+    Ok(req
+        .name
+        .as_deref()
+        .and_then(|n| frontends::by_extension(std::path::Path::new(n)))
+        .map_or(Lang::Tasklang, |f| f.lang()))
 }
 
 fn run_request(shared: &Arc<Shared>, req: &Request, deadline: Duration, cancel: &CancelToken) -> Response {
@@ -719,10 +736,15 @@ fn run_request(shared: &Arc<Shared>, req: &Request, deadline: Duration, cancel: 
         None => shared.opts.start,
     };
 
+    let lang = match request_lang(req) {
+        Ok(lang) => lang,
+        Err(e) => return Response::error(Value::Null, e),
+    };
+
     match req.op {
         Op::Analyze => {
             let source = req.source.as_deref().unwrap_or_default();
-            let key = cache_key(source, &options_sig(Op::Analyze, start));
+            let key = cache_key(source, &options_sig(Op::Analyze, start, lang));
 
             // Cache faults degrade to a miss (never an error): the cache
             // is an optimisation, and an unreliable one must cost only
@@ -751,8 +773,8 @@ fn run_request(shared: &Arc<Shared>, req: &Request, deadline: Duration, cancel: 
                 }
             }
 
-            let program = match iwa_tasklang::parse(source) {
-                Ok(p) => p,
+            let model = match frontends::by_lang(lang).load(source) {
+                Ok(m) => m,
                 Err(e) => return Response::error(Value::Null, e.to_string()),
             };
             let eopts = EngineOptions {
@@ -762,7 +784,7 @@ fn run_request(shared: &Arc<Shared>, req: &Request, deadline: Duration, cancel: 
                 faults: faults.clone(),
                 ..EngineOptions::default()
             };
-            match iwa_engine::analyze(&program, &eopts) {
+            match iwa_engine::analyze_model(&model, &eopts) {
                 Ok(report) => {
                     let value = report.to_value();
                     if !report.degraded {
@@ -777,16 +799,29 @@ fn run_request(shared: &Arc<Shared>, req: &Request, deadline: Duration, cancel: 
         }
         Op::Lint => {
             let source = req.source.as_deref().unwrap_or_default();
-            let program = match iwa_tasklang::parse(source) {
-                Ok(p) => p,
-                Err(e) => return Response::error(Value::Null, e.to_string()),
+            let diagnostics = match lang {
+                Lang::Tasklang => {
+                    let program = match iwa_tasklang::parse(source) {
+                        Ok(p) => p,
+                        Err(e) => return Response::error(Value::Null, e.to_string()),
+                    };
+                    let budget =
+                        Budget::with_deadline(deadline).and_cancel_token(cancel.clone());
+                    let ctx = iwa_analysis::AnalysisCtx::builder().budget(budget).build();
+                    // A budget-tripped graph lint degrades to silence,
+                    // matching the batch checker's behaviour.
+                    run_lints(&ctx, &program, &LintConfig::default(), &registry_for(lang))
+                        .unwrap_or_default()
+                }
+                Lang::Lok => {
+                    let model = match frontends::by_lang(lang).load(source) {
+                        Ok(m) => m,
+                        Err(e) => return Response::error(Value::Null, e.to_string()),
+                    };
+                    let lok = model.as_lok().expect("lok frontend produced this model");
+                    run_lints_lok(lok, &LintConfig::default(), &registry_for(lang))
+                }
             };
-            let budget = Budget::with_deadline(deadline).and_cancel_token(cancel.clone());
-            let ctx = iwa_analysis::AnalysisCtx::builder().budget(budget).build();
-            // A budget-tripped graph lint degrades to silence, matching
-            // the batch checker's behaviour.
-            let diagnostics =
-                run_lints(&ctx, &program, &LintConfig::default(), &registry()).unwrap_or_default();
             let mut resp = Response::new(Value::Null, "ok");
             resp.report = Some(Value::Object(vec![(
                 "diagnostics".to_owned(),
@@ -796,13 +831,15 @@ fn run_request(shared: &Arc<Shared>, req: &Request, deadline: Duration, cancel: 
         }
         Op::Check => {
             let path = req.path.as_deref().unwrap_or_default();
-            let files = match iwa_engine::collect_files(std::path::Path::new(path)) {
-                Ok(files) if !files.is_empty() => files,
-                Ok(_) => return Response::error(Value::Null, format!("no .iwa files under {path}")),
+            let sources = match iwa_engine::collect_sources(std::path::Path::new(path)) {
+                Ok(s) if !s.files.is_empty() => s,
+                Ok(_) => {
+                    return Response::error(Value::Null, format!("no analyzable files under {path}"))
+                }
                 Err(e) => return Response::error(Value::Null, e.to_string()),
             };
             let summary = iwa_engine::check_batch(
-                &files,
+                &sources.files,
                 &CheckOptions {
                     engine: EngineOptions {
                         start,
@@ -817,6 +854,14 @@ fn run_request(shared: &Arc<Shared>, req: &Request, deadline: Duration, cancel: 
                     lint_config: LintConfig::default(),
                     faults: faults.clone(),
                     retry: RetryPolicy::default(),
+                    lang: req.lang.as_deref().map(|l| {
+                        Lang::from_name(l).expect("validated at the protocol boundary")
+                    }),
+                    skipped: sources
+                        .skipped
+                        .iter()
+                        .map(|p| p.display().to_string())
+                        .collect(),
                 },
             );
             let mut resp = Response::new(Value::Null, "ok");

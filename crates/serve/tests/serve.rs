@@ -339,3 +339,92 @@ fn shutdown_op_drains_the_daemon() {
     // join() returns promptly because the op set the flag.
     server.join();
 }
+
+// --------------------------------------------------------- lok frontend
+
+const ABBA_LOK: &str = "thread t1 { lock a; lock b; unlock b; unlock a; }
+thread t2 { lock b; lock a; unlock a; unlock b; }";
+const ORDERED_LOK: &str = "thread t1 { lock a; lock b; unlock b; unlock a; }
+thread t2 { lock a; lock b; unlock b; unlock a; }";
+
+/// The daemon routes `.lok` requests through the lock-order frontend:
+/// an explicit `lang` field (or a `.lok` name extension) selects it, the
+/// verdict comes from the same ladder, and the cache keys the language —
+/// identical bytes under a different frontend never collide.
+#[test]
+fn lok_requests_route_through_the_lock_frontend() {
+    let server = Server::start(ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let abba = client
+        .request(
+            &Client::analyze_request_lang(1, ABBA_LOK, "lok", Some(5_000)),
+            RECV,
+        )
+        .unwrap();
+    assert_eq!(abba["status"], "ok", "unexpected response: {abba:?}");
+    assert_eq!(abba["report"]["verdict"], "Anomalous");
+    let flagged = format!("{:?}", abba["report"]["flagged"]);
+    assert!(
+        flagged.contains("lock-order cycle"),
+        "witness names the cycle: {flagged}"
+    );
+
+    let ordered = client
+        .request(
+            &Client::analyze_request_lang(2, ORDERED_LOK, "lok", Some(5_000)),
+            RECV,
+        )
+        .unwrap();
+    assert_eq!(ordered["status"], "ok");
+    assert_eq!(ordered["report"]["verdict"], "Clean");
+    assert_eq!(ordered["report"]["degraded"], false);
+
+    // Same source, other frontend: a `.lok` program is not tasklang, so
+    // the parse fails — but crucially it did NOT hit the lok cache entry.
+    let as_iwa = client
+        .request(&Client::analyze_request(3, ABBA_LOK, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(as_iwa["status"], "error");
+    assert_eq!(as_iwa["cached"], false);
+
+    // Byte-identical lok resubmission hits the cache.
+    let again = client
+        .request(
+            &Client::analyze_request_lang(4, ABBA_LOK, "lok", Some(5_000)),
+            RECV,
+        )
+        .unwrap();
+    assert_eq!(again["cached"], true, "lok verdicts are cacheable");
+    assert_eq!(again["report"]["verdict"], "Anomalous");
+
+    // A `.lok` name extension resolves the frontend without `lang`.
+    let mut named = Client::analyze_request(5, ORDERED_LOK, Some(5_000));
+    if let Value::Object(fields) = &mut named {
+        fields.push(("name".to_owned(), Value::String("guard.lok".to_owned())));
+    }
+    let by_name = client.request(&named, RECV).unwrap();
+    assert_eq!(by_name["status"], "ok", "unexpected response: {by_name:?}");
+    assert_eq!(by_name["report"]["verdict"], "Clean");
+
+    // Lint routes too: the lock-order lint family fires over the wire.
+    let mut lint = Client::analyze_request(6, ABBA_LOK, Some(5_000));
+    if let Value::Object(fields) = &mut lint {
+        for (k, v) in fields.iter_mut() {
+            if k == "op" {
+                *v = Value::String("lint".to_owned());
+            }
+        }
+        fields.push(("lang".to_owned(), Value::String("lok".to_owned())));
+    }
+    let linted = client.request(&lint, RECV).unwrap();
+    assert_eq!(linted["status"], "ok", "unexpected response: {linted:?}");
+    let diags = format!("{:?}", linted["report"]["diagnostics"]);
+    assert!(
+        diags.contains("lock-order-cycle"),
+        "lock-order lints fire over the wire: {diags}"
+    );
+
+    server.shutdown();
+    server.join();
+}

@@ -26,6 +26,14 @@ pub struct ExploreConfig {
     /// sequence from an initial wave to the stuck one. Costs one map entry
     /// per visited wave.
     pub track_witnesses: bool,
+    /// Ignore stuck waves whose classification contains **no deadlocked
+    /// set** (stall-only anomalies). Models whose tasks are all skippable
+    /// by construction — the lock-order frontend's lowering, where every
+    /// acquire-site branch may simply not be taken — produce stall-only
+    /// waves on every acyclic schedule; in deadlock-only mode those are
+    /// benign and must not count as anomalies. Costs one [`classify`] call
+    /// per stuck wave. Default `false` (the paper's full taxonomy).
+    pub ignore_stalls: bool,
 }
 
 impl Default for ExploreConfig {
@@ -34,6 +42,7 @@ impl Default for ExploreConfig {
             max_states: 1 << 20,
             max_anomalies: 64,
             track_witnesses: true,
+            ignore_stalls: false,
         }
     }
 }
@@ -276,6 +285,10 @@ pub fn explore_budgeted(
         let succs = next_waves_with_steps(sg, &w);
         if succs.is_empty() {
             // No rendezvous can fire and not all tasks are done.
+            if config.ignore_stalls && classify(sg, &w).deadlock_set.is_empty() {
+                // Deadlock-only mode: a stall-only stuck wave is benign.
+                continue;
+            }
             anomaly_count += 1;
             if anomalies.len() < config.max_anomalies {
                 let report = classify(sg, &w);
@@ -481,9 +494,35 @@ mod tests {
                 max_states: 2,
                 max_anomalies: 4,
                 track_witnesses: false,
+                ..ExploreConfig::default()
             },
         );
         assert!(matches!(e, Err(IwaError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn ignore_stalls_keeps_deadlocks_but_drops_stall_only_waves() {
+        let deadlock_only = ExploreConfig {
+            ignore_stalls: true,
+            ..ExploreConfig::default()
+        };
+        // Stall-only program: invisible in deadlock-only mode.
+        let p = parse("task t1 { accept never; } task t2 { }").unwrap();
+        let sg = SyncGraph::from_program(&p);
+        let e = explore(&sg, &deadlock_only).unwrap();
+        assert_eq!(e.verdict, Verdict::AnomalyFree);
+        assert_eq!(e.anomaly_count, 0);
+        assert!(e.anomalies.is_empty());
+        // A genuine coupling cycle still surfaces, with its witness.
+        let p = parse(
+            "task t1 { send t2.a; accept b; } task t2 { send t1.b; accept a; }",
+        )
+        .unwrap();
+        let sg = SyncGraph::from_program(&p);
+        let e = explore(&sg, &deadlock_only).unwrap();
+        assert_eq!(e.verdict, Verdict::Anomalous);
+        assert!(e.has_deadlock());
+        assert_eq!(e.anomalies.len(), e.witnesses.len());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod adversarial;
 pub mod classics;
 pub mod figures;
+pub mod locks;
 pub mod random;
 
 pub use random::{random_balanced, random_conditioned, random_structured, BalancedConfig, ConditionedConfig, StructuredConfig};

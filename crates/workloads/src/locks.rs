@@ -1,0 +1,90 @@
+//! Adversarial `.lok` (lock-order) workload generators.
+//!
+//! The tasklang families stress the rendezvous pipeline; these stress the
+//! lock-order frontend: its may-hold dataflow, the per-edge lowering, and
+//! the seeded refined search over the lowered graph. Each generator
+//! returns `.lok` source text (the frontend's own parser is part of what
+//! the benchmark measures) and comes in an anomalous and a clean
+//! (globally ordered) flavour, so the suite exercises both the witness
+//! path and the certification path.
+
+use std::fmt::Write as _;
+
+/// A ring of `n` threads where thread `i` holds mutex `m_i` while
+/// acquiring `m_{(i+1) mod n}` — the canonical circular-wait: the lock
+/// graph is one `n`-cycle, so the analysis must report exactly one
+/// anomaly whose witness chain walks all `n` mutexes. `ordered: true`
+/// breaks the ring at the wrap-around (the last thread acquires in
+/// global index order), which makes the graph acyclic and the program
+/// certifiably clean.
+#[must_use]
+pub fn lock_chain(n: usize, ordered: bool) -> String {
+    assert!(n >= 2, "a chain needs at least two mutexes");
+    let mut src = String::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let (first, second) = if ordered && j < i { (j, i) } else { (i, j) };
+        let _ = writeln!(
+            src,
+            "thread t{i} {{ lock m{first}; lock m{second}; unlock m{second}; unlock m{first}; }}"
+        );
+    }
+    src
+}
+
+/// `n` threads each taking all `n` mutexes. Unordered, thread `i` starts
+/// at mutex `i` and wraps — every rotation appears, so the lock graph is
+/// a complete digraph with Θ(n²) hold-while-acquiring edges and a dense
+/// tangle of cycles (the seeded refined search gets one head per edge).
+/// `ordered: true` has every thread acquire in global index order: the
+/// same Θ(n²) edges, but all pointing up the order — acyclic, clean, and
+/// the certification must still chew through the full edge set.
+#[must_use]
+pub fn lock_mesh(n: usize, ordered: bool) -> String {
+    assert!(n >= 2, "a mesh needs at least two mutexes");
+    let mut src = String::new();
+    for i in 0..n {
+        let order: Vec<usize> = if ordered {
+            (0..n).collect()
+        } else {
+            (0..n).map(|k| (i + k) % n).collect()
+        };
+        let _ = write!(src, "thread t{i} {{");
+        for &m in &order {
+            let _ = write!(src, " lock m{m};");
+        }
+        for &m in order.iter().rev() {
+            let _ = write!(src, " unlock m{m};");
+        }
+        let _ = writeln!(src, " }}");
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shapes_are_as_documented() {
+        let src = lock_chain(3, false);
+        assert_eq!(src.lines().count(), 3);
+        assert!(src.contains("lock m0; lock m1;"));
+        assert!(src.contains("lock m2; lock m0;"), "the ring wraps: {src}");
+        let src = lock_chain(3, true);
+        assert!(
+            src.contains("lock m0; lock m2;"),
+            "ordered breaks the wrap: {src}"
+        );
+    }
+
+    #[test]
+    fn mesh_rotations_cover_every_start() {
+        let src = lock_mesh(3, false);
+        for i in 0..3 {
+            assert!(src.contains(&format!("thread t{i} {{ lock m{i};")), "{src}");
+        }
+        let ordered = lock_mesh(3, true);
+        assert_eq!(ordered.matches("{ lock m0; lock m1; lock m2;").count(), 3);
+    }
+}

@@ -71,6 +71,37 @@ grep -q '"\$schema": "https://json.schemastore.org/sarif-2.1.0.json"' "$tmpdir/l
 diff tests/golden/corpus_lints.sarif "$tmpdir/lint.sarif"
 
 
+echo "==> locks corpus: analyze/lint/check drive the .lok frontend end to end"
+# The seeded acceptance case: the three-mutex ring is anomalous with a
+# span-anchored acquisition-chain witness.
+status=0
+./target/release/iwa analyze corpus/locks/three_cycle.lok > "$tmpdir/three_cycle.txt" || status=$?
+[ "$status" -eq 1 ] || { echo "analyze three_cycle.lok exited $status, want 1" >&2; exit 1; }
+grep -q 'a → b → c → a' "$tmpdir/three_cycle.txt"
+grep -q 'holds a (6:13) while locking b (6:21)' "$tmpdir/three_cycle.txt"
+# Multi-job determinism over the locks corpus (same masking as above).
+for j in 1 2 8; do
+    status=0
+    ./target/release/iwa check corpus/locks --json --max-steps 200000 -j "$j" \
+        > "$tmpdir/locks-raw-j$j.json" || status=$?
+    [ "$status" -eq 1 ] || { echo "iwa check corpus/locks -j $j exited $status" >&2; exit 1; }
+    sed "$mask" "$tmpdir/locks-raw-j$j.json" > "$tmpdir/locks-j$j.json"
+done
+diff "$tmpdir/locks-j1.json" "$tmpdir/locks-j2.json"
+diff "$tmpdir/locks-j1.json" "$tmpdir/locks-j8.json"
+# Lock-lint goldens, text and SARIF (exit 1: the corpus has denials).
+status=0
+./target/release/iwa lint corpus/locks --format text > "$tmpdir/locks-lint.txt" || status=$?
+[ "$status" -eq 1 ] || { echo "iwa lint corpus/locks (text) exited $status, want 1" >&2; exit 1; }
+diff tests/golden/corpus_locks.txt "$tmpdir/locks-lint.txt"
+status=0
+./target/release/iwa lint corpus/locks --format sarif > "$tmpdir/locks-lint.sarif" || status=$?
+[ "$status" -eq 1 ] || { echo "iwa lint corpus/locks (sarif) exited $status, want 1" >&2; exit 1; }
+diff tests/golden/corpus_locks.sarif "$tmpdir/locks-lint.sarif"
+
+echo "==> serve smoke: the daemon routes .lok requests through the lock frontend"
+cargo test -q -p iwa-serve --test serve lok_requests_route_through_the_lock_frontend
+
 echo "==> chaos smoke: iwa serve-bench under a panic+timeout fault plan"
 # Faults at the serve parse site and the engine certify site, including
 # injected panics and sleeps past the deadline: the daemon must shed,

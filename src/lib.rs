@@ -3,6 +3,7 @@
 pub use iwa_analysis as analysis;
 pub use iwa_core as core;
 pub use iwa_engine as engine;
+pub use iwa_frontend as frontend;
 pub use iwa_graphs as graphs;
 pub use iwa_lint as lint;
 pub use iwa_petri as petri;
