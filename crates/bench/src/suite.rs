@@ -20,6 +20,7 @@ use iwa_engine::{analyze, analyze_model, EngineOptions, Rung};
 use iwa_frontend::{registry as frontends, Lang};
 use iwa_tasklang::ast::Program;
 use iwa_workloads::adversarial::{deep_loop_nest, rendezvous_mesh, wide_branch};
+use iwa_workloads::chan::{chan_ring, chan_select_storm};
 use iwa_workloads::locks::{lock_chain, lock_mesh};
 use serde::Serialize;
 use serde_json::Value;
@@ -64,12 +65,13 @@ pub struct BenchReport {
 /// trajectory ([`crate::history`]) can record which workload it describes.
 pub const SIZED_RANDOM_SEED: u64 = 7;
 
-/// One suite member's model: a tasklang AST, or `.lok` source text (the
-/// lock frontend's parse + dataflow + lowering are part of what its rows
-/// measure).
+/// One suite member's model: a tasklang AST, or `.lok` / `.chan` source
+/// text (the frontend's parse + dataflow + lowering are part of what
+/// those rows measure).
 enum Member {
     Iwa(Program),
     Lok(String),
+    Chan(String),
 }
 
 /// The suite: `(family, size, member)` triples for one mode. Smoke mode
@@ -115,6 +117,20 @@ fn members(smoke: bool) -> Vec<(&'static str, u64, Member)> {
     for &n in lock_mesh_sizes {
         out.push(("lock_mesh", n, Member::Lok(lock_mesh(n as usize, true))));
     }
+    // The `.chan` frontend families: a witness-producing port ring and a
+    // clean all-arms-served select storm, mirroring the `.lok` pair.
+    let ring_sizes: &[u64] = if smoke { &[8] } else { &[8, 16, 32] };
+    for &n in ring_sizes {
+        out.push(("chan_ring", n, Member::Chan(chan_ring(n as usize, false))));
+    }
+    let storm_sizes: &[u64] = if smoke { &[4] } else { &[4, 8, 16] };
+    for &n in storm_sizes {
+        out.push((
+            "chan_select_storm",
+            n,
+            Member::Chan(chan_select_storm(n as usize, false)),
+        ));
+    }
     out
 }
 
@@ -136,6 +152,21 @@ pub fn run_suite(smoke: bool) -> BenchReport {
                 metrics: Some(metrics.clone()),
                 ..EngineOptions::default()
             };
+            // Non-tasklang members load inside the timed section: the
+            // frontend's parse, effect dataflow, and lowering are part of
+            // the family's cost.
+            let frontend_timed = |lang: Lang, src: String| {
+                let (outcome, wall) = timed(|| {
+                    let model = frontends::by_lang(lang)
+                        .load(&src)
+                        .expect("generated frontend families are valid");
+                    let report = analyze_model(&model, &opts);
+                    let sg = model.sync_graph();
+                    (sg.num_tasks as u64, sg.num_rendezvous() as u64, report)
+                });
+                let (tasks, rendezvous, report) = outcome;
+                (tasks, rendezvous, report, wall)
+            };
             let (tasks, rendezvous, report, wall) = match member {
                 Member::Iwa(program) => {
                     let (report, wall) = timed(|| analyze(&program, &opts));
@@ -146,20 +177,8 @@ pub fn run_suite(smoke: bool) -> BenchReport {
                         wall,
                     )
                 }
-                Member::Lok(src) => {
-                    // Load inside the timed section: the frontend's parse,
-                    // may-hold dataflow, and lowering are the family's cost.
-                    let (outcome, wall) = timed(|| {
-                        let model = frontends::by_lang(Lang::Lok)
-                            .load(&src)
-                            .expect("generated .lok families are valid");
-                        let report = analyze_model(&model, &opts);
-                        let sg = model.sync_graph();
-                        (sg.num_tasks as u64, sg.num_rendezvous() as u64, report)
-                    });
-                    let (tasks, rendezvous, report) = outcome;
-                    (tasks, rendezvous, report, wall)
-                }
+                Member::Lok(src) => frontend_timed(Lang::Lok, src),
+                Member::Chan(src) => frontend_timed(Lang::Chan, src),
             };
             let report = report.expect("generated families are valid programs");
             BenchRow {
@@ -246,8 +265,9 @@ mod tests {
         // The suite must exercise the refined pipeline: some family
         // produces head examinations, else the regression oracle is blind.
         assert!(report.rows.iter().any(|r| r.metrics.heads_examined > 0));
-        // Both .lok families ride along, with real model sizes recorded.
-        for fam in ["lock_chain", "lock_mesh"] {
+        // The .lok and .chan families ride along, with real model sizes
+        // recorded.
+        for fam in ["lock_chain", "lock_mesh", "chan_ring", "chan_select_storm"] {
             let row = report
                 .rows
                 .iter()

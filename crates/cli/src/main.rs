@@ -10,6 +10,7 @@
 //! iwa inline  <file.iwa | fixture:NAME>
 //! iwa unroll  <file.iwa | fixture:NAME>
 //! iwa fixtures
+//! iwa langs
 //! iwa help
 //! ```
 //!
@@ -22,11 +23,11 @@ use iwa_core::{Budget, FaultPlan, IwaError};
 use iwa_engine::{
     CheckOptions, EngineOptions, EngineReport, EngineVerdict, LintStage, Rung, SCHEMA_VERSION,
 };
-use iwa_frontend::{registry as frontends, Lang};
+use iwa_frontend::{registry as frontends, Lang, ModelIr};
 use iwa_lint::render::{render_diagnostic, render_diagnostics, render_parse_error};
 use iwa_lint::{
-    quick_registry, registry, registry_for, run_lints, run_lints_lok, Diagnostic, LintConfig,
-    Severity,
+    quick_registry, registry, registry_for, run_lints, run_lints_chan, run_lints_lok, Diagnostic,
+    LintConfig, Severity,
 };
 use iwa_syncgraph::{dot, Clg, SyncGraph};
 use iwa_tasklang::{parse, Program};
@@ -66,6 +67,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        Some("langs") => {
+            for f in frontends::all() {
+                println!(
+                    "{:<6} .{:<6} {}",
+                    f.lang().name(),
+                    f.extensions().join(", ."),
+                    f.description()
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
         Some("help") | None => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -78,10 +90,11 @@ const USAGE: &str = "\
 iwa — static infinite-wait anomaly detection (Masticola & Ryder, ICPP 1990)
 
 USAGE:
-    iwa analyze <file.iwa | file.lok | fixture:NAME> [OPTIONS]
+    iwa analyze <file.iwa | file.lok | file.chan | fixture:NAME> [OPTIONS]
     iwa check   <file | dir> [OPTIONS]         batch-check a corpus
     iwa lint    <file | dir> [OPTIONS]         run the lint catalog
-    iwa lint    --explain <lint>               describe one lint
+    iwa lint    --explain [<lint>]             describe one lint, or list
+                                               the catalog per frontend
     iwa bench   [--smoke] [--out PATH] [--validate [FILE]] [--label NAME]
                 [--history PATH] [--no-history]
     iwa serve   [OPTIONS]                      persistent analysis daemon
@@ -90,13 +103,15 @@ USAGE:
     iwa inline  <file.iwa | fixture:NAME>   print with procedures inlined
     iwa unroll  <file.iwa | fixture:NAME>   print the Lemma-1 unrolled form
     iwa fixtures
+    iwa langs                      list the registered frontends
     iwa help
 
 COMMON OPTIONS (analyze, check, lint):
-    --lang iwa|lok                 force the frontend for every input file
-                                   (default: by extension; .iwa and .lok
-                                   are recognised, explicit files with an
-                                   unknown extension fall back to iwa)
+    --lang iwa|lok|chan            force the frontend for every input file
+                                   (default: by extension; .iwa, .lok and
+                                   .chan are recognised, explicit files
+                                   with an unknown extension fall back to
+                                   iwa — see 'iwa langs')
     --json                         machine-readable output
     --deadline-ms N                wall-clock budget (analyze: whole ladder;
                                    check: per file, default 2000)
@@ -110,8 +125,10 @@ LINT OPTIONS:
     --format text|json|sarif       output format (default: text)
     -W, -A, -D <lint>              set a lint to warn, allow, or deny
     --deny-warnings                promote every warning to an error
-    --explain <lint>               print a lint's description, default
-                                   severity, and applicable frontends
+    --explain [<lint>]             print a lint's description, default
+                                   severity, and applicable frontends;
+                                   with no name, list the whole catalog
+                                   grouped by frontend
     (directory walks report files no frontend speaks as skipped;
      exit 0: no denials; 1: at least one denial; 2: usage/parse error)
 
@@ -192,12 +209,9 @@ fn load_program(spec: &str) -> Result<(Program, Option<String>), String> {
 
 /// The frontend for `path`: `--lang` wins, then the file extension, then
 /// the tasklang default (an explicit file always stands for itself).
+/// Thin string-path wrapper over the registry's shared resolver.
 fn frontend_for(path: &str, forced: Option<Lang>) -> &'static dyn iwa_frontend::Frontend {
-    match forced {
-        Some(lang) => frontends::by_lang(lang),
-        None => frontends::by_extension(std::path::Path::new(path))
-            .unwrap_or_else(|| frontends::by_lang(Lang::Tasklang)),
-    }
+    frontends::resolve(std::path::Path::new(path), forced)
 }
 
 /// The canonical `Display` line ("parse error at L:C: …"), followed by
@@ -279,17 +293,20 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
     }
     let spec = spec.ok_or("missing program (file path or fixture:NAME)")?;
 
-    // `.lok` programs have no single-tier certify pipeline and no Lemma-1
-    // transforms; they always run the engine ladder (the full-precision
-    // oracle rung is the default start, so a budget-free run is exact).
-    if !spec.starts_with("fixture:") && frontend_for(&spec, common.lang).lang() == Lang::Lok {
+    // Non-tasklang programs (`.lok`, `.chan`) have no single-tier certify
+    // pipeline and no Lemma-1 transforms; they always run the engine
+    // ladder (the full-precision oracle rung is the default start, so a
+    // budget-free run is exact).
+    if !spec.starts_with("fixture:")
+        && frontend_for(&spec, common.lang).lang() != Lang::Tasklang
+    {
         if tier_given {
-            return Err("--tier applies to .iwa programs (use --start for .lok)".into());
+            return Err("--tier applies to .iwa programs (use --start for other frontends)".into());
         }
         if !transforms {
             return Err("--no-transforms applies to .iwa programs".into());
         }
-        return analyze_lok(&spec, &common, trace_out.as_deref());
+        return analyze_frontend(&spec, &common, trace_out.as_deref());
     }
 
     let (program, source) = load_program(&spec)?;
@@ -449,17 +466,18 @@ fn analyze(args: &[String]) -> Result<ExitCode, String> {
     Ok(if clean { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
-/// `iwa analyze` for a `.lok` program: load through the lock-order
-/// frontend, run the engine ladder over the lowered sync graph, and
-/// report lock-order findings (cycles with their span-anchored
-/// acquisition chains) as lint diagnostics alongside the verdict.
-fn analyze_lok(
+/// `iwa analyze` for a non-tasklang program (`.lok`, `.chan`): load
+/// through the file's frontend, run the engine ladder over the lowered
+/// sync graph, and report the frontend's findings (lock-order cycles,
+/// channel-wait cycles, livelocks — each with span-anchored witness
+/// chains) as lint diagnostics alongside the verdict.
+fn analyze_frontend(
     spec: &str,
     common: &CommonOpts,
     trace_out: Option<&str>,
 ) -> Result<ExitCode, String> {
     let src = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
-    let model = frontends::by_lang(Lang::Lok)
+    let model = frontend_for(spec, common.lang)
         .load(&src)
         .map_err(|e| parse_failure(spec, &src, &e))?;
 
@@ -482,8 +500,13 @@ fn analyze_lok(
         for w in &model.warnings {
             println!("warning   : {w}");
         }
-        let lok = model.as_lok().expect("the lok frontend produced this model");
-        let diags = run_lints_lok(lok, &LintConfig::default(), &registry_for(Lang::Lok));
+        let diags = match &model.ir {
+            ModelIr::Lok(m) => run_lints_lok(m, &LintConfig::default(), &registry_for(Lang::Lok)),
+            ModelIr::Chan(m) => {
+                run_lints_chan(m, &LintConfig::default(), &registry_for(Lang::Chan))
+            }
+            ModelIr::Tasklang(_) => Vec::new(), // unreachable: gated above
+        };
         for d in &diags {
             print!("{}", render_diagnostic(spec, &src, d));
         }
@@ -1018,10 +1041,26 @@ fn explain_lint(name: &str) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Bare `iwa lint --explain`: the whole catalog, grouped by the frontend
+/// each lint applies to (a lint speaking several frontends appears under
+/// each of them).
+fn list_lints() -> Result<ExitCode, String> {
+    for f in frontends::all() {
+        let lang = f.lang();
+        let passes = registry_for(lang);
+        println!("{} (.{}): {} lints", lang.name(), f.extensions().join(", ."), passes.len());
+        for p in &passes {
+            let l = p.lint();
+            println!("  {:<22} {:<7} {}", l.name, l.default_severity.to_string(), l.description);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn lint(args: &[String]) -> Result<ExitCode, String> {
     let mut target = None;
     let mut format: Option<String> = None;
-    let mut explain: Option<String> = None;
+    let mut explain: Option<Option<String>> = None;
     let mut config = LintConfig::default();
     let mut common = CommonOpts::default();
     let mut it = args.iter();
@@ -1031,7 +1070,14 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
         }
         match a.as_str() {
             "--explain" => {
-                explain = Some(it.next().ok_or("--explain needs a lint name")?.clone());
+                // A following non-flag operand names one lint; bare
+                // `--explain` lists the catalog grouped by frontend.
+                explain = match it.as_slice().first() {
+                    Some(next) if !next.starts_with('-') => {
+                        Some(Some(it.next().expect("just peeked").clone()))
+                    }
+                    _ => Some(None),
+                };
             }
             "--format" => {
                 let v = it.next().ok_or("--format needs a value")?;
@@ -1059,8 +1105,11 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
-    if let Some(name) = explain {
-        return explain_lint(&name);
+    if let Some(request) = explain {
+        return match request {
+            Some(name) => explain_lint(&name),
+            None => list_lints(),
+        };
     }
     let target = target.ok_or("missing path (a source file or a directory)")?;
     if common.start.is_some() {
@@ -1122,6 +1171,13 @@ fn lint(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|e| parse_failure(&display, &src, &e))?;
                 let lok = model.as_lok().expect("the lok frontend produced this model");
                 run_lints_lok(lok, &config, &registry_for(lang))
+            }
+            Lang::Chan => {
+                let model = frontend
+                    .load(&src)
+                    .map_err(|e| parse_failure(&display, &src, &e))?;
+                let chan = model.as_chan().expect("the chan frontend produced this model");
+                run_lints_chan(chan, &config, &registry_for(lang))
             }
         };
         sources.push(src);
@@ -1287,12 +1343,13 @@ fn graph(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let spec = spec.ok_or("missing program (file path or fixture:NAME)")?;
-    // `.lok` models lower eagerly; dump the lowered graph directly.
+    // Non-tasklang models (`.lok`, `.chan`) lower eagerly; dump the
+    // lowered graph directly.
     let sg = if !spec.starts_with("fixture:")
-        && frontend_for(&spec, None).lang() == Lang::Lok
+        && frontend_for(&spec, None).lang() != Lang::Tasklang
     {
         let src = std::fs::read_to_string(&spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
-        let model = frontends::by_lang(Lang::Lok)
+        let model = frontend_for(&spec, None)
             .load(&src)
             .map_err(|e| parse_failure(&spec, &src, &e))?;
         model.sync_graph()

@@ -25,7 +25,10 @@ use iwa_core::fault::{FaultPlan, FaultSite};
 use iwa_core::obs::{Counters, Meta};
 use iwa_core::{pool, Budget, IwaError};
 use iwa_frontend::{registry as frontends, Lang, ModelIr};
-use iwa_lint::{quick_registry, registry, registry_for, run_lints, run_lints_lok, Diagnostic, LintConfig};
+use iwa_lint::{
+    quick_registry, registry, registry_for, run_lints, run_lints_chan, run_lints_lok, Diagnostic,
+    LintConfig,
+};
 use serde::Serialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -77,8 +80,9 @@ impl RetryPolicy {
 pub struct FileOutcome {
     /// The file's path as given.
     pub path: String,
-    /// The frontend that handled the file ([`Lang::name`]: `"iwa"` or
-    /// `"lok"`), resolved from [`CheckOptions::lang`] or the extension.
+    /// The frontend that handled the file ([`Lang::name`]: `"iwa"`,
+    /// `"lok"`, or `"chan"`), resolved from [`CheckOptions::lang`] or
+    /// the extension.
     pub lang: String,
     /// `"ok"`, `"parse-error"`, `"invalid-program"`, `"io-error"`, or
     /// `"panicked"`.
@@ -222,7 +226,8 @@ pub struct CollectedSources {
 
 /// Expand `root` into the source files to check: a file stands for
 /// itself; a directory is walked recursively for files any registered
-/// frontend speaks (`*.iwa`, `*.lok`), with everything else accounted
+/// frontend speaks (`*.iwa`, `*.lok`, `*.chan`), with everything else
+/// accounted
 /// for in [`CollectedSources::skipped`] rather than silently dropped.
 pub fn collect_sources(root: &Path) -> Result<CollectedSources, IwaError> {
     let meta = std::fs::metadata(root)
@@ -367,17 +372,6 @@ fn checked_fault(e: IwaError) -> Checked {
     }
 }
 
-/// The frontend that will handle `path`: the forced language when set,
-/// the extension's frontend otherwise, tasklang as the fallback for an
-/// explicitly listed file of unknown extension.
-fn frontend_for(path: &Path, forced: Option<Lang>) -> &'static dyn iwa_frontend::Frontend {
-    match forced {
-        Some(lang) => frontends::by_lang(lang),
-        None => frontends::by_extension(path)
-            .unwrap_or_else(|| frontends::by_lang(Lang::Tasklang)),
-    }
-}
-
 fn check_attempt(
     path: &Path,
     display: &str,
@@ -402,7 +396,7 @@ fn check_attempt(
     }
     // `load` covers both parsing and model validation; keep the two
     // apart in the outcome taxonomy.
-    let model = match frontend_for(path, forced).load(&src) {
+    let model = match frontends::resolve(path, forced).load(&src) {
         Ok(m) => m,
         Err(e @ IwaError::Parse { .. }) => return Checked::Parse(e),
         Err(e) => return Checked::Invalid(e),
@@ -430,6 +424,10 @@ fn check_attempt(
         (ModelIr::Lok(m), LintStage::Quick | LintStage::Full) => {
             run_lints_lok(m, lint_config, &registry_for(Lang::Lok))
         }
+        // Likewise for `.chan`: every lint reads the precomputed model.
+        (ModelIr::Chan(m), LintStage::Quick | LintStage::Full) => {
+            run_lints_chan(m, lint_config, &registry_for(Lang::Chan))
+        }
     };
     Checked::Report(report, diagnostics)
 }
@@ -444,7 +442,7 @@ fn check_one(
 ) -> FileOutcome {
     let started = Instant::now();
     let display = path.display().to_string();
-    let lang = frontend_for(path, forced).lang().name().to_owned();
+    let lang = frontends::resolve(path, forced).lang().name().to_owned();
     let max_attempts = u64::from(retry.max_attempts.max(1));
 
     let mut retries = 0u64;

@@ -31,7 +31,7 @@ use iwa_analysis::{
 use iwa_core::fault::{FaultPlan, FaultSite};
 use iwa_core::obs::{Counters, Meta, Metrics, TraceSink};
 use iwa_core::{Budget, CancelToken, IwaError};
-use iwa_frontend::{LoadedModel, LokModel, ModelIr};
+use iwa_frontend::{ChanModel, LoadedModel, LokModel, ModelIr};
 use iwa_syncgraph::SyncGraph;
 use iwa_tasklang::transforms::{inline_procs, unroll_twice};
 use iwa_tasklang::validate::check_model;
@@ -269,12 +269,14 @@ pub fn analyze(p: &Program, opts: &EngineOptions) -> Result<EngineReport, IwaErr
 
 /// Run the ladder on any loaded frontend model, dispatching on its IR:
 /// tasklang models go through [`analyze`] unchanged; `.lok` models run
-/// the [lock-order ladder](analyze_lok). This is the entry point the
-/// batch driver, the CLI, and the serve daemon share.
+/// the [lock-order ladder](analyze_lok); `.chan` models run the
+/// [channel ladder](analyze_chan). This is the entry point the batch
+/// driver, the CLI, and the serve daemon share.
 pub fn analyze_model(model: &LoadedModel, opts: &EngineOptions) -> Result<EngineReport, IwaError> {
     match &model.ir {
         ModelIr::Tasklang(p) => analyze(p, opts),
         ModelIr::Lok(m) => analyze_lok(m, opts),
+        ModelIr::Chan(m) => analyze_chan(m, opts),
     }
 }
 
@@ -300,6 +302,33 @@ pub fn analyze_model(model: &LoadedModel, opts: &EngineOptions) -> Result<Engine
 pub fn analyze_lok(m: &LokModel, opts: &EngineOptions) -> Result<EngineReport, IwaError> {
     Ok(run_ladder(opts, |rung, slice, metrics| {
         run_rung_lok(m, rung, opts, slice, metrics)
+    }))
+}
+
+/// Run the degradation ladder on a loaded `.chan` model.
+///
+/// The deadlock half mirrors the `.lok` specialisation against the
+/// port-expanded lowering (see [`iwa_frontend::chan::lower`]):
+///
+/// * the **oracle** explores in deadlock-only mode (`ignore_stalls`) —
+///   every lowered task is skippable, so stall-only stuck waves are a
+///   legal non-event, not an anomaly;
+/// * the **refined** rungs seed the per-head SCC search with the
+///   wait-point nodes ([`ChanModel::wait_points`]), which cover every
+///   possible head of the lowered graph;
+/// * the **naive** floor's CLG cycle check is *exact* here (the lowered
+///   graph is control-loop-free and its CLG cycles are precisely the
+///   communication-dependency cycles).
+///
+/// On top of the graph verdict every rung folds in the model's static
+/// **livelock witnesses** — loops traversable forever without external
+/// communication are control-loop properties the (loop-free) lowering
+/// abstracts away, so they are detected on the AST once at load time
+/// and OR-ed into each rung's answer. All rungs therefore agree, and a
+/// deadlock-free, livelock-free result is `Clean`, never `Unknown`.
+pub fn analyze_chan(m: &ChanModel, opts: &EngineOptions) -> Result<EngineReport, IwaError> {
+    Ok(run_ladder(opts, |rung, slice, metrics| {
+        run_rung_chan(m, rung, opts, slice, metrics)
     }))
 }
 
@@ -593,6 +622,92 @@ fn run_rung_lok(
             } else {
                 Ok((EngineVerdict::Anomalous, witnesses()))
             }
+        }
+    }
+}
+
+/// One rung of the channel ladder (see [`analyze_chan`] for the
+/// per-rung specialisation). Every rung is exact for this model, so an
+/// `Anomalous` verdict always reports the same canonical witnesses:
+/// the communication cycles with their span-anchored wait chains, plus
+/// the static livelock witnesses with their starved-arm rationale.
+fn run_rung_chan(
+    m: &ChanModel,
+    rung: Rung,
+    opts: &EngineOptions,
+    budget: &Budget,
+    metrics: &Metrics,
+) -> Result<(EngineVerdict, Vec<String>), IwaError> {
+    if rung != Rung::Naive {
+        if let Some(plan) = &opts.faults {
+            plan.fire(FaultSite::Certify, rung.name())?;
+            if matches!(rung, Rung::HeadTails | Rung::HeadPairs | Rung::Heads) {
+                plan.fire(FaultSite::RefinedSearch, rung.name())?;
+            }
+        }
+    }
+    let witnesses = || {
+        m.cycles
+            .iter()
+            .map(|c| format!("channel-wait cycle: {}", m.comm_graph.render_cycle(c)))
+            .chain(m.livelocks.iter().map(|w| m.render_livelock(w)))
+            .collect::<Vec<_>>()
+    };
+    // Livelock is a control-loop property the (loop-free) lowering
+    // abstracts away; fold the load-time witnesses into every rung.
+    let finish = |graph_deadlock_free: bool| {
+        if graph_deadlock_free && m.livelocks.is_empty() {
+            (EngineVerdict::Clean, Vec::new())
+        } else {
+            (EngineVerdict::Anomalous, witnesses())
+        }
+    };
+    match rung {
+        Rung::Oracle => {
+            budget.probe("oracle exploration")?;
+            // Deadlock-only mode: stall-only stuck waves are benign in
+            // the channel lowering (every task is skippable).
+            let config = ExploreConfig {
+                ignore_stalls: true,
+                ..opts.oracle_config
+            };
+            let e = explore_budgeted(&m.sg, &config, budget)?;
+            metrics.commit(&Counters {
+                sg_nodes: m.sg.num_nodes() as u64,
+                ..Counters::default()
+            });
+            Ok(finish(e.verdict == Verdict::AnomalyFree))
+        }
+        Rung::HeadTails | Rung::HeadPairs | Rung::Heads => {
+            let tier = match rung {
+                Rung::HeadTails => Tier::HeadTails,
+                Rung::HeadPairs => Tier::HeadPairs,
+                _ => Tier::Heads,
+            };
+            let ropts = RefinedOptions {
+                tier,
+                ..RefinedOptions::default()
+            };
+            let mut builder = AnalysisCtx::builder()
+                .budget(budget.clone())
+                .workers(opts.workers)
+                .metrics(metrics.clone());
+            if let Some(t) = &opts.trace {
+                builder = builder.trace(t.clone());
+            }
+            let r = builder.build().refined_seeded(&m.sg, &m.wait_points, &ropts)?;
+            Ok(finish(r.deadlock_free))
+        }
+        Rung::Naive => {
+            // Exact for this model: the lowered graph is control-loop-free
+            // and its CLG cycles are precisely the communication cycles.
+            let naive = naive_analysis(&m.sg);
+            metrics.commit(&Counters {
+                sg_nodes: m.sg.num_nodes() as u64,
+                clg_cycles: naive.cycle_components.len() as u64,
+                ..Counters::default()
+            });
+            Ok(finish(naive.deadlock_free))
         }
     }
 }

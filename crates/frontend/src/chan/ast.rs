@@ -1,0 +1,180 @@
+//! The `.chan` AST: processes communicating over declared channels via
+//! `send`/`recv`/`close` and multi-arm `select`.
+
+use iwa_core::Span;
+
+/// A parsed `.chan` program. Channels are interned in declaration order
+/// (the index is the channel id used throughout the communication graph
+/// and the lowering), so ids are stable under reparse.
+#[derive(Clone, Debug)]
+pub struct ChanProgram {
+    /// The declared channels, in declaration order; index = channel id.
+    pub chans: Vec<ChanDecl>,
+    /// The declared processes, in declaration order.
+    pub procs: Vec<Proc>,
+}
+
+impl ChanProgram {
+    /// The name of channel `c`.
+    #[must_use]
+    pub fn chan_name(&self, c: usize) -> &str {
+        self.chans.get(c).map_or("<unknown channel>", |d| d.name.as_str())
+    }
+}
+
+/// One `chan` declaration.
+#[derive(Clone, Debug)]
+pub struct ChanDecl {
+    /// The channel's name.
+    pub name: String,
+    /// Its buffering discipline.
+    pub capacity: Capacity,
+    /// Span of the name token in the declaration.
+    pub span: Span,
+}
+
+/// A channel's buffering discipline — the only semantic property the
+/// analysis needs: whether a `send` may block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Capacity {
+    /// `chan c;` — unbuffered: a send blocks until a receiver arrives.
+    Rendezvous,
+    /// `chan c[4];` — bounded buffer: a send may block (the buffer may
+    /// be full), so the analysis treats it like a rendezvous send.
+    Bounded(u32),
+    /// `chan c[*];` — unbounded buffer: a send never blocks.
+    Unbounded,
+}
+
+impl Capacity {
+    /// Whether a `send` on a channel of this capacity may block.
+    #[must_use]
+    pub fn send_may_block(self) -> bool {
+        !matches!(self, Capacity::Unbounded)
+    }
+}
+
+/// One process declaration.
+#[derive(Clone, Debug)]
+pub struct Proc {
+    /// The process's name.
+    pub name: String,
+    /// Its body.
+    pub body: Vec<ChanStmt>,
+    /// Span of the name token in the declaration.
+    pub span: Span,
+}
+
+/// A communication direction. The discriminants are load-bearing: port
+/// ids are `2 * chan + dir as usize`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Dir {
+    /// The sending end.
+    Send = 0,
+    /// The receiving end.
+    Recv = 1,
+}
+
+impl Dir {
+    /// The complementary direction (`send` ↔ `recv`).
+    #[must_use]
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::Send => Dir::Recv,
+            Dir::Recv => Dir::Send,
+        }
+    }
+
+    /// The keyword spelling (`"send"` / `"recv"`).
+    #[must_use]
+    pub fn verb(self) -> &'static str {
+        match self {
+            Dir::Send => "send",
+            Dir::Recv => "recv",
+        }
+    }
+}
+
+/// A `.chan` statement. Branch conditions are opaque (the analysis is
+/// path-insensitive, like the paper's treatment of `.iwa` branches).
+#[derive(Clone, Debug)]
+pub enum ChanStmt {
+    /// `send c;` — send on channel `c`, blocking while no partner (and
+    /// no buffer space) is available.
+    Send {
+        /// Channel id.
+        chan: usize,
+        /// Span of the `send` keyword (the operation site).
+        span: Span,
+    },
+    /// `recv c;` — receive from channel `c`, blocking until a value (or
+    /// a close) arrives.
+    Recv {
+        /// Channel id.
+        chan: usize,
+        /// Span of the `recv` keyword.
+        span: Span,
+    },
+    /// `close c;` — close channel `c`; subsequent receives return
+    /// immediately, subsequent sends fault.
+    Close {
+        /// Channel id.
+        chan: usize,
+        /// Span of the `close` keyword.
+        span: Span,
+    },
+    /// `select { … }` — wait until one ready arm fires; with a `default`
+    /// arm the select never blocks.
+    Select {
+        /// The communication arms, in source order.
+        arms: Vec<SelectArm>,
+        /// The `default` body (`None` when absent — the select blocks).
+        default_body: Option<Vec<ChanStmt>>,
+        /// Span of the `select` keyword.
+        span: Span,
+    },
+    /// `if { … } [else { … }]` — opaque branch.
+    If {
+        /// The then branch.
+        then_branch: Vec<ChanStmt>,
+        /// The else branch (empty when absent).
+        else_branch: Vec<ChanStmt>,
+        /// Span of the `if` keyword.
+        span: Span,
+    },
+    /// `loop { … }` — executes zero or more times.
+    Loop {
+        /// The loop body.
+        body: Vec<ChanStmt>,
+        /// Span of the `loop` keyword.
+        span: Span,
+    },
+}
+
+impl ChanStmt {
+    /// The statement's source span.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            ChanStmt::Send { span, .. }
+            | ChanStmt::Recv { span, .. }
+            | ChanStmt::Close { span, .. }
+            | ChanStmt::Select { span, .. }
+            | ChanStmt::If { span, .. }
+            | ChanStmt::Loop { span, .. } => *span,
+        }
+    }
+}
+
+/// One communication arm of a `select`.
+#[derive(Clone, Debug)]
+pub struct SelectArm {
+    /// The arm's operation direction.
+    pub dir: Dir,
+    /// The channel operated on.
+    pub chan: usize,
+    /// The arm's body, run when the arm fires.
+    pub body: Vec<ChanStmt>,
+    /// Span of the arm's `send`/`recv` keyword.
+    pub span: Span,
+}

@@ -1,0 +1,306 @@
+//! The communication dependency graph: nodes are channel *ports*
+//! (`c!` = the send end, `c?` = the receive end), and an edge `h → q`
+//! records that some process may block at port `h` while withholding an
+//! op the waiters at port `q` need ([`super::effects`] produces the
+//! edges). A cycle is a circular wait over channel ends — the `.chan`
+//! analogue of a lock-order cycle, and exactly what the lowering turns
+//! into a CLG deadlock.
+
+use super::ast::{Capacity, ChanProgram, Dir};
+use super::effects::{port_chan, port_dir, ChanEffects, ChanIssue, DepEdge};
+use iwa_graphs::{GraphBuilder, Scc};
+
+/// One communication cycle, with its witness wait chain.
+#[derive(Clone, Debug)]
+pub struct CommCycle {
+    /// The ports on the cycle, starting from the smallest id; length 1
+    /// for a self-rendezvous loop.
+    pub ports: Vec<usize>,
+    /// The edges closing the cycle: `chain[i]` goes from `ports[i]` to
+    /// `ports[(i+1) % len]`, each carrying the spans of the blocked and
+    /// withheld ops involved.
+    pub chain: Vec<DepEdge>,
+}
+
+/// The communication dependency graph of a [`ChanProgram`].
+#[derive(Clone, Debug)]
+pub struct CommGraph {
+    /// Channel names (shared index space with the program).
+    pub chans: Vec<String>,
+    /// Channel capacities, same index space.
+    pub capacities: Vec<Capacity>,
+    /// The wait edges, deduplicated to the first witness per
+    /// `(from, to)` port pair in walk order.
+    pub edges: Vec<DepEdge>,
+}
+
+impl CommGraph {
+    /// Assemble the graph from a program's computed effects.
+    #[must_use]
+    pub fn build(p: &ChanProgram, effects: &ChanEffects) -> CommGraph {
+        CommGraph {
+            chans: p.chans.iter().map(|c| c.name.clone()).collect(),
+            capacities: p.chans.iter().map(|c| c.capacity).collect(),
+            edges: effects.dep_edges.clone(),
+        }
+    }
+
+    /// Number of ports (= node count of the graph).
+    #[must_use]
+    pub fn num_ports(&self) -> usize {
+        self.chans.len() * 2
+    }
+
+    /// The name of channel `c`.
+    #[must_use]
+    pub fn chan_name(&self, c: usize) -> &str {
+        self.chans.get(c).map_or("<unknown channel>", String::as_str)
+    }
+
+    /// The display name of port `p`: CSP notation, `c!` for the send
+    /// end and `c?` for the receive end.
+    #[must_use]
+    pub fn port_name(&self, p: usize) -> String {
+        let mark = match port_dir(p) {
+            Dir::Send => '!',
+            Dir::Recv => '?',
+        };
+        format!("{}{}", self.chan_name(port_chan(p)), mark)
+    }
+
+    /// Deterministic witness cycles: one canonical [`CommCycle`] per
+    /// non-trivial strong component (plus one per self-edge), found by a
+    /// shortest-cycle BFS from the component's smallest port id with
+    /// smallest-successor tie-breaking — byte-stable across runs.
+    #[must_use]
+    pub fn cycles(&self) -> Vec<CommCycle> {
+        let n = self.num_ports();
+        let mut g: GraphBuilder<u32> = GraphBuilder::with_nodes(n);
+        for (i, e) in self.edges.iter().enumerate() {
+            g.add_edge(e.from, e.to, i as u32);
+        }
+        let g = g.freeze();
+        let scc = Scc::compute(&g, None);
+
+        let mut out = Vec::new();
+        // Self-loops first: a self-rendezvous deadlocks on its own, even
+        // inside a larger component.
+        for e in &self.edges {
+            if e.from == e.to {
+                out.push(CommCycle {
+                    ports: vec![e.from],
+                    chain: vec![e.clone()],
+                });
+            }
+        }
+        for comp in scc.nontrivial_components(&g) {
+            // A single node is only non-trivial through a self-edge,
+            // which was already emitted above.
+            if comp.len() < 2 {
+                continue;
+            }
+            let start = comp.iter().copied().min().expect("non-empty") as usize;
+            out.push(self.shortest_cycle_through(&g, &comp, start));
+        }
+        out.sort_by(|a, b| a.ports.cmp(&b.ports));
+        out
+    }
+
+    /// Shortest cycle through `start` staying inside `comp`, successors
+    /// in edge order (the CSR keeps per-source insertion order, which is
+    /// walk order — deterministic).
+    fn shortest_cycle_through(
+        &self,
+        g: &iwa_graphs::Csr<u32>,
+        comp: &[u32],
+        start: usize,
+    ) -> CommCycle {
+        let in_comp = |v: usize| comp.contains(&(v as u32));
+        // BFS over edges from `start`; parent[v] = edge index used to
+        // first reach v.
+        let mut parent: Vec<Option<u32>> = vec![None; g.num_nodes()];
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut closing: Option<u32> = None;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for (&v, &eidx) in g.successors(u).iter().zip(g.successor_labels(u)) {
+                let v = v as usize;
+                // Self-edges are reported as their own length-1 cycles.
+                if v == u {
+                    continue;
+                }
+                if v == start {
+                    closing = Some(eidx);
+                    break 'bfs;
+                }
+                if in_comp(v) && parent[v].is_none() {
+                    parent[v] = Some(eidx);
+                    queue.push_back(v);
+                }
+            }
+        }
+        let closing = closing.expect("a non-trivial SCC has a cycle through every member");
+        let mut chain = vec![self.edges[closing as usize].clone()];
+        let mut cur = chain[0].from;
+        while cur != start {
+            let eidx = parent[cur].expect("BFS reached every chain node") as usize;
+            chain.push(self.edges[eidx].clone());
+            cur = self.edges[eidx].from;
+        }
+        chain.reverse();
+        CommCycle {
+            ports: chain.iter().map(|e| e.from).collect(),
+            chain,
+        }
+    }
+
+    /// Render one issue as a human-readable warning line.
+    #[must_use]
+    pub fn render_issue(&self, i: &ChanIssue) -> String {
+        match i {
+            ChanIssue::SendOnClosed {
+                proc_name,
+                chan,
+                span,
+                closed_span,
+            } => format!(
+                "proc {} sends on {} ({}) after it is closed ({}) — a runtime fault",
+                proc_name,
+                self.chan_name(*chan),
+                span,
+                closed_span
+            ),
+            ChanIssue::CloseOfClosed {
+                proc_name,
+                chan,
+                span,
+                closed_span,
+            } => format!(
+                "proc {} closes {} ({}) twice (first closed at {})",
+                proc_name,
+                self.chan_name(*chan),
+                span,
+                closed_span
+            ),
+        }
+    }
+
+    /// Render one cycle as the span-anchored wait chain the reports and
+    /// lints print:
+    /// `a! → b? → a! (proc p1 blocks at send a (2:5) withholding send b
+    /// (3:5); …)`.
+    #[must_use]
+    pub fn render_cycle(&self, c: &CommCycle) -> String {
+        let ring: Vec<String> = c
+            .ports
+            .iter()
+            .chain(c.ports.first())
+            .map(|&p| self.port_name(p))
+            .collect();
+        let sites: Vec<String> = c
+            .chain
+            .iter()
+            .map(|e| {
+                format!(
+                    "proc {} blocks at {} {} ({}) withholding {} {} ({})",
+                    e.proc_name,
+                    port_dir(e.from).verb(),
+                    self.chan_name(port_chan(e.from)),
+                    e.blocked_span,
+                    e.withheld.verb(),
+                    self.chan_name(e.withheld_chan),
+                    e.withheld_span
+                )
+            })
+            .collect();
+        format!("{} ({})", ring.join(" → "), sites.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::effects::ChanEffects;
+    use super::super::parser::parse_chan;
+    use super::*;
+
+    fn graph(src: &str) -> CommGraph {
+        let p = parse_chan(src).unwrap();
+        let e = ChanEffects::compute(&p);
+        CommGraph::build(&p, &e)
+    }
+
+    #[test]
+    fn crossed_pair_is_a_two_cycle_with_spans() {
+        let g = graph(
+            "chan a; chan b;
+             proc p1 { send a; send b; }
+             proc p2 { recv b; recv a; }",
+        );
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        let c = &cycles[0];
+        assert_eq!(c.ports.len(), 2);
+        for e in &c.chain {
+            assert!(e.blocked_span.is_real() && e.withheld_span.is_real());
+        }
+        let rendered = g.render_cycle(c);
+        assert!(rendered.contains("a! → b? → a!"), "got: {rendered}");
+        assert!(rendered.contains("proc p1 blocks at send a"), "got: {rendered}");
+        assert!(rendered.contains("withholding recv a"), "got: {rendered}");
+    }
+
+    #[test]
+    fn matching_order_is_acyclic() {
+        let g = graph(
+            "chan a; chan b;
+             proc p1 { send a; send b; }
+             proc p2 { recv a; recv b; }",
+        );
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn self_rendezvous_is_a_length_one_cycle() {
+        let g = graph("chan a; proc p { send a; recv a; }");
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].ports, [0]);
+        let rendered = g.render_cycle(&cycles[0]);
+        assert!(rendered.contains("a! → a!"), "got: {rendered}");
+    }
+
+    #[test]
+    fn ring_has_a_deterministic_witness() {
+        let src = "chan c0; chan c1; chan c2;
+                   proc p0 { send c0; recv c2; }
+                   proc p1 { send c1; recv c0; }
+                   proc p2 { send c2; recv c1; }";
+        let c1 = graph(src).cycles();
+        let c2 = graph(src).cycles();
+        assert_eq!(c1.len(), 1);
+        assert_eq!(c1[0].ports, c2[0].ports);
+        assert_eq!(c1[0].ports.len(), 3);
+        assert_eq!(c1[0].ports[0], 0, "canonical start = smallest id");
+    }
+
+    #[test]
+    fn bounded_handoff_is_clean() {
+        let g = graph(
+            "chan q[2];
+             proc p1 { send q; send q; }
+             proc p2 { recv q; recv q; }",
+        );
+        assert!(g.edges.is_empty());
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn issues_render_with_spans() {
+        let g = graph("chan c[*]; proc p { close c; send c; }");
+        // Rebuild effects to fetch the issue (build() copies edges only).
+        let p = parse_chan("chan c[*]; proc p { close c; send c; }").unwrap();
+        let e = ChanEffects::compute(&p);
+        let rendered = g.render_issue(&e.issues[0]);
+        assert!(rendered.contains("sends on c"), "got: {rendered}");
+        assert!(rendered.contains("after it is closed"), "got: {rendered}");
+    }
+}

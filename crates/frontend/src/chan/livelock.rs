@@ -1,0 +1,461 @@
+//! Static livelock classification: loops that can run **forever without
+//! any externally visible communication**.
+//!
+//! The lowered CLG is control-loop-free (each wait edge is its own
+//! begin-to-end branch), so livelock is not a cycle *of* the lowered
+//! graph — it lives in the process-level control loops the lowering
+//! abstracts away. This pass walks the AST directly: a `loop` is a
+//! livelock witness iff its body admits a **silent traversal**, a path
+//! where every statement either performs no communication at all or
+//! completes without a partner:
+//!
+//! * `send`/`recv` on a live channel break silence — they either
+//!   communicate (progress) or block (a wait, the deadlock machinery's
+//!   department, not livelock);
+//! * `recv` on a must-closed channel is silent: it completes instantly
+//!   with nothing — the **closed-channel busy-wait**;
+//! * a `select` *with* `default` is silent through its default arm: if
+//!   no arm is ready the process spins — the **spin-on-default**, whose
+//!   communication arms are the starved ones;
+//! * a `select` *without* `default` blocks, breaking silence;
+//! * `close`, `if`/`else` (through a silent branch), and nested loops
+//!   (through zero iterations) are silent but carry no anomaly on their
+//!   own — a loop whose silent traversal shows neither a spin nor a
+//!   busy-wait is just control flow and is not flagged.
+//!
+//! Each spin witness ranks its starved arms: an arm with **zero
+//! counterpart sites** in other processes can never fire — the spin is
+//! unconditional; an arm with counterparts may fire under a fair
+//! scheduler but is starved whenever the default wins the race — the
+//! fairness half of the report.
+
+use super::ast::{ChanProgram, ChanStmt, Dir};
+use super::effects::ChanEffects;
+use iwa_core::Span;
+
+/// How a loop livelocks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LivelockKind {
+    /// The loop's silent traversal passes a `select` whose `default`
+    /// arm fires while the communication arms starve.
+    SpinOnDefault,
+    /// The loop's silent traversal receives from a channel that is
+    /// already closed — an instant, empty completion every iteration.
+    ClosedChannelBusyWait,
+}
+
+/// One starved communication arm of a spinning select, ranked by
+/// `counterparts` (0 first: the arm can never fire).
+#[derive(Clone, Debug)]
+pub struct StarvedArm {
+    /// The arm's channel.
+    pub chan: usize,
+    /// The arm's direction.
+    pub dir: Dir,
+    /// Span of the arm's op keyword.
+    pub span: Span,
+    /// Matching op sites in other processes (0 = can never fire).
+    pub counterparts: usize,
+}
+
+/// One span-anchored livelock witness.
+#[derive(Clone, Debug)]
+pub struct LivelockWitness {
+    /// The looping process.
+    pub proc_name: String,
+    /// The classification.
+    pub kind: LivelockKind,
+    /// Span of the `loop` keyword.
+    pub loop_span: Span,
+    /// Span of the silent op inside the loop: the `select` for a spin,
+    /// the `recv` for a busy-wait.
+    pub site_span: Span,
+    /// For a busy-wait: the channel received from and its closing site.
+    pub closed: Option<(usize, Span)>,
+    /// For a spin: the starved arms, zero-counterpart arms first, then
+    /// source order.
+    pub starved: Vec<StarvedArm>,
+}
+
+/// Find every livelocking loop in `p`, in walk order (procs in
+/// declaration order, outer loops before the loops they contain).
+#[must_use]
+pub fn find_livelocks(p: &ChanProgram, effects: &ChanEffects) -> Vec<LivelockWitness> {
+    let mut out = Vec::new();
+    for proc_ in &p.procs {
+        let mut walker = LoopWalker {
+            proc_name: &proc_.name,
+            effects,
+            out: &mut out,
+        };
+        let mut closed = vec![None; p.chans.len()];
+        walker.walk(&mut closed, &proc_.body);
+    }
+    out
+}
+
+/// Render one witness as the span-anchored line the reports and lints
+/// print.
+#[must_use]
+pub fn render_livelock(p: &ChanProgram, w: &LivelockWitness) -> String {
+    match w.kind {
+        LivelockKind::SpinOnDefault => {
+            let arms: Vec<String> = w
+                .starved
+                .iter()
+                .map(|a| {
+                    let fate = if a.counterparts == 0 {
+                        "can never fire (no counterpart in any other proc)".to_owned()
+                    } else {
+                        format!(
+                            "starved whenever default wins ({} counterpart site{} elsewhere)",
+                            a.counterparts,
+                            if a.counterparts == 1 { "" } else { "s" }
+                        )
+                    };
+                    format!("{} {} ({}) {}", a.dir.verb(), p.chan_name(a.chan), a.span, fate)
+                })
+                .collect();
+            format!(
+                "proc {} livelocks: loop ({}) spins on select default ({}); starved arms: {}",
+                w.proc_name,
+                w.loop_span,
+                w.site_span,
+                arms.join("; ")
+            )
+        }
+        LivelockKind::ClosedChannelBusyWait => {
+            let (chan, closed_span) = w.closed.expect("busy-wait witnesses carry the channel");
+            format!(
+                "proc {} livelocks: loop ({}) busy-waits on closed channel {} \
+                 (recv at {}, closed at {})",
+                w.proc_name,
+                w.loop_span,
+                p.chan_name(chan),
+                w.site_span,
+                closed_span
+            )
+        }
+    }
+}
+
+/// Must-closed state: per channel, the dominating close site if closed
+/// on every path prefix.
+type ClosedState = Vec<Option<Span>>;
+
+fn merge_closed(a: &mut ClosedState, b: &ClosedState) {
+    for (x, y) in a.iter_mut().zip(b) {
+        if y.is_none() {
+            *x = None;
+        }
+    }
+}
+
+/// The anomalies found along one silent traversal.
+#[derive(Default)]
+struct SilentMarks {
+    /// `(select span, starved arms)` per spinning select passed.
+    spins: Vec<(Span, Vec<StarvedArm>)>,
+    /// `(chan, recv span, close span)` per closed-channel recv passed.
+    busy_waits: Vec<(usize, Span, Span)>,
+}
+
+impl SilentMarks {
+    fn absorb(&mut self, other: SilentMarks) {
+        self.spins.extend(other.spins);
+        self.busy_waits.extend(other.busy_waits);
+    }
+}
+
+/// Outer walk: maintain must-closed state, analyse every loop, recurse
+/// into nested bodies.
+struct LoopWalker<'a> {
+    proc_name: &'a str,
+    effects: &'a ChanEffects,
+    out: &'a mut Vec<LivelockWitness>,
+}
+
+impl LoopWalker<'_> {
+    fn walk(&mut self, closed: &mut ClosedState, body: &[ChanStmt]) {
+        for stmt in body {
+            match stmt {
+                ChanStmt::Send { .. } | ChanStmt::Recv { .. } => {}
+                ChanStmt::Close { chan, span } => {
+                    closed[*chan].get_or_insert(*span);
+                }
+                ChanStmt::Select {
+                    arms, default_body, ..
+                } => {
+                    let entry = closed.clone();
+                    let mut merged: Option<ClosedState> = None;
+                    let fold = |st: ClosedState, merged: &mut Option<ClosedState>| match merged {
+                        None => *merged = Some(st),
+                        Some(m) => merge_closed(m, &st),
+                    };
+                    for arm in arms {
+                        let mut st = entry.clone();
+                        self.walk(&mut st, &arm.body);
+                        fold(st, &mut merged);
+                    }
+                    if let Some(d) = default_body {
+                        let mut st = entry.clone();
+                        self.walk(&mut st, d);
+                        fold(st, &mut merged);
+                    }
+                    if let Some(m) = merged {
+                        *closed = m;
+                    }
+                }
+                ChanStmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    let mut else_state = closed.clone();
+                    self.walk(closed, then_branch);
+                    self.walk(&mut else_state, else_branch);
+                    merge_closed(closed, &else_state);
+                }
+                ChanStmt::Loop { body, span } => {
+                    // Judge this loop from its entry state…
+                    let mut probe = closed.clone();
+                    if let Some(marks) = self.silent(&mut probe, body) {
+                        self.report(*span, marks);
+                    }
+                    // …then recurse for nested loops. The loop body can
+                    // only *add* closes, and must-facts survive only if
+                    // the zero-iteration path agrees, so the state after
+                    // the loop is the entry state.
+                    let mut inner = closed.clone();
+                    self.walk(&mut inner, body);
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, loop_span: Span, marks: SilentMarks) {
+        for (chan, recv_span, close_span) in marks.busy_waits {
+            self.out.push(LivelockWitness {
+                proc_name: self.proc_name.to_owned(),
+                kind: LivelockKind::ClosedChannelBusyWait,
+                loop_span,
+                site_span: recv_span,
+                closed: Some((chan, close_span)),
+                starved: Vec::new(),
+            });
+        }
+        for (select_span, mut starved) in marks.spins {
+            // Zero-counterpart arms first; stable within each group
+            // (source order).
+            starved.sort_by_key(|a| a.counterparts > 0);
+            self.out.push(LivelockWitness {
+                proc_name: self.proc_name.to_owned(),
+                kind: LivelockKind::SpinOnDefault,
+                loop_span,
+                site_span: select_span,
+                closed: None,
+                starved,
+            });
+        }
+    }
+
+    /// Is there a silent traversal of `body` from `closed`? Returns its
+    /// anomaly marks if so (updating `closed` along the chosen path),
+    /// `None` if every path communicates or blocks.
+    fn silent(&self, closed: &mut ClosedState, body: &[ChanStmt]) -> Option<SilentMarks> {
+        let mut marks = SilentMarks::default();
+        for stmt in body {
+            match stmt {
+                ChanStmt::Send { .. } => return None,
+                ChanStmt::Recv { chan, span } => {
+                    let close_span = closed[*chan]?;
+                    marks.busy_waits.push((*chan, *span, close_span));
+                }
+                ChanStmt::Close { chan, span } => {
+                    closed[*chan].get_or_insert(*span);
+                }
+                ChanStmt::Select {
+                    arms,
+                    default_body,
+                    span,
+                } => {
+                    // Arms firing means communication; the silent way
+                    // through is the default branch.
+                    let d = default_body.as_deref()?;
+                    let sub = self.silent(closed, d)?;
+                    marks.absorb(sub);
+                    let starved = arms
+                        .iter()
+                        .map(|a| StarvedArm {
+                            chan: a.chan,
+                            dir: a.dir,
+                            span: a.span,
+                            counterparts: self.effects.counterparts(
+                                self.proc_name,
+                                a.chan,
+                                a.dir,
+                            ),
+                        })
+                        .collect();
+                    marks.spins.push((*span, starved));
+                }
+                ChanStmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    // Take a silent branch if one exists (prefer then).
+                    let mut then_state = closed.clone();
+                    if let Some(sub) = self.silent(&mut then_state, then_branch) {
+                        *closed = then_state;
+                        marks.absorb(sub);
+                    } else {
+                        let sub = self.silent(closed, else_branch)?;
+                        marks.absorb(sub);
+                    }
+                }
+                // Zero iterations: silent, no marks, no state change.
+                ChanStmt::Loop { .. } => {}
+            }
+        }
+        Some(marks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::effects::ChanEffects;
+    use super::super::parser::parse_chan;
+    use super::*;
+
+    fn livelocks(src: &str) -> (ChanProgram, Vec<LivelockWitness>) {
+        let p = parse_chan(src).unwrap();
+        let e = ChanEffects::compute(&p);
+        let w = find_livelocks(&p, &e);
+        (p, w)
+    }
+
+    #[test]
+    fn spin_on_default_with_no_sender_is_flagged() {
+        let (p, w) = livelocks(
+            "chan c;
+             proc poller { loop { select { recv c { } default { } } } }",
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, LivelockKind::SpinOnDefault);
+        assert_eq!(w[0].starved.len(), 1);
+        assert_eq!(w[0].starved[0].counterparts, 0);
+        let rendered = render_livelock(&p, &w[0]);
+        assert!(rendered.contains("spins on select default"), "{rendered}");
+        assert!(rendered.contains("can never fire"), "{rendered}");
+        assert!(w[0].loop_span.is_real() && w[0].site_span.is_real());
+    }
+
+    #[test]
+    fn spin_with_a_counterpart_is_a_fairness_warning() {
+        let (p, w) = livelocks(
+            "chan c;
+             proc poller { loop { select { recv c { } default { } } } }
+             proc feeder { send c; }",
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].starved[0].counterparts, 1);
+        let rendered = render_livelock(&p, &w[0]);
+        assert!(rendered.contains("whenever default wins"), "{rendered}");
+    }
+
+    #[test]
+    fn starved_arms_rank_dead_arms_first() {
+        let (_, w) = livelocks(
+            "chan fed; chan dead;
+             proc poller {
+                 loop { select { recv fed { } recv dead { } default { } } }
+             }
+             proc feeder { send fed; }",
+        );
+        assert_eq!(w.len(), 1);
+        // `dead` (0 counterparts) outranks `fed` (1) despite source order.
+        assert_eq!(w[0].starved[0].chan, 1);
+        assert_eq!(w[0].starved[0].counterparts, 0);
+        assert_eq!(w[0].starved[1].chan, 0);
+        assert_eq!(w[0].starved[1].counterparts, 1);
+    }
+
+    #[test]
+    fn closed_channel_busy_wait_is_flagged() {
+        let (p, w) = livelocks(
+            "chan c;
+             proc waiter { close c; loop { recv c; } }",
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, LivelockKind::ClosedChannelBusyWait);
+        let rendered = render_livelock(&p, &w[0]);
+        assert!(rendered.contains("busy-waits on closed channel c"), "{rendered}");
+        assert!(rendered.contains("closed at"), "{rendered}");
+    }
+
+    #[test]
+    fn close_inside_the_loop_also_busy_waits() {
+        let (_, w) = livelocks("chan c; proc p { loop { close c; recv c; } }");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, LivelockKind::ClosedChannelBusyWait);
+    }
+
+    #[test]
+    fn live_communication_breaks_silence() {
+        let (_, w) = livelocks(
+            "chan c;
+             proc producer { loop { send c; } }
+             proc consumer { loop { recv c; } }",
+        );
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn blocking_select_is_not_a_spin() {
+        let (_, w) = livelocks(
+            "chan a; chan b;
+             proc p { loop { select { recv a { } recv b { } } } }
+             proc qa { loop { send a; } }
+             proc qb { loop { send b; } }",
+        );
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn empty_and_control_only_loops_are_not_flagged() {
+        let (_, w) = livelocks(
+            "chan c;
+             proc p { loop { } loop { if { } else { } loop { } } }",
+        );
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn silence_can_thread_through_a_branch() {
+        // The else branch is silent (and spins); the then branch sends.
+        let (_, w) = livelocks(
+            "chan c; chan d;
+             proc p {
+                 loop {
+                     if { send c; } else { select { recv d { } default { } } }
+                 }
+             }
+             proc q { loop { recv c; } }",
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, LivelockKind::SpinOnDefault);
+    }
+
+    #[test]
+    fn nested_loops_are_judged_independently() {
+        // The outer loop is silent only via zero iterations of the inner
+        // loop (no marks — not flagged); the inner loop spins.
+        let (_, w) = livelocks(
+            "chan c;
+             proc p { loop { loop { select { recv c { } default { } } } } }",
+        );
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0].kind, LivelockKind::SpinOnDefault);
+    }
+}

@@ -1,0 +1,243 @@
+//! Lowering the communication dependency graph onto the paper's
+//! sync-graph model.
+//!
+//! Each channel `c` becomes a task `T_c` carrying a **signal pair** —
+//! `snd` for the send end, `rcv` for the receive end — so every port
+//! `(c, d)` has its own signal. Each wait edge `(p → q)` becomes its own
+//! begin-to-end branch of the blocked port's task:
+//!
+//! ```text
+//! b → A(accept sig_p) → B(send sig_q) → e
+//! ```
+//!
+//! `A` is the **wait-point** — "some process is blocked at port `p`
+//! here" — and `B` is the **starved offer** — "…while the op the
+//! waiters at `q` need sits withheld behind it". Sync edges are derived
+//! from the signal typing: every `A` of port `p` pairs with every `B`
+//! sending `sig_p`, i.e. with every wait record that starves `p`'s
+//! waiters. All tasks are skippable (a wait pattern may simply never be
+//! reached), so waves where some branches never start are legal. A
+//! select without `default` contributes one branch per arm (each arm is
+//! its own wait record — the accept-alternative shape), and a `default`
+//! arm contributes nothing at all: the select never blocks, which is
+//! exactly "the edge is skippable".
+//!
+//! **Why cycles correspond exactly** — the `.lok` argument verbatim with
+//! "mutex" ↦ "port":
+//!
+//! * *CLG side.* A `B` node's only control successor is `e`, so any CLG
+//!   cycle must alternate `A_i → B_i` control steps with `B_i — A_{i+1}`
+//!   sync steps; each alternation is one wait edge, so CLG cycles ⇔
+//!   communication-dependency cycles. The lowered graph is loop-free in
+//!   its control edges — no Lemma 1 unrolling, and the naive §3.1 cycle
+//!   check is *exact* for this frontend.
+//! * *Wave side.* On a stuck wave only `A` nodes can have outgoing
+//!   coupling edges, and `A(p)`'s couplings point along wait edges into
+//!   `p`, so every coupling cycle (the paper's deadlocked set `D`,
+//!   Theorem 1) traces a dependency cycle; conversely a wave holding
+//!   every `A` of a dependency cycle is reachable (all tasks skippable)
+//!   and stuck. Acyclic dependency graphs still produce stall-only
+//!   stuck waves, which are benign for this model: run the oracle with
+//!   `ignore_stalls` (deadlock-only mode). Livelock is likewise out of
+//!   the lowered graph's scope — it is a property of process-level
+//!   control loops ([`super::livelock`]), reported alongside.
+//!
+//! A self-rendezvous `send a; recv a;` lowers to `A(accept snd_a) →
+//! B(send snd_a)` inside `T_a` — the same shape as tasklang's
+//! self-send, which the whole stack already flags as a one-node
+//! deadlock cycle.
+
+use super::commgraph::CommGraph;
+use super::effects::{port_chan, port_dir};
+use iwa_core::{Rendezvous, Symbols, TaskId};
+use iwa_syncgraph::{SyncGraph, SyncGraphBuilder, B, E};
+
+/// The send-end signal name (signal identity is `(T_c, SND)`, so names
+/// never collide across channels).
+const SND: &str = "snd";
+/// The receive-end signal name.
+const RCV: &str = "rcv";
+
+/// Lower `cg` to a sync graph. Returns the graph and the wait-point
+/// (`A`) node indices in wait-edge order — the head seeds for the
+/// refined analysis (every deadlock cycle of the lowered graph passes
+/// through a wait-point).
+#[must_use]
+pub fn lower(cg: &CommGraph) -> (SyncGraph, Vec<usize>) {
+    let mut symbols = Symbols::new();
+    let tasks: Vec<TaskId> = cg
+        .chans
+        .iter()
+        .map(|name| symbols.intern_task(name))
+        .collect();
+    let signals: Vec<_> = tasks
+        .iter()
+        .map(|&t| [symbols.intern_signal(t, SND), symbols.intern_signal(t, RCV)])
+        .collect();
+    let sig_of = |p: usize| signals[port_chan(p)][port_dir(p) as usize];
+
+    let mut builder = SyncGraphBuilder::new(symbols, tasks.len());
+    for &t in &tasks {
+        builder.mark_task_skippable(t);
+    }
+    let mut wait_points = Vec::with_capacity(cg.edges.len());
+    for e in &cg.edges {
+        let task = tasks[port_chan(e.from)];
+        let a = builder.add_node_full(
+            task,
+            Rendezvous::accept(sig_of(e.from)),
+            Some(format!("{} blocked in {}", cg.port_name(e.from), e.proc_name)),
+            Vec::new(),
+            None,
+            None,
+            e.blocked_span,
+        );
+        let b = builder.add_node_full(
+            task,
+            Rendezvous::send(sig_of(e.to)),
+            Some(format!("{} starved by {}", cg.port_name(e.to), e.proc_name)),
+            Vec::new(),
+            None,
+            None,
+            e.withheld_span,
+        );
+        builder.add_control(B, a);
+        builder.add_control(a, b);
+        builder.add_control(b, E);
+        wait_points.push(a);
+    }
+    builder.derive_sync_edges();
+    (builder.build(), wait_points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::commgraph::CommGraph;
+    use super::super::effects::ChanEffects;
+    use super::super::parser::parse_chan;
+    use super::*;
+    use iwa_analysis::{naive_analysis, AnalysisCtx, RefinedOptions};
+    use iwa_wavesim::{explore, ExploreConfig, Verdict};
+
+    fn lowered(src: &str) -> (CommGraph, SyncGraph, Vec<usize>) {
+        let p = parse_chan(src).unwrap();
+        let effects = ChanEffects::compute(&p);
+        let cg = CommGraph::build(&p, &effects);
+        let (sg, heads) = lower(&cg);
+        (cg, sg, heads)
+    }
+
+    fn deadlock_only() -> ExploreConfig {
+        ExploreConfig {
+            ignore_stalls: true,
+            ..ExploreConfig::default()
+        }
+    }
+
+    const CROSSED: &str = "chan a; chan b;
+                           proc p1 { send a; send b; }
+                           proc p2 { recv b; recv a; }";
+    const PIPELINE: &str = "chan a; chan b;
+                            proc p1 { send a; send b; }
+                            proc p2 { recv a; recv b; }";
+
+    #[test]
+    fn crossed_pair_deadlocks_on_every_rung() {
+        let (cg, sg, heads) = lowered(CROSSED);
+        assert_eq!(cg.cycles().len(), 1);
+        // Naive CLG cycle check.
+        assert!(!naive_analysis(&sg).deadlock_free);
+        // Refined search seeded with the wait-points.
+        let refined = AnalysisCtx::builder()
+            .build()
+            .refined_seeded(&sg, &heads, &RefinedOptions::default())
+            .unwrap();
+        assert!(!refined.deadlock_free);
+        // Deadlock-only oracle.
+        let e = explore(&sg, &deadlock_only()).unwrap();
+        assert_eq!(e.verdict, Verdict::Anomalous);
+        assert!(e.has_deadlock());
+    }
+
+    #[test]
+    fn pipeline_order_is_clean_on_every_rung() {
+        let (cg, sg, heads) = lowered(PIPELINE);
+        assert!(cg.cycles().is_empty());
+        assert!(naive_analysis(&sg).deadlock_free);
+        let refined = AnalysisCtx::builder()
+            .build()
+            .refined_seeded(&sg, &heads, &RefinedOptions::default())
+            .unwrap();
+        assert!(refined.deadlock_free);
+        let e = explore(&sg, &deadlock_only()).unwrap();
+        assert_eq!(e.verdict, Verdict::AnomalyFree);
+    }
+
+    #[test]
+    fn lowered_graph_is_control_loop_free_with_real_spans() {
+        let (cg, sg, heads) = lowered(CROSSED);
+        assert_eq!(heads.len(), cg.edges.len());
+        // Every rendezvous node carries an op-site span.
+        for n in sg.rendezvous_nodes() {
+            assert!(sg.node(n).span.is_real(), "node {n} lost its span");
+        }
+        // b → A → B → e only: every wait-point has exactly one control
+        // successor, and it is the starved-offer rendezvous.
+        for &a in &heads {
+            let succs = sg.control.successors(a);
+            assert_eq!(succs.len(), 1);
+            assert!(sg.is_rendezvous(succs[0] as usize));
+        }
+    }
+
+    #[test]
+    fn wait_points_cover_poss_heads() {
+        // The generic head scan can only propose wait-points (B nodes'
+        // sole successor is e), so seeding them loses nothing.
+        let (_, sg, heads) = lowered(CROSSED);
+        for h in sg.poss_heads() {
+            assert!(heads.contains(&h), "poss_head {h} is not a wait-point");
+        }
+    }
+
+    #[test]
+    fn self_rendezvous_lowers_to_a_self_cycle() {
+        let (cg, sg, _) = lowered("chan a; proc p { send a; recv a; }");
+        assert_eq!(cg.cycles().len(), 1);
+        assert!(!naive_analysis(&sg).deadlock_free);
+        let e = explore(&sg, &deadlock_only()).unwrap();
+        assert!(e.has_deadlock());
+    }
+
+    #[test]
+    fn ring_agrees_across_the_stack() {
+        let (cg, sg, heads) = lowered(
+            "chan c0; chan c1; chan c2;
+             proc p0 { send c0; recv c2; }
+             proc p1 { send c1; recv c0; }
+             proc p2 { send c2; recv c1; }",
+        );
+        assert_eq!(cg.cycles()[0].ports.len(), 3);
+        assert!(!naive_analysis(&sg).deadlock_free);
+        let refined = AnalysisCtx::builder()
+            .build()
+            .refined_seeded(&sg, &heads, &RefinedOptions::default())
+            .unwrap();
+        assert!(!refined.deadlock_free);
+        assert!(explore(&sg, &deadlock_only()).unwrap().has_deadlock());
+    }
+
+    #[test]
+    fn an_edgeless_model_lowers_to_an_empty_clean_graph() {
+        let (cg, sg, heads) = lowered(
+            "chan q[2];
+             proc p1 { send q; send q; }
+             proc p2 { recv q; recv q; }",
+        );
+        assert!(cg.edges.is_empty());
+        assert!(heads.is_empty());
+        assert!(naive_analysis(&sg).deadlock_free);
+        let e = explore(&sg, &deadlock_only()).unwrap();
+        assert_eq!(e.verdict, Verdict::AnomalyFree);
+    }
+}

@@ -1,0 +1,635 @@
+//! Recursive-descent parser for the `.chan` DSL.
+//!
+//! Grammar (whitespace-insensitive, `//` line comments):
+//!
+//! ```text
+//! program := (chandecl | procdecl)*
+//! chandecl := "chan" IDENT ["[" (NUMBER | "*") "]"] ";"
+//! procdecl := "proc" IDENT "{" stmt* "}"
+//! stmt := "send" IDENT ";"
+//!       | "recv" IDENT ";"
+//!       | "close" IDENT ";"
+//!       | "select" "{" arm+ ["default" "{" stmt* "}"] "}"
+//!       | "if" "{" stmt* "}" ["else" "{" stmt* "}"]
+//!       | "loop" "{" stmt* "}"
+//! arm := ("send" | "recv") IDENT "{" stmt* "}"
+//! ```
+//!
+//! Channels must be declared before use (declarations carry the
+//! capacity the blocking analysis depends on, so there is no sensible
+//! implicit default). Mirrors the tasklang/`.lok` parser structure and
+//! hardening: same token shapes, same error positions, and the same
+//! [`MAX_NESTING_DEPTH`] recursion cap (the proptest no-panic suite pins
+//! the parity).
+
+use super::ast::{Capacity, ChanDecl, ChanProgram, ChanStmt, Dir, Proc, SelectArm};
+use iwa_core::{IwaError, Span};
+use std::collections::HashMap;
+
+/// Maximum statement-nesting depth the parser accepts — identical to
+/// tasklang's cap, for the same reason: the parser and every AST walk
+/// recurse per nesting level, and an uncapped `loop { select {` soup
+/// would overflow the stack with an uncatchable abort.
+pub const MAX_NESTING_DEPTH: usize = iwa_tasklang::parser::MAX_NESTING_DEPTH;
+
+/// Parse `.chan` source text into a [`ChanProgram`].
+///
+/// ```
+/// let p = iwa_frontend::chan::parse_chan(r"
+///     chan a;
+///     chan q[4];
+///     proc p1 { send a; recv q; }
+///     proc p2 { recv a; send q; }
+/// ").unwrap();
+/// assert_eq!(p.procs.len(), 2);
+/// assert_eq!(p.chans.len(), 2);
+/// ```
+pub fn parse_chan(src: &str) -> Result<ChanProgram, IwaError> {
+    let tokens = lex(src)?;
+    Parser {
+        tokens,
+        pos: 0,
+        chans: Vec::new(),
+        chan_ids: HashMap::new(),
+        depth: 0,
+    }
+    .program()
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Star,
+    Semi,
+    Eof,
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+    len: usize,
+}
+
+impl Spanned {
+    fn span(&self) -> Span {
+        Span::new(self.line as u32, self.col as u32, self.len as u32)
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, IwaError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        let bump = |c: char, line: &mut usize, col: &mut usize| {
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        };
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+            }
+            '/' => {
+                chars.next();
+                bump('/', &mut line, &mut col);
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        bump(c, &mut line, &mut col);
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(IwaError::Parse {
+                        line: tline,
+                        col: tcol,
+                        message: "unexpected '/' (comments are '//')".into(),
+                    });
+                }
+            }
+            '{' | '}' | '[' | ']' | '*' | ';' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '*' => Tok::Star,
+                    _ => Tok::Semi,
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                    len: 1,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                        bump(c, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                let len = ident.chars().count();
+                out.push(Spanned {
+                    tok: Tok::Ident(ident),
+                    line: tline,
+                    col: tcol,
+                    len,
+                });
+            }
+            other => {
+                return Err(IwaError::Parse {
+                    line: tline,
+                    col: tcol,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+        len: 0,
+    });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    chans: Vec<ChanDecl>,
+    chan_ids: HashMap<String, usize>,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Spanned {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, at: &Spanned, message: impl Into<String>) -> IwaError {
+        IwaError::Parse {
+            line: at.line,
+            col: at.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<Spanned, IwaError> {
+        let t = self.advance();
+        if &t.tok == want {
+            Ok(t)
+        } else {
+            Err(self.err(&t, format!("expected {what}, found {:?}", t.tok)))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Spanned), IwaError> {
+        let t = self.advance();
+        match &t.tok {
+            Tok::Ident(s) => Ok((s.clone(), t.clone())),
+            other => Err(self.err(&t, format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().tok, Tok::Ident(s) if s == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Look up a channel used in a statement. Unlike `.lok` mutexes,
+    /// channels are not interned on first use: the capacity lives on the
+    /// declaration, so using an undeclared channel is an error.
+    fn chan(&mut self, what: &str) -> Result<(usize, Spanned), IwaError> {
+        let (name, at) = self.ident(what)?;
+        match self.chan_ids.get(&name) {
+            Some(&id) => Ok((id, at)),
+            None => Err(self.err(
+                &at,
+                format!("channel '{name}' used before declaration (declare with 'chan {name};')"),
+            )),
+        }
+    }
+
+    fn program(mut self) -> Result<ChanProgram, IwaError> {
+        let mut procs: Vec<Proc> = Vec::new();
+        loop {
+            if self.peek().tok == Tok::Eof {
+                break;
+            }
+            let kw = self.advance();
+            match &kw.tok {
+                Tok::Ident(s) if s == "chan" => {
+                    let (name, at) = self.ident("channel name")?;
+                    if self.chan_ids.contains_key(&name) {
+                        return Err(self.err(&at, format!("channel '{name}' declared twice")));
+                    }
+                    let capacity = self.capacity()?;
+                    self.expect(&Tok::Semi, "';'")?;
+                    self.chan_ids.insert(name.clone(), self.chans.len());
+                    self.chans.push(ChanDecl {
+                        name,
+                        capacity,
+                        span: at.span(),
+                    });
+                }
+                Tok::Ident(s) if s == "proc" => {
+                    let (name, at) = self.ident("process name")?;
+                    if procs.iter().any(|p| p.name == name) {
+                        return Err(self.err(&at, format!("process '{name}' declared twice")));
+                    }
+                    self.expect(&Tok::LBrace, "'{'")?;
+                    let body = self.block()?;
+                    procs.push(Proc {
+                        name,
+                        body,
+                        span: at.span(),
+                    });
+                }
+                _ => return Err(self.err(&kw, "expected 'chan' or 'proc'")),
+            }
+        }
+        Ok(ChanProgram {
+            chans: self.chans,
+            procs,
+        })
+    }
+
+    /// Parse an optional `[NUMBER]` / `[*]` capacity suffix.
+    fn capacity(&mut self) -> Result<Capacity, IwaError> {
+        if self.peek().tok != Tok::LBracket {
+            return Ok(Capacity::Rendezvous);
+        }
+        self.advance();
+        let t = self.advance();
+        let cap = match &t.tok {
+            Tok::Star => Capacity::Unbounded,
+            Tok::Ident(s) => match s.parse::<u32>() {
+                Ok(0) => Capacity::Rendezvous,
+                Ok(n) => Capacity::Bounded(n),
+                Err(_) => {
+                    return Err(self.err(
+                        &t,
+                        format!("expected a buffer size or '*', found '{s}'"),
+                    ))
+                }
+            },
+            other => {
+                return Err(self.err(
+                    &t,
+                    format!("expected a buffer size or '*', found {other:?}"),
+                ))
+            }
+        };
+        self.expect(&Tok::RBracket, "']'")?;
+        Ok(cap)
+    }
+
+    /// Parse statements until the matching `}` (consumed).
+    fn block(&mut self) -> Result<Vec<ChanStmt>, IwaError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            let t = self.peek().clone();
+            return Err(self.err(
+                &t,
+                format!("statements nested deeper than {MAX_NESTING_DEPTH} levels"),
+            ));
+        }
+        let result = self.block_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn block_inner(&mut self) -> Result<Vec<ChanStmt>, IwaError> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.peek().tok == Tok::RBrace {
+                self.advance();
+                return Ok(stmts);
+            }
+            if self.peek().tok == Tok::Eof {
+                let t = self.peek().clone();
+                return Err(self.err(&t, "unexpected end of input (missing '}')"));
+            }
+            stmts.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<ChanStmt, IwaError> {
+        let t = self.advance();
+        let kw = match &t.tok {
+            Tok::Ident(s) => s.clone(),
+            other => return Err(self.err(&t, format!("expected a statement, found {other:?}"))),
+        };
+        match kw.as_str() {
+            "send" => {
+                let (chan, _) = self.chan("channel name")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(ChanStmt::Send {
+                    chan,
+                    span: t.span(),
+                })
+            }
+            "recv" => {
+                let (chan, _) = self.chan("channel name")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(ChanStmt::Recv {
+                    chan,
+                    span: t.span(),
+                })
+            }
+            "close" => {
+                let (chan, _) = self.chan("channel name")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(ChanStmt::Close {
+                    chan,
+                    span: t.span(),
+                })
+            }
+            "select" => {
+                self.expect(&Tok::LBrace, "'{'")?;
+                self.select(t.span())
+            }
+            "if" => {
+                self.expect(&Tok::LBrace, "'{'")?;
+                let then_branch = self.block()?;
+                let else_branch = if self.eat_kw("else") {
+                    self.expect(&Tok::LBrace, "'{'")?;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(ChanStmt::If {
+                    then_branch,
+                    else_branch,
+                    span: t.span(),
+                })
+            }
+            "loop" => {
+                self.expect(&Tok::LBrace, "'{'")?;
+                let body = self.block()?;
+                Ok(ChanStmt::Loop {
+                    body,
+                    span: t.span(),
+                })
+            }
+            other => Err(self.err(
+                &t,
+                format!(
+                    "unknown statement keyword '{other}' \
+                     (expected send/recv/close/select/if/loop)"
+                ),
+            )),
+        }
+    }
+
+    /// Parse select arms until the closing `}` (consumed). The opening
+    /// `{` has already been eaten.
+    fn select(&mut self, span: Span) -> Result<ChanStmt, IwaError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            let t = self.peek().clone();
+            self.depth -= 1;
+            return Err(self.err(
+                &t,
+                format!("statements nested deeper than {MAX_NESTING_DEPTH} levels"),
+            ));
+        }
+        let result = self.select_inner(span);
+        self.depth -= 1;
+        result
+    }
+
+    fn select_inner(&mut self, span: Span) -> Result<ChanStmt, IwaError> {
+        let mut arms: Vec<SelectArm> = Vec::new();
+        let mut default_body: Option<Vec<ChanStmt>> = None;
+        loop {
+            let t = self.advance();
+            match &t.tok {
+                Tok::RBrace => break,
+                Tok::Ident(s) if s == "send" || s == "recv" => {
+                    if default_body.is_some() {
+                        return Err(self.err(&t, "select arms must precede 'default'"));
+                    }
+                    let dir = if s == "send" { Dir::Send } else { Dir::Recv };
+                    let (chan, _) = self.chan("channel name")?;
+                    self.expect(&Tok::LBrace, "'{'")?;
+                    let body = self.block()?;
+                    arms.push(SelectArm {
+                        dir,
+                        chan,
+                        body,
+                        span: t.span(),
+                    });
+                }
+                Tok::Ident(s) if s == "default" => {
+                    if default_body.is_some() {
+                        return Err(self.err(&t, "select has two 'default' arms"));
+                    }
+                    self.expect(&Tok::LBrace, "'{'")?;
+                    default_body = Some(self.block()?);
+                }
+                other => {
+                    return Err(self.err(
+                        &t,
+                        format!("expected a select arm (send/recv/default), found {other:?}"),
+                    ))
+                }
+            }
+        }
+        if arms.is_empty() {
+            let at = Spanned {
+                tok: Tok::Eof,
+                line: span.line as usize,
+                col: span.col as usize,
+                len: 0,
+            };
+            return Err(self.err(&at, "select needs at least one send/recv arm"));
+        }
+        Ok(ChanStmt::Select {
+            arms,
+            default_body,
+            span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_program() {
+        let p = parse_chan("chan a; proc p { send a; }").unwrap();
+        assert_eq!(p.procs.len(), 1);
+        assert_eq!(p.chans.len(), 1);
+        assert_eq!(p.chans[0].capacity, Capacity::Rendezvous);
+    }
+
+    #[test]
+    fn capacities_parse() {
+        let p = parse_chan("chan a; chan b[4]; chan c[*]; chan d[0]; proc p { }").unwrap();
+        assert_eq!(p.chans[0].capacity, Capacity::Rendezvous);
+        assert_eq!(p.chans[1].capacity, Capacity::Bounded(4));
+        assert_eq!(p.chans[2].capacity, Capacity::Unbounded);
+        assert_eq!(p.chans[3].capacity, Capacity::Rendezvous, "[0] is rendezvous");
+    }
+
+    #[test]
+    fn channel_ids_are_declaration_order() {
+        let p = parse_chan("chan b; chan a; proc p { send a; recv b; }").unwrap();
+        let names: Vec<&str> = p.chans.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["b", "a"]);
+        match &p.procs[0].body[0] {
+            ChanStmt::Send { chan, .. } => assert_eq!(*chan, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_channel_is_an_error() {
+        let e = parse_chan("proc p { send a; }").unwrap_err();
+        assert!(e.to_string().contains("used before declaration"), "{e}");
+    }
+
+    #[test]
+    fn all_constructs_parse() {
+        let p = parse_chan(
+            "// channels, selects, branches, loops
+             chan a; chan b[2];
+             proc p {
+                 loop {
+                     select {
+                         recv a { send b; }
+                         send b { }
+                         default { if { close a; } else { } }
+                     }
+                 }
+             }",
+        )
+        .unwrap();
+        let ChanStmt::Loop { body, .. } = &p.procs[0].body[0] else {
+            panic!("expected loop");
+        };
+        let ChanStmt::Select {
+            arms, default_body, ..
+        } = &body[0]
+        else {
+            panic!("expected select");
+        };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].dir, Dir::Recv);
+        assert_eq!(arms[1].dir, Dir::Send);
+        assert!(default_body.is_some());
+    }
+
+    #[test]
+    fn duplicate_declarations_are_errors() {
+        let e = parse_chan("chan a; chan a;").unwrap_err();
+        assert!(e.to_string().contains("declared twice"));
+        let e = parse_chan("proc p { } proc p { }").unwrap_err();
+        assert!(e.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn select_needs_an_arm() {
+        let e = parse_chan("chan a; proc p { select { default { } } }").unwrap_err();
+        assert!(e.to_string().contains("at least one"), "{e}");
+    }
+
+    #[test]
+    fn select_default_must_be_last() {
+        let e = parse_chan(
+            "chan a; proc p { select { default { } recv a { } } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("must precede"), "{e}");
+        let e = parse_chan(
+            "chan a; proc p { select { recv a { } default { } default { } } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("two 'default'"), "{e}");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_chan("chan a;\nproc p {\n  send a\n}").unwrap_err();
+        match e {
+            IwaError::Parse { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nesting_is_capped_at_tasklang_parity() {
+        assert_eq!(MAX_NESTING_DEPTH, iwa_tasklang::parser::MAX_NESTING_DEPTH);
+        let deep = "loop { ".repeat(MAX_NESTING_DEPTH + 1);
+        let src = format!("proc p {{ {deep}");
+        let e = parse_chan(&src).unwrap_err();
+        assert!(e.to_string().contains("nested deeper"), "got: {e}");
+        // One level under the cap parses (given matching braces).
+        let ok = format!(
+            "proc p {{ {}{} }}",
+            "if { ".repeat(MAX_NESTING_DEPTH - 2),
+            "} ".repeat(MAX_NESTING_DEPTH - 2)
+        );
+        parse_chan(&ok).unwrap();
+    }
+
+    #[test]
+    fn empty_source_is_an_empty_program() {
+        let p = parse_chan("").unwrap();
+        assert!(p.procs.is_empty());
+        assert!(p.chans.is_empty());
+    }
+
+    #[test]
+    fn spans_point_at_keywords() {
+        let p = parse_chan("chan alpha;\nproc p {\n  recv alpha;\n}").unwrap();
+        let ChanStmt::Recv { span, .. } = &p.procs[0].body[0] else {
+            panic!("expected recv");
+        };
+        assert_eq!((span.line, span.col, span.len), (3, 3, 4));
+    }
+}

@@ -13,12 +13,15 @@
 //! * **lower** — the AST to the paper's sync graph (and whatever
 //!   language-level IR the lints and reports need alongside it).
 //!
-//! Two frontends ship today: [`TasklangFrontend`] (the original `.iwa`
-//! rendezvous DSL) and [`LokFrontend`] (the `.lok` lock-order language,
+//! Three frontends ship today: [`TasklangFrontend`] (the original `.iwa`
+//! rendezvous DSL), [`LokFrontend`] (the `.lok` lock-order language,
 //! whose lock-acquisition-order cycles lower onto CLG cycles — see
-//! [`lok`]). The [`registry`] resolves a frontend by file extension or
-//! explicit `--lang` name, and [`Lang`] doubles as the lint
-//! applicability key: each lint declares which languages it speaks.
+//! [`lok`]), and [`ChanFrontend`] (the `.chan` channel/select language,
+//! whose port-wait cycles lower the same way and which adds a static
+//! livelock classification — see [`chan`]). The [`registry`] resolves a
+//! frontend by file extension or explicit `--lang` name, and [`Lang`]
+//! doubles as the lint applicability key: each lint declares which
+//! languages it speaks.
 
 use iwa_core::IwaError;
 use iwa_syncgraph::SyncGraph;
@@ -27,8 +30,10 @@ use serde::{Serialize, Value};
 use std::fmt;
 use std::path::Path;
 
+pub mod chan;
 pub mod lok;
 
+pub use chan::{ChanFrontend, ChanModel};
 pub use lok::{LokFrontend, LokModel};
 
 /// The source languages the analyzer understands. Doubles as the lint
@@ -40,26 +45,32 @@ pub enum Lang {
     Tasklang,
     /// The `.lok` lock-order language (threads acquiring named mutexes).
     Lok,
+    /// The `.chan` channel/select language (processes over channels).
+    Chan,
 }
 
 impl Lang {
-    /// The stable lowercase name (`iwa`, `lok`) used by `--lang`, the
-    /// serve protocol, and JSON reports.
+    /// The stable lowercase name (`iwa`, `lok`, `chan`) used by
+    /// `--lang`, the serve protocol, and JSON reports.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Lang::Tasklang => "iwa",
             Lang::Lok => "lok",
+            Lang::Chan => "chan",
         }
     }
 
     /// Parse a `--lang` value. Accepts the stable name plus the obvious
-    /// aliases (`tasklang`, `lock`, `locks`).
+    /// aliases (`tasklang`, `lock`, `locks`, `channels`, `csp`).
     pub fn from_name(s: &str) -> Result<Lang, String> {
         match s {
             "iwa" | "tasklang" => Ok(Lang::Tasklang),
             "lok" | "lock" | "locks" => Ok(Lang::Lok),
-            other => Err(format!("unknown language '{other}' (expected iwa or lok)")),
+            "chan" | "channels" | "csp" => Ok(Lang::Chan),
+            other => Err(format!(
+                "unknown language '{other}' (expected iwa, lok, or chan)"
+            )),
         }
     }
 }
@@ -87,6 +98,10 @@ pub enum ModelIr {
     /// A loaded `.lok` model: AST, lock-order graph, and the lowered
     /// sync graph. Boxed — it is by far the larger variant.
     Lok(Box<LokModel>),
+    /// A loaded `.chan` model: AST, communication dependency graph,
+    /// livelock witnesses, and the lowered sync graph. Boxed like
+    /// [`ModelIr::Lok`].
+    Chan(Box<ChanModel>),
 }
 
 /// What a [`Frontend::load`] produces: the language IR plus the
@@ -111,6 +126,7 @@ impl LoadedModel {
         match &self.ir {
             ModelIr::Tasklang(p) => SyncGraph::from_program(p),
             ModelIr::Lok(m) => m.sg.clone(),
+            ModelIr::Chan(m) => m.sg.clone(),
         }
     }
 
@@ -120,7 +136,7 @@ impl LoadedModel {
     pub fn as_tasklang(&self) -> Option<&Program> {
         match &self.ir {
             ModelIr::Tasklang(p) => Some(p),
-            ModelIr::Lok(_) => None,
+            _ => None,
         }
     }
 
@@ -130,7 +146,17 @@ impl LoadedModel {
     pub fn as_lok(&self) -> Option<&LokModel> {
         match &self.ir {
             ModelIr::Lok(m) => Some(m),
-            ModelIr::Tasklang(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The channel model, when this model came from the `.chan`
+    /// frontend.
+    #[must_use]
+    pub fn as_chan(&self) -> Option<&ChanModel> {
+        match &self.ir {
+            ModelIr::Chan(m) => Some(m),
+            _ => None,
         }
     }
 }
@@ -207,15 +233,16 @@ fn render_tasklang_warning(w: &iwa_tasklang::validate::Warning) -> String {
 
 /// Frontend resolution: by language, by file extension, by `--lang` name.
 pub mod registry {
-    use super::{Frontend, Lang, LokFrontend, Path, TasklangFrontend};
+    use super::{ChanFrontend, Frontend, Lang, LokFrontend, Path, TasklangFrontend};
 
     static TASKLANG: TasklangFrontend = TasklangFrontend;
     static LOK: LokFrontend = LokFrontend;
+    static CHAN: ChanFrontend = ChanFrontend;
 
     /// Every registered frontend, tasklang first.
     #[must_use]
-    pub fn all() -> [&'static dyn Frontend; 2] {
-        [&TASKLANG, &LOK]
+    pub fn all() -> [&'static dyn Frontend; 3] {
+        [&TASKLANG, &LOK, &CHAN]
     }
 
     /// The frontend for `lang` (total — every [`Lang`] has one).
@@ -224,6 +251,7 @@ pub mod registry {
         match lang {
             Lang::Tasklang => &TASKLANG,
             Lang::Lok => &LOK,
+            Lang::Chan => &CHAN,
         }
     }
 
@@ -241,6 +269,19 @@ pub mod registry {
     pub fn by_name(name: &str) -> Result<&'static dyn Frontend, String> {
         Lang::from_name(name).map(by_lang)
     }
+
+    /// The one extension→frontend policy shared by the CLI, the batch
+    /// checker, and the serve daemon: an explicit `--lang`/request
+    /// language wins, then the file extension, then the tasklang
+    /// default (analyzing an extensionless file as `.iwa` matches the
+    /// original single-language behaviour).
+    #[must_use]
+    pub fn resolve(path: &Path, forced: Option<Lang>) -> &'static dyn Frontend {
+        match forced {
+            Some(lang) => by_lang(lang),
+            None => by_extension(path).unwrap_or(&TASKLANG),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -249,11 +290,12 @@ mod tests {
 
     #[test]
     fn lang_names_round_trip() {
-        for lang in [Lang::Tasklang, Lang::Lok] {
+        for lang in [Lang::Tasklang, Lang::Lok, Lang::Chan] {
             assert_eq!(Lang::from_name(lang.name()), Ok(lang));
         }
         assert!(Lang::from_name("ada").is_err());
         assert_eq!(Lang::from_name("tasklang"), Ok(Lang::Tasklang));
+        assert_eq!(Lang::from_name("csp"), Ok(Lang::Chan));
     }
 
     #[test]
@@ -262,8 +304,52 @@ mod tests {
         assert_eq!(f.lang(), Lang::Tasklang);
         let f = registry::by_extension(Path::new("threads.lok")).unwrap();
         assert_eq!(f.lang(), Lang::Lok);
+        let f = registry::by_extension(Path::new("pipes.chan")).unwrap();
+        assert_eq!(f.lang(), Lang::Chan);
         assert!(registry::by_extension(Path::new("README.md")).is_none());
         assert!(registry::by_extension(Path::new("no_extension")).is_none());
+    }
+
+    #[test]
+    fn resolve_prefers_forced_lang_and_defaults_to_tasklang() {
+        assert_eq!(
+            registry::resolve(Path::new("pipes.chan"), None).lang(),
+            Lang::Chan
+        );
+        assert_eq!(
+            registry::resolve(Path::new("pipes.chan"), Some(Lang::Lok)).lang(),
+            Lang::Lok
+        );
+        assert_eq!(
+            registry::resolve(Path::new("no_extension"), None).lang(),
+            Lang::Tasklang
+        );
+        assert_eq!(
+            registry::resolve(Path::new("README.md"), None).lang(),
+            Lang::Tasklang
+        );
+    }
+
+    #[test]
+    fn chan_frontend_loads_and_warns() {
+        let f = registry::by_lang(Lang::Chan);
+        let m = f
+            .load("chan a; proc p1 { send a; } proc p2 { recv a; }")
+            .unwrap();
+        assert_eq!(m.lang, Lang::Chan);
+        assert!(m.warnings.is_empty());
+        let chan_model = m.as_chan().unwrap();
+        assert!(chan_model.cycles.is_empty());
+        assert!(chan_model.livelocks.is_empty());
+        assert!(m.as_tasklang().is_none());
+        assert!(m.as_lok().is_none());
+
+        // Suspicious-but-analysable patterns surface as warnings.
+        let m = f.load("chan c[*]; proc p { close c; send c; }").unwrap();
+        assert!(!m.warnings.is_empty());
+
+        // Parse errors are Errs.
+        assert!(f.load("proc {").is_err());
     }
 
     #[test]

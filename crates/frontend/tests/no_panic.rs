@@ -1,8 +1,10 @@
-//! Robustness: the `.lok` parser and the whole load pipeline must
-//! *reject* hostile input, never panic on it. `iwa check` feeds
-//! arbitrary files straight into `Frontend::load`, so any panic here
-//! would surface as a crashed worker instead of a clean `parse-error`.
+//! Robustness: the `.lok` and `.chan` parsers and their whole load
+//! pipelines must *reject* hostile input, never panic on it. `iwa check`
+//! feeds arbitrary files straight into `Frontend::load`, so any panic
+//! here would surface as a crashed worker instead of a clean
+//! `parse-error`.
 
+use iwa_frontend::chan::parse_chan;
 use iwa_frontend::lok::{parse_lok, MAX_NESTING_DEPTH};
 use iwa_frontend::registry;
 use iwa_frontend::Lang;
@@ -16,11 +18,24 @@ const TOKENS: &[&str] = &[
     "worker", "//", "\n", "\t", "$", "0xFF", "thread thread",
 ];
 
+/// The same, for the `.chan` grammar: channel declarations with
+/// capacities, process bodies, select arms, and some junk.
+const CHAN_TOKENS: &[&str] = &[
+    "chan", "proc", "send", "recv", "close", "select", "default", "if", "else", "loop", "{", "}",
+    ";", "[", "]", "*", "2", "a", "b", "req", "//", "\n", "\t", "$", "0xFF", "chan chan",
+];
+
 fn load_lok(src: &str) {
     // Run the *full* pipeline — parse, lock-graph walk, cycle search,
     // lowering — not just the parser: the walk and the lowering must be
     // panic-free on every program the parser accepts.
     let _ = registry::by_lang(Lang::Lok).load(src);
+}
+
+fn load_chan(src: &str) {
+    // Likewise the full `.chan` pipeline: parse, effect dataflow, comm
+    // graph, cycle search, livelock walk, lowering.
+    let _ = registry::by_lang(Lang::Chan).load(src);
 }
 
 proptest! {
@@ -43,6 +58,24 @@ proptest! {
             .collect::<Vec<_>>()
             .join(" ");
         load_lok(&src);
+    }
+
+    /// Arbitrary byte soup through the `.chan` pipeline. Nothing may
+    /// panic.
+    #[test]
+    fn chan_pipeline_never_panics_on_byte_soup(bytes in proptest::collection::vec(0u8..=255, 0usize..256)) {
+        load_chan(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Token soup from the `.chan` grammar's fragments.
+    #[test]
+    fn chan_pipeline_never_panics_on_token_soup(picks in proptest::collection::vec(0usize..CHAN_TOKENS.len(), 0usize..128)) {
+        let src = picks
+            .iter()
+            .map(|&i| CHAN_TOKENS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        load_chan(&src);
     }
 }
 
@@ -86,6 +119,30 @@ fn nesting_below_the_cap_parses() {
     assert_eq!(p.mutexes.len(), 1);
 }
 
+/// The `.chan` parser shares the same cap, and trips it the same way.
+#[test]
+fn chan_pathological_nesting_is_an_error_not_a_stack_overflow() {
+    assert_eq!(
+        iwa_frontend::chan::MAX_NESTING_DEPTH,
+        iwa_tasklang::parser::MAX_NESTING_DEPTH
+    );
+    let depth = 50_000;
+    let mut src = String::from("chan c; proc p { ");
+    for _ in 0..depth {
+        src.push_str("loop { ");
+    }
+    src.push_str("send c; ");
+    for _ in 0..depth {
+        src.push_str("} ");
+    }
+    src.push('}');
+    let err = parse_chan(&src).unwrap_err();
+    assert!(
+        err.to_string().contains("nested deeper"),
+        "expected the depth cap, got: {err}"
+    );
+}
+
 /// Unterminated constructs, stray closers, and truncated statements all
 /// come back as positioned parse errors.
 #[test]
@@ -107,6 +164,42 @@ fn truncations_and_stray_tokens_error_cleanly() {
         "thread \u{0} { }",
     ] {
         match parse_lok(src) {
+            Err(iwa_core::IwaError::Parse { .. }) => {}
+            Err(other) => panic!("{src:?}: non-parse error {other:?}"),
+            Ok(_) => panic!("{src:?}: unexpectedly parsed"),
+        }
+    }
+}
+
+/// The same sweep for the `.chan` grammar: declarations without
+/// semicolons, half-open selects, capacities missing a bracket, ops on
+/// undeclared channels.
+#[test]
+fn chan_truncations_and_stray_tokens_error_cleanly() {
+    for src in [
+        "chan",
+        "chan c",
+        "chan c[",
+        "chan c[2",
+        "chan c[];",
+        "proc",
+        "proc p",
+        "proc p {",
+        "chan c; proc p { send",
+        "chan c; proc p { send c",
+        "chan c; proc p { select",
+        "chan c; proc p { select {",
+        "chan c; proc p { select { recv c",
+        "chan c; proc p { select { default { } default { } } }",
+        "chan c; proc p { if { } else ",
+        "}",
+        ";",
+        "chan c; proc p { } }",
+        "proc p { send c; }",
+        "send c;",
+        "chan \u{0};",
+    ] {
+        match parse_chan(src) {
             Err(iwa_core::IwaError::Parse { .. }) => {}
             Err(other) => panic!("{src:?}: non-parse error {other:?}"),
             Ok(_) => panic!("{src:?}: unexpectedly parsed"),

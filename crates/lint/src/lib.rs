@@ -27,7 +27,7 @@
 
 use iwa_analysis::AnalysisCtx;
 use iwa_core::{IwaError, Span};
-use iwa_frontend::LokModel;
+use iwa_frontend::{ChanModel, LokModel};
 use iwa_tasklang::Program;
 use serde::Serialize;
 use std::fmt;
@@ -131,9 +131,9 @@ impl LintConfig {
 /// One lint: a descriptor plus the code that looks for it.
 ///
 /// Passes append [`Diagnostic`]s with [`Severity::Warn`]; the drivers
-/// ([`run_lints`], [`run_lints_lok`]) rewrite severities from the
-/// configuration, drop `Allow`s, sort, and deduplicate. A pass therefore
-/// never needs to see the configuration.
+/// ([`run_lints`], [`run_lints_lok`], [`run_lints_chan`]) rewrite
+/// severities from the configuration, drop `Allow`s, sort, and
+/// deduplicate. A pass therefore never needs to see the configuration.
 ///
 /// A pass implements the entry point(s) for the language(s) in its
 /// descriptor's [`Lint::applies_to`]; the other entry points default to
@@ -149,6 +149,10 @@ pub trait LintPass {
     fn run_lok(&self, model: &LokModel, out: &mut Vec<Diagnostic>) {
         let _ = (model, out);
     }
+    /// Scan a `.chan` model and append findings to `out`.
+    fn run_chan(&self, model: &ChanModel, out: &mut Vec<Diagnostic>) {
+        let _ = (model, out);
+    }
 }
 
 /// The full lint catalog across every frontend, in documentation order.
@@ -157,6 +161,7 @@ pub fn registry() -> Vec<Box<dyn LintPass>> {
     let mut v = quick_registry();
     v.extend(graph_registry());
     v.extend(locks_registry());
+    v.extend(channels_registry());
     v
 }
 
@@ -204,6 +209,21 @@ pub fn locks_registry() -> Vec<Box<dyn LintPass>> {
         Box::new(passes::locks::DoubleLock),
         Box::new(passes::locks::UnbalancedUnlock),
         Box::new(passes::locks::LockHeldAtExit),
+    ]
+}
+
+/// The `.chan` channel/select lints. All run on the precomputed pieces
+/// of the loaded model (communication graph, cycles, livelocks, effect
+/// sets), so — like the `.lok` family — there is no quick/deep split.
+#[must_use]
+pub fn channels_registry() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(passes::channels::ChannelCycle),
+        Box::new(passes::channels::Livelock),
+        Box::new(passes::channels::SendOnClosed),
+        Box::new(passes::channels::SelectArmStarved),
+        Box::new(passes::channels::NeverReceived),
+        Box::new(passes::channels::UnboundedGrowth),
     ]
 }
 
@@ -256,6 +276,32 @@ pub fn run_lints_lok(
         }
         let start = out.len();
         pass.run_lok(model, &mut out);
+        for d in &mut out[start..] {
+            d.severity = sev;
+        }
+    }
+    postprocess(&mut out);
+    out
+}
+
+/// Run `passes` over one loaded `.chan` model, with the same severity
+/// configuration and post-processing as [`run_lints`]. Infallible: the
+/// communication graph, its cycles, and the livelock witnesses are
+/// already on the model.
+#[must_use]
+pub fn run_lints_chan(
+    model: &ChanModel,
+    config: &LintConfig,
+    passes: &[Box<dyn LintPass>],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for pass in passes {
+        let sev = config.severity_of(pass.lint());
+        if sev == Severity::Allow {
+            continue;
+        }
+        let start = out.len();
+        pass.run_chan(model, &mut out);
         for d in &mut out[start..] {
             d.severity = sev;
         }

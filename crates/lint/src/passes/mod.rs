@@ -1,6 +1,6 @@
 //! The lint catalog.
 //!
-//! Three families:
+//! Four families:
 //!
 //! * [`structural`] — AST-level passes over the parsed (and, where noted,
 //!   inlined) program: the migrated `validate` census plus reachability
@@ -10,8 +10,11 @@
 //!   [`AnalysisCtx`](iwa_analysis::AnalysisCtx) and map the graph-level
 //!   findings back to source spans;
 //! * [`locks`] — the `.lok` lock-order family: acquisition-order cycles
-//!   (with witness chains), double acquires, and lock hygiene.
+//!   (with witness chains), double acquires, and lock hygiene;
+//! * [`channels`] — the `.chan` family: communication-wait cycles,
+//!   livelocks, closed-channel faults, and channel hygiene.
 
+pub mod channels;
 pub mod graph;
 pub mod locks;
 pub mod structural;

@@ -29,7 +29,7 @@ use iwa_core::fault::{FaultAction, FaultPlan, FaultSite};
 use iwa_core::{Budget, CancelToken};
 use iwa_engine::{CheckOptions, EngineOptions, LintStage, RetryPolicy, Rung};
 use iwa_frontend::{registry as frontends, Lang};
-use iwa_lint::{registry_for, run_lints, run_lints_lok, LintConfig};
+use iwa_lint::{registry_for, run_lints, run_lints_chan, run_lints_lok, LintConfig};
 use serde::{Serialize, Value};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -696,17 +696,15 @@ fn options_sig(op: Op, start: Rung, lang: Lang) -> String {
 }
 
 /// Resolve a request's frontend language: explicit `lang` wins, then the
-/// `name` extension, then the tasklang default. The protocol layer
-/// already validated the name, so this cannot fail for parsed requests.
+/// `name` extension, then the tasklang default (the registry's shared
+/// resolver). The protocol layer already validated the name, so this
+/// cannot fail for parsed requests.
 fn request_lang(req: &Request) -> Result<Lang, String> {
     if let Some(lang) = &req.lang {
         return Lang::from_name(lang);
     }
-    Ok(req
-        .name
-        .as_deref()
-        .and_then(|n| frontends::by_extension(std::path::Path::new(n)))
-        .map_or(Lang::Tasklang, |f| f.lang()))
+    let name = req.name.as_deref().unwrap_or_default();
+    Ok(frontends::resolve(std::path::Path::new(name), None).lang())
 }
 
 fn run_request(shared: &Arc<Shared>, req: &Request, deadline: Duration, cancel: &CancelToken) -> Response {
@@ -820,6 +818,14 @@ fn run_request(shared: &Arc<Shared>, req: &Request, deadline: Duration, cancel: 
                     };
                     let lok = model.as_lok().expect("lok frontend produced this model");
                     run_lints_lok(lok, &LintConfig::default(), &registry_for(lang))
+                }
+                Lang::Chan => {
+                    let model = match frontends::by_lang(lang).load(source) {
+                        Ok(m) => m,
+                        Err(e) => return Response::error(Value::Null, e.to_string()),
+                    };
+                    let chan = model.as_chan().expect("chan frontend produced this model");
+                    run_lints_chan(chan, &LintConfig::default(), &registry_for(lang))
                 }
             };
             let mut resp = Response::new(Value::Null, "ok");

@@ -428,3 +428,103 @@ fn lok_requests_route_through_the_lock_frontend() {
     server.shutdown();
     server.join();
 }
+
+// -------------------------------------------------------- chan frontend
+
+const RING_CHAN: &str = "chan c0; chan c1; chan c2;
+proc p0 { send c0; recv c2; }
+proc p1 { send c1; recv c0; }
+proc p2 { send c2; recv c1; }";
+const PIPELINE_CHAN: &str = "chan a; chan b;
+proc p1 { send a; send b; }
+proc p2 { recv a; recv b; }";
+const SPIN_CHAN: &str = "chan c;
+proc poller { loop { select { recv c { } default { } } } }";
+
+/// The daemon routes `.chan` requests through the channel frontend: an
+/// explicit `lang` field (or a `.chan` name extension) selects it, the
+/// verdict comes from the same ladder (livelocks included), and the
+/// cache keys the language.
+#[test]
+fn chan_requests_route_through_the_channel_frontend() {
+    let server = Server::start(ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let ring = client
+        .request(
+            &Client::analyze_request_lang(1, RING_CHAN, "chan", Some(5_000)),
+            RECV,
+        )
+        .unwrap();
+    assert_eq!(ring["status"], "ok", "unexpected response: {ring:?}");
+    assert_eq!(ring["report"]["verdict"], "Anomalous");
+    let flagged = format!("{:?}", ring["report"]["flagged"]);
+    assert!(
+        flagged.contains("channel-wait cycle"),
+        "witness names the cycle: {flagged}"
+    );
+
+    // A livelock flags the verdict even though the lowered graph is
+    // deadlock-free.
+    let spin = client
+        .request(
+            &Client::analyze_request_lang(2, SPIN_CHAN, "chan", Some(5_000)),
+            RECV,
+        )
+        .unwrap();
+    assert_eq!(spin["status"], "ok", "unexpected response: {spin:?}");
+    assert_eq!(spin["report"]["verdict"], "Anomalous");
+    let flagged = format!("{:?}", spin["report"]["flagged"]);
+    assert!(
+        flagged.contains("spins on select default"),
+        "witness names the spin: {flagged}"
+    );
+
+    // Same bytes, other frontend: no tasklang parse, and no cache
+    // collision with the chan entry.
+    let as_iwa = client
+        .request(&Client::analyze_request(3, RING_CHAN, Some(5_000)), RECV)
+        .unwrap();
+    assert_eq!(as_iwa["status"], "error");
+    assert_eq!(as_iwa["cached"], false);
+
+    // Byte-identical chan resubmission hits the cache.
+    let again = client
+        .request(
+            &Client::analyze_request_lang(4, RING_CHAN, "chan", Some(5_000)),
+            RECV,
+        )
+        .unwrap();
+    assert_eq!(again["cached"], true, "chan verdicts are cacheable");
+    assert_eq!(again["report"]["verdict"], "Anomalous");
+
+    // A `.chan` name extension resolves the frontend without `lang`.
+    let mut named = Client::analyze_request(5, PIPELINE_CHAN, Some(5_000));
+    if let Value::Object(fields) = &mut named {
+        fields.push(("name".to_owned(), Value::String("pipes.chan".to_owned())));
+    }
+    let by_name = client.request(&named, RECV).unwrap();
+    assert_eq!(by_name["status"], "ok", "unexpected response: {by_name:?}");
+    assert_eq!(by_name["report"]["verdict"], "Clean");
+
+    // Lint routes too: the channel lint family fires over the wire.
+    let mut lint = Client::analyze_request(6, SPIN_CHAN, Some(5_000));
+    if let Value::Object(fields) = &mut lint {
+        for (k, v) in fields.iter_mut() {
+            if k == "op" {
+                *v = Value::String("lint".to_owned());
+            }
+        }
+        fields.push(("lang".to_owned(), Value::String("chan".to_owned())));
+    }
+    let linted = client.request(&lint, RECV).unwrap();
+    assert_eq!(linted["status"], "ok", "unexpected response: {linted:?}");
+    let diags = format!("{:?}", linted["report"]["diagnostics"]);
+    assert!(
+        diags.contains("livelock") && diags.contains("select-arm-starved"),
+        "channel lints fire over the wire: {diags}"
+    );
+
+    server.shutdown();
+    server.join();
+}

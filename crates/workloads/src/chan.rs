@@ -1,0 +1,102 @@
+//! Adversarial `.chan` (channel/select) workload generators.
+//!
+//! These stress the channel frontend: the per-process effect dataflow,
+//! the port-expanded communication graph, its lowering, and the livelock
+//! walk. Each generator returns `.chan` source text (the frontend's own
+//! parser is part of what the benchmark measures) and comes in an
+//! anomalous and a clean flavour, so the suite exercises both the
+//! witness path and the certification path.
+
+use std::fmt::Write as _;
+
+/// A ring of `n` processes over `n` rendezvous channels where process
+/// `i` sends on `c_i` before receiving from `c_{(i-1) mod n}` — the
+/// channel analogue of the lock chain: every send waits on a receiver
+/// that is itself blocked sending, one `n`-cycle of ports in the
+/// communication graph. `broken: true` flips process 0 to receive
+/// first, which lets the whole ring drain in a cascade — the graph is
+/// acyclic and the program certifiably clean.
+#[must_use]
+pub fn chan_ring(n: usize, broken: bool) -> String {
+    assert!(n >= 2, "a ring needs at least two processes");
+    let mut src = String::new();
+    for i in 0..n {
+        let _ = writeln!(src, "chan c{i};");
+    }
+    for i in 0..n {
+        let prev = (i + n - 1) % n;
+        if broken && i == 0 {
+            let _ = writeln!(src, "proc p{i} {{ recv c{prev}; send c{i}; }}");
+        } else {
+            let _ = writeln!(src, "proc p{i} {{ send c{i}; recv c{prev}; }}");
+        }
+    }
+    src
+}
+
+/// One chooser looping over an `n`-arm select. `spin: true` gives the
+/// select a `default` arm and *no* feeders: every arm is starved with
+/// zero counterparts, so the loop spins silently forever — one livelock
+/// witness with `n` ranked starved arms, the widest spin report the
+/// classifier produces. `spin: false` drops the default and adds one
+/// looping feeder per channel: the select always blocks until an arm is
+/// servable, nothing cycles, and the certification path must chew
+/// through all `2n` port expansions.
+#[must_use]
+pub fn chan_select_storm(n: usize, spin: bool) -> String {
+    assert!(n >= 1, "a storm needs at least one arm");
+    let mut src = String::new();
+    for i in 0..n {
+        let _ = writeln!(src, "chan a{i};");
+    }
+    let _ = writeln!(src, "proc chooser {{");
+    let _ = writeln!(src, "    loop {{");
+    let _ = writeln!(src, "        select {{");
+    for i in 0..n {
+        let _ = writeln!(src, "            recv a{i} {{ }}");
+    }
+    if spin {
+        let _ = writeln!(src, "            default {{ }}");
+    }
+    let _ = writeln!(src, "        }}");
+    let _ = writeln!(src, "    }}");
+    let _ = writeln!(src, "}}");
+    if !spin {
+        for i in 0..n {
+            let _ = writeln!(src, "proc f{i} {{ loop {{ send a{i}; }} }}");
+        }
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shapes_are_as_documented() {
+        let src = chan_ring(3, false);
+        assert!(src.contains("proc p0 { send c0; recv c2; }"), "{src}");
+        assert!(src.contains("proc p2 { send c2; recv c1; }"), "{src}");
+        let broken = chan_ring(3, true);
+        assert!(
+            broken.contains("proc p0 { recv c2; send c0; }"),
+            "broken flips p0: {broken}"
+        );
+    }
+
+    #[test]
+    fn storm_flavours_swap_default_for_feeders() {
+        let spin = chan_select_storm(3, true);
+        assert!(spin.contains("default { }"), "{spin}");
+        assert!(!spin.contains("proc f0"), "{spin}");
+        let served = chan_select_storm(3, false);
+        assert!(!served.contains("default"), "{served}");
+        for i in 0..3 {
+            assert!(
+                served.contains(&format!("proc f{i} {{ loop {{ send a{i}; }} }}")),
+                "{served}"
+            );
+        }
+    }
+}

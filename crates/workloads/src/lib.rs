@@ -11,12 +11,16 @@
 //!   and the scaling/precision experiments;
 //! * [`adversarial`] — blow-up generators (deep loop nests, all-to-all
 //!   rendezvous meshes, wide branch ladders) for the budget and
-//!   degradation tests.
+//!   degradation tests;
+//! * [`locks`] / [`chan`] — `.lok` and `.chan` source generators that
+//!   stress the non-tasklang frontends end to end (parser included),
+//!   each in an anomalous and a clean flavour.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod chan;
 pub mod classics;
 pub mod figures;
 pub mod locks;

@@ -99,8 +99,37 @@ status=0
 [ "$status" -eq 1 ] || { echo "iwa lint corpus/locks (sarif) exited $status, want 1" >&2; exit 1; }
 diff tests/golden/corpus_locks.sarif "$tmpdir/locks-lint.sarif"
 
-echo "==> serve smoke: the daemon routes .lok requests through the lock frontend"
+echo "==> channels corpus: analyze/lint/check drive the .chan frontend end to end"
+# The seeded acceptance case: the default-spinning poller is anomalous
+# with a span-anchored livelock witness and a starved-arm rationale.
+status=0
+./target/release/iwa analyze corpus/channels/select_default_spin.chan > "$tmpdir/spin.txt" || status=$?
+[ "$status" -eq 1 ] || { echo "analyze select_default_spin.chan exited $status, want 1" >&2; exit 1; }
+grep -q 'spins on select default' "$tmpdir/spin.txt"
+grep -q 'can never fire' "$tmpdir/spin.txt"
+# Multi-job determinism over the channels corpus (same masking as above).
+for j in 1 2 8; do
+    status=0
+    ./target/release/iwa check corpus/channels --json --max-steps 200000 -j "$j" \
+        > "$tmpdir/channels-raw-j$j.json" || status=$?
+    [ "$status" -eq 1 ] || { echo "iwa check corpus/channels -j $j exited $status" >&2; exit 1; }
+    sed "$mask" "$tmpdir/channels-raw-j$j.json" > "$tmpdir/channels-j$j.json"
+done
+diff "$tmpdir/channels-j1.json" "$tmpdir/channels-j2.json"
+diff "$tmpdir/channels-j1.json" "$tmpdir/channels-j8.json"
+# Channel-lint goldens, text and SARIF (exit 1: the corpus has denials).
+status=0
+./target/release/iwa lint corpus/channels --format text > "$tmpdir/channels-lint.txt" || status=$?
+[ "$status" -eq 1 ] || { echo "iwa lint corpus/channels (text) exited $status, want 1" >&2; exit 1; }
+diff tests/golden/corpus_channels.txt "$tmpdir/channels-lint.txt"
+status=0
+./target/release/iwa lint corpus/channels --format sarif > "$tmpdir/channels-lint.sarif" || status=$?
+[ "$status" -eq 1 ] || { echo "iwa lint corpus/channels (sarif) exited $status, want 1" >&2; exit 1; }
+diff tests/golden/corpus_channels.sarif "$tmpdir/channels-lint.sarif"
+
+echo "==> serve smoke: the daemon routes .lok and .chan requests through their frontends"
 cargo test -q -p iwa-serve --test serve lok_requests_route_through_the_lock_frontend
+cargo test -q -p iwa-serve --test serve chan_requests_route_through_the_channel_frontend
 
 echo "==> chaos smoke: iwa serve-bench under a panic+timeout fault plan"
 # Faults at the serve parse site and the engine certify site, including
